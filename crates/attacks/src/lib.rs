@@ -1,0 +1,48 @@
+//! Link stealing attacks against GNN deployments (paper §V-D, Table IV).
+//!
+//! Following He et al. ("Stealing Links from Graph Neural Networks",
+//! USENIX Security 2021), the attacker infers whether two nodes are
+//! connected from the similarity of their observable embeddings: GNN
+//! message passing makes connected nodes' representations more similar,
+//! so pairwise similarity ranks edges above non-edges.
+//!
+//! The paper evaluates three attack surfaces:
+//!
+//! - `Morg`: all intermediate embeddings of the unprotected GNN (real
+//!   adjacency) — high leakage,
+//! - `Mgv`: everything observable in GNNVault's untrusted world — the
+//!   backbone's embeddings, computed with the *substitute* adjacency,
+//! - `Mbase`: embeddings of a feature-only MLP — the no-graph baseline
+//!   the defense aims to match.
+//!
+//! # Examples
+//!
+//! ```
+//! use attacks::{LinkStealingAttack, SimilarityMetric};
+//! use graph::Graph;
+//! use linalg::DenseMatrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Embeddings that mirror the graph structure leak edges.
+//! let g = Graph::from_edges(4, &[(0, 1), (2, 3)])?;
+//! let emb = DenseMatrix::from_rows(&[
+//!     &[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0], &[0.1, 0.9],
+//! ])?;
+//! let attack = LinkStealingAttack::new(SimilarityMetric::Cosine);
+//! let auc = attack.run(&g, &[emb])?;
+//! assert!(auc > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linksteal;
+mod similarity;
+mod supervised;
+pub mod surface;
+
+pub use linksteal::{AttackError, LinkStealingAttack};
+pub use similarity::SimilarityMetric;
+pub use supervised::SupervisedLinkAttack;

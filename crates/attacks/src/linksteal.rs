@@ -1,0 +1,293 @@
+use crate::SimilarityMetric;
+use graph::Graph;
+use linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for attack execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// The surface or graph was unusable (no embeddings, no edges, …).
+    InvalidInput {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The AUC computation failed.
+    Metric(metrics::MetricError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidInput { reason } => write!(f, "invalid attack input: {reason}"),
+            AttackError::Metric(e) => write!(f, "metric failure: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Metric(e) => Some(e),
+            AttackError::InvalidInput { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<metrics::MetricError> for AttackError {
+    fn from(e: metrics::MetricError) -> Self {
+        AttackError::Metric(e)
+    }
+}
+
+/// A link-stealing attack instance: one similarity metric, a pair
+/// budget, and a sampling seed.
+///
+/// [`run`](Self::run) samples a balanced set of connected and
+/// unconnected node pairs, scores each pair by embedding similarity
+/// (averaged over every embedding matrix in the observed surface — "all
+/// intermediate embeddings", §V-D), and reports the ROC-AUC of
+/// separating edges from non-edges. AUC ≈ 0.5 means the surface leaks
+/// nothing; AUC → 1 means edges are recoverable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStealingAttack {
+    metric: SimilarityMetric,
+    max_pairs_per_class: usize,
+    seed: u64,
+}
+
+impl LinkStealingAttack {
+    /// Creates an attack with the default budget (2000 pairs per class).
+    pub fn new(metric: SimilarityMetric) -> Self {
+        Self {
+            metric,
+            max_pairs_per_class: 2000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the per-class pair budget.
+    pub fn with_max_pairs(mut self, max_pairs_per_class: usize) -> Self {
+        self.max_pairs_per_class = max_pairs_per_class;
+        self
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The attack's similarity metric.
+    pub fn metric(&self) -> SimilarityMetric {
+        self.metric
+    }
+
+    /// Runs the attack against `target` using the observable
+    /// `embeddings` (one matrix per layer the attacker can see).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidInput`] when the surface is empty,
+    /// row counts disagree with the graph, or the graph has no edges or
+    /// no non-edges to sample.
+    pub fn run(&self, target: &Graph, embeddings: &[DenseMatrix]) -> Result<f64, AttackError> {
+        let n = target.num_nodes();
+        if embeddings.is_empty() {
+            return Err(AttackError::InvalidInput {
+                reason: "attack surface has no embeddings".into(),
+            });
+        }
+        for e in embeddings {
+            if e.rows() != n {
+                return Err(AttackError::InvalidInput {
+                    reason: format!("embedding has {} rows for {n} nodes", e.rows()),
+                });
+            }
+        }
+        if target.num_edges() == 0 {
+            return Err(AttackError::InvalidInput {
+                reason: "target graph has no edges to steal".into(),
+            });
+        }
+        let max_pairs = n * n.saturating_sub(1) / 2;
+        if target.num_edges() >= max_pairs {
+            return Err(AttackError::InvalidInput {
+                reason: "complete graph has no negative pairs".into(),
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Positive pairs: the edges (sampled down to the budget).
+        let mut positives: Vec<(usize, usize)> = target.edges().to_vec();
+        if positives.len() > self.max_pairs_per_class {
+            // Deterministic partial Fisher–Yates.
+            for i in 0..self.max_pairs_per_class {
+                let j = rng.gen_range(i..positives.len());
+                positives.swap(i, j);
+            }
+            positives.truncate(self.max_pairs_per_class);
+        }
+
+        // Negative pairs: rejection-sample non-edges.
+        let target_negatives = positives.len();
+        let mut negatives = Vec::with_capacity(target_negatives);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0usize;
+        let cap = target_negatives * 200 + 1000;
+        while negatives.len() < target_negatives && attempts < cap {
+            attempts += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if target.has_edge(key.0, key.1) || !seen.insert(key) {
+                continue;
+            }
+            negatives.push(key);
+        }
+        if negatives.is_empty() {
+            return Err(AttackError::InvalidInput {
+                reason: "could not sample any negative pairs".into(),
+            });
+        }
+
+        let mut scores = Vec::with_capacity(positives.len() + negatives.len());
+        let mut labels = Vec::with_capacity(scores.capacity());
+        for &(u, v) in &positives {
+            scores.push(self.pair_score(embeddings, u, v));
+            labels.push(true);
+        }
+        for &(u, v) in &negatives {
+            scores.push(self.pair_score(embeddings, u, v));
+            labels.push(false);
+        }
+        Ok(metrics::roc_auc(&scores, &labels)?)
+    }
+
+    /// Mean similarity across all observed embedding layers.
+    fn pair_score(&self, embeddings: &[DenseMatrix], u: usize, v: usize) -> f32 {
+        let sum: f32 = embeddings
+            .iter()
+            .map(|e| self.metric.score(e.row(u), e.row(v)))
+            .sum();
+        sum / embeddings.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clusters; embeddings either mirror the clusters (leaky) or
+    /// are pure noise (safe).
+    fn cluster_graph() -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..10usize {
+            for v in (u + 1)..10 {
+                edges.push((u, v));
+            }
+        }
+        for u in 10..20usize {
+            for v in (u + 1)..20 {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(20, &edges).unwrap()
+    }
+
+    fn leaky_embeddings() -> DenseMatrix {
+        // Clusters differ in *pattern*, not just offset, so scale- and
+        // shift-invariant metrics (correlation, cosine) also separate
+        // them.
+        DenseMatrix::from_fn(20, 4, |r, c| {
+            let pattern = if r < 10 {
+                [1.0f32, -1.0, 1.0, -1.0][c]
+            } else {
+                [-1.0f32, 1.0, 1.0, 1.0][c]
+            };
+            pattern + (r as f32 * 0.013).sin() * 0.1
+        })
+    }
+
+    fn noise_embeddings(seed: u64) -> DenseMatrix {
+        let mut state = seed | 1;
+        DenseMatrix::from_fn(20, 4, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f32 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn leaky_surface_has_high_auc_for_every_metric() {
+        let g = cluster_graph();
+        for metric in SimilarityMetric::ALL {
+            let auc = LinkStealingAttack::new(metric)
+                .run(&g, &[leaky_embeddings()])
+                .unwrap();
+            assert!(auc > 0.9, "{metric:?} auc {auc}");
+        }
+    }
+
+    #[test]
+    fn noise_surface_is_near_chance() {
+        let g = cluster_graph();
+        let auc = LinkStealingAttack::new(SimilarityMetric::Cosine)
+            .with_seed(3)
+            .run(&g, &[noise_embeddings(42)])
+            .unwrap();
+        assert!((auc - 0.5).abs() < 0.15, "auc {auc}");
+    }
+
+    #[test]
+    fn multi_layer_surface_averages() {
+        let g = cluster_graph();
+        let auc_mixed = LinkStealingAttack::new(SimilarityMetric::Euclidean)
+            .run(&g, &[leaky_embeddings(), noise_embeddings(7)])
+            .unwrap();
+        let auc_pure = LinkStealingAttack::new(SimilarityMetric::Euclidean)
+            .run(&g, &[leaky_embeddings()])
+            .unwrap();
+        assert!(auc_mixed > 0.6, "still leaks: {auc_mixed}");
+        assert!(auc_pure >= auc_mixed - 0.05);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = cluster_graph();
+        let attack = LinkStealingAttack::new(SimilarityMetric::Cosine);
+        assert!(attack.run(&g, &[]).is_err());
+        assert!(attack.run(&g, &[DenseMatrix::zeros(5, 2)]).is_err());
+        let empty = Graph::empty(4);
+        assert!(attack.run(&empty, &[DenseMatrix::zeros(4, 2)]).is_err());
+        let complete =
+            Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        assert!(attack.run(&complete, &[DenseMatrix::zeros(3, 2)]).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = cluster_graph();
+        let attack = LinkStealingAttack::new(SimilarityMetric::Cosine).with_seed(5);
+        let a = attack.run(&g, &[leaky_embeddings()]).unwrap();
+        let b = attack.run(&g, &[leaky_embeddings()]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_caps_pair_count() {
+        let g = cluster_graph();
+        let attack = LinkStealingAttack::new(SimilarityMetric::Cosine).with_max_pairs(10);
+        // Just verifies it runs with a tiny budget.
+        let auc = attack.run(&g, &[leaky_embeddings()]).unwrap();
+        assert!(auc > 0.8);
+    }
+}

@@ -1,0 +1,208 @@
+use serde::{Deserialize, Serialize};
+
+/// The six pairwise similarity metrics of Table IV.
+///
+/// Every metric is oriented so that **higher means more similar** (the
+/// distance-based ones are negated), so they can be fed directly into a
+/// ROC-AUC over "connected vs. not".
+///
+/// # Examples
+///
+/// ```
+/// use attacks::SimilarityMetric;
+///
+/// let close = SimilarityMetric::Euclidean.score(&[0.0, 0.0], &[0.1, 0.0]);
+/// let far = SimilarityMetric::Euclidean.score(&[0.0, 0.0], &[5.0, 0.0]);
+/// assert!(close > far);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimilarityMetric {
+    /// Negative Euclidean (L2) distance.
+    Euclidean,
+    /// Pearson correlation coefficient.
+    Correlation,
+    /// Cosine similarity.
+    Cosine,
+    /// Negative Chebyshev (L∞) distance.
+    Chebyshev,
+    /// Negative Bray–Curtis dissimilarity.
+    Braycurtis,
+    /// Negative Canberra distance.
+    Canberra,
+}
+
+impl SimilarityMetric {
+    /// All metrics in the paper's Table IV order.
+    pub const ALL: [SimilarityMetric; 6] = [
+        SimilarityMetric::Euclidean,
+        SimilarityMetric::Correlation,
+        SimilarityMetric::Cosine,
+        SimilarityMetric::Chebyshev,
+        SimilarityMetric::Braycurtis,
+        SimilarityMetric::Canberra,
+    ];
+
+    /// Display label matching the paper's column headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimilarityMetric::Euclidean => "Euclidean",
+            SimilarityMetric::Correlation => "Correlation",
+            SimilarityMetric::Cosine => "Cosine",
+            SimilarityMetric::Chebyshev => "Chebyshev",
+            SimilarityMetric::Braycurtis => "Braycurtis",
+            SimilarityMetric::Canberra => "Canberra",
+        }
+    }
+
+    /// Similarity of two equal-length vectors (higher = more similar).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when lengths differ.
+    pub fn score(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "similarity inputs must match");
+        match self {
+            SimilarityMetric::Euclidean => {
+                -a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f32>()
+                    .sqrt()
+            }
+            SimilarityMetric::Correlation => pearson(a, b),
+            SimilarityMetric::Cosine => linalg::ops::cosine_similarity(a, b),
+            SimilarityMetric::Chebyshev => {
+                -a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max)
+            }
+            SimilarityMetric::Braycurtis => {
+                let num: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+                let den: f32 = a.iter().zip(b).map(|(x, y)| (x + y).abs()).sum();
+                if den == 0.0 {
+                    0.0
+                } else {
+                    -num / den
+                }
+            }
+            SimilarityMetric::Canberra => {
+                -a.iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let den = x.abs() + y.abs();
+                        if den == 0.0 {
+                            0.0
+                        } else {
+                            (x - y).abs() / den
+                        }
+                    })
+                    .sum::<f32>()
+            }
+        }
+    }
+}
+
+fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len() as f32;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean_a: f32 = a.iter().sum::<f32>() / n;
+    let mean_b: f32 = b.iter().sum::<f32>() / n;
+    let mut cov = 0.0f32;
+    let mut var_a = 0.0f32;
+    let mut var_b = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        0.0
+    } else {
+        cov / (var_a.sqrt() * var_b.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_vectors_maximize_each_metric() {
+        let v = [0.3f32, -0.7, 1.2, 0.0];
+        let w = [5.0f32, 2.0, -1.0, 0.4];
+        for m in SimilarityMetric::ALL {
+            let self_sim = m.score(&v, &v);
+            let cross_sim = m.score(&v, &w);
+            assert!(
+                self_sim >= cross_sim,
+                "{m:?}: self {self_sim} < cross {cross_sim}"
+            );
+        }
+    }
+
+    #[test]
+    fn euclidean_and_chebyshev_zero_at_identity() {
+        let v = [1.0f32, 2.0];
+        assert_eq!(SimilarityMetric::Euclidean.score(&v, &v), 0.0);
+        assert_eq!(SimilarityMetric::Chebyshev.score(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn correlation_detects_linear_relation() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [2.0f32, 4.0, 6.0, 8.0];
+        assert!((SimilarityMetric::Correlation.score(&a, &b) - 1.0).abs() < 1e-5);
+        let c = [8.0f32, 6.0, 4.0, 2.0];
+        assert!((SimilarityMetric::Correlation.score(&a, &c) + 1.0).abs() < 1e-5);
+        let flat = [1.0f32, 1.0, 1.0, 1.0];
+        assert_eq!(SimilarityMetric::Correlation.score(&a, &flat), 0.0);
+    }
+
+    #[test]
+    fn braycurtis_and_canberra_handle_zeros() {
+        let z = [0.0f32, 0.0];
+        assert_eq!(SimilarityMetric::Braycurtis.score(&z, &z), 0.0);
+        assert_eq!(SimilarityMetric::Canberra.score(&z, &z), 0.0);
+    }
+
+    #[test]
+    fn labels_match_table4_headers() {
+        let labels: Vec<&str> = SimilarityMetric::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Euclidean", "Correlation", "Cosine", "Chebyshev", "Braycurtis", "Canberra"]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn metrics_are_symmetric(
+            a in proptest::collection::vec(-5.0f32..5.0, 4),
+            b in proptest::collection::vec(-5.0f32..5.0, 4),
+        ) {
+            for m in SimilarityMetric::ALL {
+                let ab = m.score(&a, &b);
+                let ba = m.score(&b, &a);
+                prop_assert!((ab - ba).abs() < 1e-5, "{m:?}: {ab} vs {ba}");
+            }
+        }
+
+        #[test]
+        fn distances_never_rank_self_below_other(
+            a in proptest::collection::vec(-5.0f32..5.0, 4),
+            b in proptest::collection::vec(-5.0f32..5.0, 4),
+        ) {
+            for m in [SimilarityMetric::Euclidean, SimilarityMetric::Chebyshev, SimilarityMetric::Canberra] {
+                prop_assert!(m.score(&a, &a) >= m.score(&a, &b), "{m:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the compute kernels that dominate the
+//! Fig. 6 time breakdown: dense GEMM (backbone layers), sparse SpMM
+//! (message passing), and GCN normalization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::{normalization, substitute, Graph};
+use linalg::{matmul_blocked, matmul_naive, matmul_threaded, DenseMatrix};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f32 / 500.0 - 1.0
+    })
+}
+
+fn ring_graph(n: usize, extra: usize) -> Graph {
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    for k in 1..=extra {
+        for i in 0..n {
+            edges.push((i, (i + k * 7 + 1) % n));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("ring construction")
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_256");
+    let a = random_matrix(256, 256, 1);
+    let b = random_matrix(256, 256, 2);
+    group.bench_function("naive", |bencher| {
+        bencher.iter(|| matmul_naive(&a, &b).expect("gemm"))
+    });
+    group.bench_function("blocked", |bencher| {
+        bencher.iter(|| matmul_blocked(&a, &b).expect("gemm"))
+    });
+    group.bench_function("threaded", |bencher| {
+        bencher.iter(|| matmul_threaded(&a, &b).expect("gemm"))
+    });
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_message_passing");
+    for &n in &[512usize, 2048] {
+        let g = ring_graph(n, 2);
+        let adj = normalization::gcn_normalize(&g);
+        let h = random_matrix(n, 64, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| adj.spmm(&h).expect("spmm"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let g = ring_graph(4096, 3);
+    c.bench_function("gcn_normalize_4096", |bencher| {
+        bencher.iter(|| normalization::gcn_normalize(&g))
+    });
+}
+
+fn bench_substitute_generation(c: &mut Criterion) {
+    let x = random_matrix(512, 64, 9);
+    let mut group = c.benchmark_group("substitute_graphs_512");
+    group.bench_function("knn_k2", |bencher| {
+        bencher.iter(|| substitute::knn_graph(&x, 2).expect("knn"))
+    });
+    group.bench_function("cosine_tau05", |bencher| {
+        bencher.iter(|| substitute::cosine_graph(&x, 0.5).expect("cosine"))
+    });
+    group.bench_function("random_1024", |bencher| {
+        bencher.iter(|| substitute::random_graph(512, 1024, 7).expect("random"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_spmm,
+    bench_normalization,
+    bench_substitute_generation
+);
+criterion_main!(benches);

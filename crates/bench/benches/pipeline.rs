@@ -1,0 +1,91 @@
+//! Criterion benchmarks of end-to-end GNNVault inference — the code
+//! paths behind Fig. 6's per-design totals — on a small fixed dataset so
+//! `cargo bench` stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{DatasetSpec, SyntheticPlanetoid};
+use gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind, Vault};
+use linalg::DenseMatrix;
+
+fn build_vault(kind: RectifierKind) -> (Vault, DenseMatrix) {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.05)
+        .seed(9)
+        .generate()
+        .expect("dataset");
+    let trained = pipeline::train(
+        &data,
+        &pipeline::PipelineConfig {
+            model: ModelConfig::custom("bench", &[32, 16, 7], &[16, 8, 7]),
+            substitute: SubstituteKind::Knn { k: 2 },
+            rectifier: kind,
+            epochs: 30,
+            train_original: false,
+            ..Default::default()
+        },
+    )
+    .expect("training");
+    let features = data.features.clone();
+    (pipeline::deploy(trained, &data).expect("deploy"), features)
+}
+
+fn bench_vault_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vault_inference_cora_small");
+    for kind in RectifierKind::ALL {
+        let (mut vault, features) = build_vault(kind);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |bencher, _| bencher.iter(|| vault.infer(&features).expect("inference")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rectifier_training_epoch(c: &mut Criterion) {
+    use graph::normalization;
+    use nn::TrainConfig;
+
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.05)
+        .seed(9)
+        .generate()
+        .expect("dataset");
+    let trained = pipeline::train(
+        &data,
+        &pipeline::PipelineConfig {
+            model: ModelConfig::custom("bench", &[32, 16, 7], &[16, 8, 7]),
+            substitute: SubstituteKind::Knn { k: 2 },
+            rectifier: RectifierKind::Parallel,
+            epochs: 5,
+            train_original: false,
+            ..Default::default()
+        },
+    )
+    .expect("training");
+    let real_adj = normalization::gcn_normalize(&data.graph);
+    let embeddings = trained
+        .backbone
+        .embeddings(&data.features)
+        .expect("embeddings");
+    let one_epoch = TrainConfig {
+        epochs: 1,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        dropout: 0.0,
+        seed: 0,
+    };
+    c.bench_function("rectifier_train_epoch", |bencher| {
+        bencher.iter_batched(
+            || trained.rectifier.clone(),
+            |mut rect| {
+                rect.fit(&real_adj, &embeddings, &data.labels, &data.train_mask, &one_epoch)
+                    .expect("epoch")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_vault_inference, bench_rectifier_training_epoch);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Experiment harness support library.
+//!
+//! The deliverables of this crate are its binaries — one per table and
+//! figure of the paper:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table I: dataset statistics |
+//! | `table2` | Table II: GNNVault performance, KNN k = 2 |
+//! | `table3` | Table III: backbone comparison |
+//! | `table4` | Table IV: link-stealing ROC-AUC |
+//! | `fig4`   | Fig. 4: layer-wise silhouette scores |
+//! | `fig5`   | Fig. 5: substitute-graph hyperparameter sweeps |
+//! | `fig6`   | Fig. 6: inference-time breakdown + enclave memory |
+//!
+//! plus the Criterion micro-benches under `benches/`. All binaries run
+//! on scaled-down synthetic datasets (see `harness_scale`); pass
+//! `--scale <multiplier>` to grow or shrink them and `--epochs <n>` to
+//! change the training budget.
+
+use datasets::{CitationDataset, DatasetSpec, SyntheticPlanetoid};
+use gnnvault::ModelConfig;
+
+/// Formats a fraction as a percentage with one decimal, the style used
+/// in the paper's tables.
+pub fn pct(fraction: f32) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats a parameter count in millions with four decimals, matching
+/// the `θ (M)` columns of Table II.
+pub fn millions(count: usize) -> String {
+    format!("{:.4}", count as f64 / 1.0e6)
+}
+
+/// Default generation scale per dataset, chosen so each harness binary
+/// finishes in minutes on a laptop while keeping every class populated.
+pub fn harness_scale(spec: &DatasetSpec) -> f64 {
+    match spec.name {
+        "Cora" => 0.15,
+        "Citeseer" => 0.12,
+        "Pubmed" => 0.05,
+        "Computer" => 0.05,
+        "Photo" => 0.08,
+        "CoraFull" => 0.04,
+        _ => 0.10,
+    }
+}
+
+/// Model preset per dataset, following §V-A: M1 for the three citation
+/// graphs, M2 for CoraFull's 70 classes, M3 for the Amazon graphs.
+pub fn model_for(spec: &DatasetSpec) -> ModelConfig {
+    match spec.name {
+        "CoraFull" => ModelConfig::m2(spec.num_classes),
+        "Computer" | "Photo" => ModelConfig::m3(spec.num_classes),
+        _ => ModelConfig::m1(spec.num_classes),
+    }
+}
+
+/// Generates the harness dataset for a spec at `scale_mult` times the
+/// default scale.
+///
+/// # Panics
+///
+/// Panics when generation fails (harness binaries treat that as fatal).
+pub fn load(spec: &DatasetSpec, scale_mult: f64, seed: u64) -> CitationDataset {
+    SyntheticPlanetoid::new(*spec)
+        .scale((harness_scale(spec) * scale_mult).clamp(0.005, 1.0))
+        .seed(seed)
+        .generate()
+        .expect("harness dataset generation")
+}
+
+/// Common CLI arguments for every harness binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessArgs {
+    /// Multiplier on the per-dataset default scale.
+    pub scale_mult: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            scale_mult: 1.0,
+            epochs: 150,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale <f>`, `--epochs <n>`, `--seed <n>` from an
+    /// argument iterator (unknown flags are ignored so binaries can add
+    /// their own).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let argv: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.scale_mult = v;
+                        i += 1;
+                    }
+                }
+                "--epochs" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.epochs = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.804), "80.4");
+        assert_eq!(pct(0.0), "0.0");
+    }
+
+    #[test]
+    fn millions_formats_theta_columns() {
+        assert_eq!(millions(188_000), "0.1880");
+        assert_eq!(millions(2_270_000), "2.2700");
+    }
+
+    #[test]
+    fn args_parse_flags_and_ignore_unknown() {
+        let args = HarnessArgs::parse(
+            ["--epochs", "10", "--mystery", "--scale", "0.5", "--seed", "7"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.epochs, 10);
+        assert_eq!(args.scale_mult, 0.5);
+        assert_eq!(args.seed, 7);
+        assert_eq!(HarnessArgs::parse(std::iter::empty()), HarnessArgs::default());
+    }
+
+    #[test]
+    fn every_spec_has_scale_and_model() {
+        for spec in &DatasetSpec::ALL {
+            assert!(harness_scale(spec) > 0.0);
+            assert_eq!(model_for(spec).classes(), spec.num_classes);
+        }
+    }
+
+    #[test]
+    fn load_generates_consistent_tiny_dataset() {
+        let d = load(&DatasetSpec::CORA, 0.2, 1);
+        d.check_consistency().unwrap();
+    }
+}

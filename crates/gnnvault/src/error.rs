@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for GNNVault training and deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VaultError {
+    /// A neural-network operation failed.
+    Nn(nn::NnError),
+    /// A graph operation failed.
+    Graph(graph::GraphError),
+    /// A TEE-simulator operation failed.
+    Tee(tee::TeeError),
+    /// A configuration combination was invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaultError::Nn(e) => write!(f, "network failure: {e}"),
+            VaultError::Graph(e) => write!(f, "graph failure: {e}"),
+            VaultError::Tee(e) => write!(f, "enclave failure: {e}"),
+            VaultError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for VaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VaultError::Nn(e) => Some(e),
+            VaultError::Graph(e) => Some(e),
+            VaultError::Tee(e) => Some(e),
+            VaultError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<nn::NnError> for VaultError {
+    fn from(e: nn::NnError) -> Self {
+        VaultError::Nn(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<graph::GraphError> for VaultError {
+    fn from(e: graph::GraphError) -> Self {
+        VaultError::Graph(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<tee::TeeError> for VaultError {
+    fn from(e: tee::TeeError) -> Self {
+        VaultError::Tee(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<linalg::LinalgError> for VaultError {
+    fn from(e: linalg::LinalgError) -> Self {
+        VaultError::Nn(nn::NnError::Linalg(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: VaultError = graph::GraphError::SelfLoop { node: 1 }.into();
+        assert!(e.to_string().contains("graph failure"));
+        assert!(Error::source(&e).is_some());
+
+        let e: VaultError = tee::TeeError::SealTampered.into();
+        assert!(e.to_string().contains("enclave failure"));
+
+        let e = VaultError::InvalidConfig {
+            reason: "bad".into(),
+        };
+        assert!(Error::source(&e).is_none());
+    }
+}

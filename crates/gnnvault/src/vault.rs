@@ -1,0 +1,505 @@
+use crate::{Backbone, Rectifier, VaultError};
+use graph::{normalization, Graph};
+use linalg::DenseMatrix;
+use serde::{Deserialize, Serialize};
+use tee::{
+    codec, ClassLabel, CostModel, EnclaveSim, Meter, OverBudgetPolicy, Phase, SealKey, Sealed,
+    UntrustedToEnclave,
+};
+
+/// Per-inference report: the Fig. 6 measurables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Wall-clock + simulated time per phase.
+    pub backbone_ns: u64,
+    /// Transfer time (simulated SGX marshalling).
+    pub transfer_ns: u64,
+    /// Rectifier time inside the enclave (wall + page-swap simulation).
+    pub rectifier_ns: u64,
+    /// Bytes moved across the boundary.
+    pub transferred_bytes: usize,
+    /// ECALL count for this inference.
+    pub transitions: u64,
+    /// Peak enclave memory over the deployment lifetime so far.
+    pub peak_enclave_bytes: usize,
+}
+
+impl InferenceReport {
+    /// Total inference time (all phases).
+    pub fn total_ns(&self) -> u64 {
+        self.backbone_ns + self.transfer_ns + self.rectifier_ns
+    }
+}
+
+/// A deployed GNNVault instance (§IV-E): the public backbone plus
+/// substitute graph in the untrusted world, and the rectifier plus the
+/// real graph (COO + precomputed degrees) sealed inside a simulated SGX
+/// enclave.
+///
+/// Besides full-graph [`Vault::infer`], the threat model's per-node
+/// query ("query the GNN model with any chosen node") is served by
+/// [`Vault::infer_node`], which extracts the node's k-hop ego graph
+/// *inside the enclave* — the private neighbourhood never leaves — and
+/// rectifies only that subgraph.
+///
+/// [`Vault::infer`] runs the split pipeline: backbone in the normal
+/// world, tap embeddings marshalled one-way into the enclave, rectifier
+/// inside, and *label-only* output ([`ClassLabel`]) — logits never leave.
+///
+/// # Examples
+///
+/// See [`crate::pipeline`] for end-to-end construction; the integration
+/// tests in `tests/` exercise `Vault` directly.
+#[derive(Debug)]
+pub struct Vault {
+    backbone: Backbone,
+    // --- enclave-private state (never exposed by any accessor) ---
+    rectifier: Rectifier,
+    real_graph: Graph,
+    real_adj: linalg::CsrMatrix,
+    enclave: EnclaveSim,
+    sealed_artifacts: Vec<(String, Sealed)>,
+}
+
+impl Vault {
+    /// Deploys a trained backbone/rectifier pair.
+    ///
+    /// The rectifier parameters and the real graph are sealed (at-rest
+    /// protection) and accounted inside the enclave: parameters, the
+    /// COO edge list, the precomputed degree vector, and the normalized
+    /// adjacency the enclave keeps resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaultError::Tee`] when the enclave rejects the resident
+    /// set (only under [`OverBudgetPolicy::Fail`]).
+    pub fn deploy(
+        backbone: Backbone,
+        rectifier: Rectifier,
+        real_graph: &Graph,
+        epc_budget: usize,
+        cost: CostModel,
+        policy: OverBudgetPolicy,
+        seal_key: SealKey,
+    ) -> Result<Vault, VaultError> {
+        let mut enclave = EnclaveSim::new(epc_budget, cost, policy);
+
+        // Resident enclave set, mirroring §IV-E's storage plan.
+        enclave.alloc("rectifier parameters", rectifier.nbytes())?;
+        enclave.alloc("real graph (COO)", real_graph.coo_nbytes())?;
+        enclave.alloc(
+            "degree vector",
+            real_graph.num_nodes() * std::mem::size_of::<u32>(),
+        )?;
+        let degrees = real_graph.degrees();
+        let real_adj = normalization::gcn_normalize_with_degrees(real_graph, &degrees);
+        enclave.alloc("normalized adjacency (CSR)", real_adj.nbytes())?;
+
+        // Seal deployment artifacts (simulated SGX sealing).
+        let mut sealed_artifacts = Vec::new();
+        let mut weight_bytes = Vec::new();
+        for dim in rectifier.channel_dims() {
+            weight_bytes.extend_from_slice(&dim.to_le_bytes());
+        }
+        sealed_artifacts.push((
+            "rectifier-shape".to_owned(),
+            Sealed::seal(seal_key.derive("rectifier-shape"), &weight_bytes),
+        ));
+        let mut edge_bytes = Vec::with_capacity(real_graph.num_edges() * 8);
+        for &(u, v) in real_graph.edges() {
+            edge_bytes.extend_from_slice(&(u as u32).to_le_bytes());
+            edge_bytes.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        sealed_artifacts.push((
+            "real-graph-coo".to_owned(),
+            Sealed::seal(seal_key.derive("real-graph-coo"), &edge_bytes),
+        ));
+
+        Ok(Vault {
+            backbone,
+            rectifier,
+            real_graph: real_graph.clone(),
+            real_adj,
+            enclave,
+            sealed_artifacts,
+        })
+    }
+
+    /// The public backbone (the attacker-visible half).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// The rectifier's communication scheme.
+    pub fn rectifier_kind(&self) -> crate::RectifierKind {
+        self.rectifier.kind()
+    }
+
+    /// Parameter count inside the enclave (`θrec`).
+    pub fn rectifier_param_count(&self) -> usize {
+        self.rectifier.param_count()
+    }
+
+    /// Peak enclave memory so far (Fig. 6 bottom).
+    pub fn peak_enclave_bytes(&self) -> usize {
+        self.enclave.peak_usage()
+    }
+
+    /// Labels of the sealed at-rest artifacts.
+    pub fn sealed_artifact_labels(&self) -> Vec<&str> {
+        self.sealed_artifacts
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect()
+    }
+
+    /// Shared meter handle (accumulates across inferences).
+    pub fn meter(&self) -> Meter {
+        self.enclave.meter()
+    }
+
+    /// Runs one full-graph inference through the split pipeline and
+    /// returns per-node class labels plus the timing report.
+    ///
+    /// Step by step (Fig. 6's decomposition):
+    /// 1. backbone forward in the untrusted world (wall-clock metered),
+    /// 2. tap embeddings encoded and sent over the one-way channel
+    ///    (simulated marshalling cost),
+    /// 3. rectifier forward inside the enclave (wall-clock metered,
+    ///    transient activations accounted against the EPC),
+    /// 4. argmax inside the enclave; only [`ClassLabel`]s exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backbone/rectifier failures and enclave memory
+    /// rejections.
+    pub fn infer(
+        &mut self,
+        features: &DenseMatrix,
+    ) -> Result<(Vec<ClassLabel>, InferenceReport), VaultError> {
+        let meter = self.enclave.meter();
+        meter.reset();
+
+        // 1. Public backbone in the untrusted world.
+        let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
+
+        // 2. One-way transfer of exactly the tapped embeddings.
+        let taps = self.rectifier.tap_indices();
+        let mut channel = UntrustedToEnclave::new();
+        for &t in &taps {
+            let payload = codec::encode_dense(&embeddings[t]);
+            channel.send(&mut self.enclave, payload)?;
+        }
+        let transferred_bytes = channel.total_bytes();
+        let transitions = self.enclave.transitions();
+
+        // Enclave side: decode payloads back into tap embeddings. The
+        // rectifier's wiring expects the full embedding list; non-tapped
+        // slots are never read, so placeholders stand in for them.
+        let payloads = channel.drain();
+        let mut enclave_embeddings: Vec<DenseMatrix> = embeddings
+            .iter()
+            .map(|e| DenseMatrix::zeros(0, e.cols()))
+            .collect();
+        for (&t, payload) in taps.iter().zip(&payloads) {
+            enclave_embeddings[t] = codec::decode_dense(payload)?;
+        }
+        // Wiring rules may fall back to the last embedding for shallow
+        // backbones; make sure any slot a rule can touch is populated.
+        for (slot, original) in enclave_embeddings.iter_mut().zip(&embeddings) {
+            if slot.rows() == 0 && original.rows() != 0 {
+                *slot = DenseMatrix::zeros(original.rows(), original.cols());
+            }
+        }
+
+        // 3. Rectifier inside the enclave, with transient activation
+        //    buffers accounted against the EPC.
+        let n = features.rows();
+        let mut transient = Vec::new();
+        for (in_dim, out_dim) in self
+            .rectifier
+            .input_dims()
+            .into_iter()
+            .zip(self.rectifier.channel_dims())
+        {
+            transient.push(self.enclave.alloc(
+                "layer activation",
+                n * (in_dim + out_dim) * std::mem::size_of::<f32>(),
+            )?);
+        }
+        let forward = {
+            let rectifier = &self.rectifier;
+            let real_adj = &self.real_adj;
+            self.enclave
+                .run(|| rectifier.forward(real_adj, &enclave_embeddings))?
+        };
+
+        // 4. Label-only egress: logits stay inside.
+        let labels: Vec<ClassLabel> = linalg::ops::argmax_rows(forward.logits())
+            .into_iter()
+            .map(ClassLabel)
+            .collect();
+        for id in transient {
+            self.enclave.free(id)?;
+        }
+
+        let breakdown = meter.breakdown();
+        let get = |phase: Phase| breakdown.get(&phase).copied().unwrap_or_default();
+        let report = InferenceReport {
+            backbone_ns: get(Phase::Backbone).total_ns(),
+            transfer_ns: get(Phase::Transfer).total_ns(),
+            rectifier_ns: get(Phase::Enclave).total_ns() + get(Phase::PageSwap).total_ns(),
+            transferred_bytes,
+            transitions,
+            peak_enclave_bytes: self.enclave.peak_usage(),
+        };
+        Ok((labels, report))
+    }
+
+    /// Answers a single-node query (the threat model's query interface).
+    ///
+    /// The untrusted world still computes and ships the tap embeddings
+    /// (it cannot know which rows matter — the neighbourhood is
+    /// private); *inside* the enclave, the node's k-hop ego graph is
+    /// extracted (k = rectifier depth), normalized with the original
+    /// degrees so the centre's embedding is exact, and only that
+    /// subgraph is rectified. Enclave compute and transient memory
+    /// shrink to the neighbourhood size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaultError::InvalidConfig`] when `node` is out of
+    /// range; otherwise propagates the same failures as
+    /// [`Vault::infer`].
+    pub fn infer_node(
+        &mut self,
+        features: &DenseMatrix,
+        node: usize,
+    ) -> Result<(ClassLabel, InferenceReport), VaultError> {
+        if node >= self.real_graph.num_nodes() {
+            return Err(VaultError::InvalidConfig {
+                reason: format!(
+                    "query node {node} out of range for {} nodes",
+                    self.real_graph.num_nodes()
+                ),
+            });
+        }
+        let meter = self.enclave.meter();
+        meter.reset();
+
+        let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
+        let taps = self.rectifier.tap_indices();
+        let mut channel = UntrustedToEnclave::new();
+        for &t in &taps {
+            channel.send(&mut self.enclave, codec::encode_dense(&embeddings[t]))?;
+        }
+        let transferred_bytes = channel.total_bytes();
+        let transitions = self.enclave.transitions();
+        let payloads = channel.drain();
+
+        // --- enclave side: ego extraction + subgraph rectification ---
+        let hops = self.rectifier.num_layers();
+        let (label, peak) = {
+            let rectifier = &self.rectifier;
+            let real_graph = &self.real_graph;
+            let enclave = &self.enclave;
+            let out = enclave.run(|| -> Result<ClassLabel, VaultError> {
+                let ego = graph::subgraph::ego_graph(real_graph, node, hops)?;
+                let ego_adj = graph::normalization::gcn_normalize_with_degrees(
+                    &ego.graph,
+                    &ego.original_degrees,
+                );
+                let mut ego_embeddings: Vec<DenseMatrix> = embeddings
+                    .iter()
+                    .map(|e| DenseMatrix::zeros(ego.graph.num_nodes(), e.cols()))
+                    .collect();
+                for (&t, payload) in taps.iter().zip(&payloads) {
+                    let full = codec::decode_dense(payload)?;
+                    ego_embeddings[t] = full.select_rows(&ego.original_ids)?;
+                }
+                let forward = rectifier.forward(&ego_adj, &ego_embeddings)?;
+                let preds = linalg::ops::argmax_rows(forward.logits());
+                Ok(ClassLabel(preds[ego.center]))
+            })?;
+            (out, self.enclave.peak_usage())
+        };
+
+        let breakdown = meter.breakdown();
+        let get = |phase: Phase| breakdown.get(&phase).copied().unwrap_or_default();
+        Ok((
+            label,
+            InferenceReport {
+                backbone_ns: get(Phase::Backbone).total_ns(),
+                transfer_ns: get(Phase::Transfer).total_ns(),
+                rectifier_ns: get(Phase::Enclave).total_ns() + get(Phase::PageSwap).total_ns(),
+                transferred_bytes,
+                transitions,
+                peak_enclave_bytes: peak,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RectifierKind, SubstituteKind};
+    use nn::TrainConfig;
+
+    fn toy_vault(kind: RectifierKind) -> (Vault, DenseMatrix, Vec<usize>) {
+        let x = DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.9, 0.1],
+            &[1.0, 0.2],
+            &[0.0, 1.0],
+            &[0.1, 0.9],
+            &[0.2, 1.0],
+        ])
+        .unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let train = vec![0, 1, 3, 4];
+        let real = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.05,
+            weight_decay: 0.0,
+            dropout: 0.0,
+            seed: 0,
+        };
+        let backbone = Backbone::train(
+            &x,
+            &labels,
+            &train,
+            SubstituteKind::Knn { k: 2 },
+            &[8, 4, 2],
+            real.num_edges(),
+            &cfg,
+            1,
+        )
+        .unwrap();
+        let mut rectifier =
+            Rectifier::new(kind, &[8, 4, 2], &backbone.channel_dims(), 2).unwrap();
+        let real_adj = graph::normalization::gcn_normalize(&real);
+        let embs = backbone.embeddings(&x).unwrap();
+        rectifier
+            .fit(&real_adj, &embs, &labels, &train, &cfg)
+            .unwrap();
+        let vault = Vault::deploy(
+            backbone,
+            rectifier,
+            &real,
+            tee::SGX_EPC_BYTES,
+            CostModel::default(),
+            OverBudgetPolicy::Fail,
+            SealKey(7),
+        )
+        .unwrap();
+        (vault, x, labels)
+    }
+
+    #[test]
+    fn infer_returns_labels_and_report() {
+        for kind in RectifierKind::ALL {
+            let (mut vault, x, labels) = toy_vault(kind);
+            let (preds, report) = vault.infer(&x).unwrap();
+            assert_eq!(preds.len(), 6, "{kind:?}");
+            let acc = preds
+                .iter()
+                .zip(&labels)
+                .filter(|(p, &l)| p.0 == l)
+                .count() as f32
+                / 6.0;
+            assert!(acc >= 0.5, "{kind:?} acc {acc}");
+            assert!(report.transferred_bytes > 0);
+            assert!(report.transfer_ns > 0);
+            assert!(report.peak_enclave_bytes > 0);
+            assert_eq!(report.transitions, vault.rectifier.tap_indices().len() as u64);
+        }
+    }
+
+    #[test]
+    fn series_transfers_fewest_bytes() {
+        let (mut parallel, x, _) = toy_vault(RectifierKind::Parallel);
+        let (mut cascaded, _, _) = toy_vault(RectifierKind::Cascaded);
+        let (mut series, _, _) = toy_vault(RectifierKind::Series);
+        let (_, rp) = parallel.infer(&x).unwrap();
+        let (_, rc) = cascaded.infer(&x).unwrap();
+        let (_, rs) = series.infer(&x).unwrap();
+        assert!(rs.transferred_bytes < rp.transferred_bytes);
+        assert!(rs.transferred_bytes < rc.transferred_bytes);
+    }
+
+    #[test]
+    fn deploy_seals_artifacts_and_accounts_memory() {
+        let (vault, _, _) = toy_vault(RectifierKind::Series);
+        let labels = vault.sealed_artifact_labels();
+        assert!(labels.contains(&"rectifier-shape"));
+        assert!(labels.contains(&"real-graph-coo"));
+        assert!(vault.peak_enclave_bytes() > 0);
+        assert!(vault.rectifier_param_count() > 0);
+    }
+
+    #[test]
+    fn infer_node_matches_full_graph_inference() {
+        for kind in RectifierKind::ALL {
+            let (mut vault, x, _) = toy_vault(kind);
+            let (full_labels, _) = vault.infer(&x).unwrap();
+            for node in 0..x.rows() {
+                let (label, report) = vault.infer_node(&x, node).unwrap();
+                assert_eq!(
+                    label, full_labels[node],
+                    "{kind:?}: node {node} ego-query disagrees with full inference"
+                );
+                assert!(report.transferred_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn infer_node_rejects_out_of_range() {
+        let (mut vault, x, _) = toy_vault(RectifierKind::Series);
+        assert!(matches!(
+            vault.infer_node(&x, 999),
+            Err(VaultError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_epc_budget_rejects_deployment() {
+        let x = DenseMatrix::from_rows(&[&[1.0], &[0.0]]).unwrap();
+        let labels = vec![0usize, 1];
+        let real = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let backbone = Backbone::train(
+            &x,
+            &labels,
+            &[0, 1],
+            SubstituteKind::Knn { k: 1 },
+            &[4, 2],
+            1,
+            &cfg,
+            0,
+        )
+        .unwrap();
+        let rectifier =
+            Rectifier::new(RectifierKind::Series, &[4, 2], &backbone.channel_dims(), 0)
+                .unwrap();
+        let result = Vault::deploy(
+            backbone,
+            rectifier,
+            &real,
+            16, // absurdly small EPC
+            CostModel::free(),
+            OverBudgetPolicy::Fail,
+            SealKey(0),
+        );
+        assert!(matches!(
+            result,
+            Err(VaultError::Tee(tee::TeeError::EpcExhausted { .. }))
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node index `>= num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `(u, u)` was supplied where self-loops are not allowed.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node index {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed here")
+            }
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfBounds { node: 7, num_nodes: 4 };
+        assert!(e.to_string().contains("7"));
+        let e = GraphError::SelfLoop { node: 2 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::InvalidParameter {
+            name: "k",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("k"));
+    }
+}

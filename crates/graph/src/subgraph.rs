@@ -1,0 +1,211 @@
+//! k-hop ego-graph extraction.
+//!
+//! The paper's threat model lets the attacker "query the GNN model with
+//! any chosen node"; a realistic edge deployment answers such queries on
+//! the node's k-hop neighbourhood (k = number of GCN layers) rather than
+//! the full graph. [`ego_graph`] extracts that neighbourhood with the
+//! node mapping needed to translate features and read back the query
+//! node's output.
+
+use crate::{Graph, GraphError};
+use std::collections::{BTreeSet, VecDeque};
+
+/// A k-hop ego subgraph: the induced graph plus the mapping from new
+/// (dense) node ids back to original ids.
+///
+/// `original_degrees` carries each selected node's degree in the *full*
+/// graph. Boundary nodes lose edges in the induced subgraph, so exact
+/// GCN equivalence requires normalizing with the original degrees
+/// ([`crate::normalization::gcn_normalize_with_degrees`]); with those, a
+/// k-hop ego graph computes the center's k-layer GCN embedding exactly
+/// (verified by this module's tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgoGraph {
+    /// The induced subgraph over the neighbourhood, with dense ids.
+    pub graph: Graph,
+    /// `original_ids[new_id] = old_id`, sorted ascending.
+    pub original_ids: Vec<usize>,
+    /// Full-graph degree of each selected node, indexed by dense id.
+    pub original_degrees: Vec<usize>,
+    /// Dense id of the query node inside `graph`.
+    pub center: usize,
+}
+
+impl EgoGraph {
+    /// Translates an original node id into the subgraph's dense id.
+    pub fn local_id(&self, original: usize) -> Option<usize> {
+        self.original_ids.binary_search(&original).ok()
+    }
+}
+
+/// Extracts the `hops`-hop neighbourhood of `center` as an induced
+/// subgraph.
+///
+/// `hops = 0` yields just the center node. The subgraph contains every
+/// edge of the original graph whose endpoints are both within range —
+/// exactly the information a `hops`-layer GCN needs to compute the
+/// center's embedding.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] when `center` is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use graph::{subgraph, Graph};
+///
+/// # fn main() -> Result<(), graph::GraphError> {
+/// let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])?;
+/// let ego = subgraph::ego_graph(&path, 2, 1)?;
+/// assert_eq!(ego.original_ids, vec![1, 2, 3]); // node 2 and its 1-hop ball
+/// assert_eq!(ego.graph.num_edges(), 2);
+/// assert_eq!(ego.local_id(2), Some(ego.center));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ego_graph(graph: &Graph, center: usize, hops: usize) -> Result<EgoGraph, GraphError> {
+    if center >= graph.num_nodes() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: center,
+            num_nodes: graph.num_nodes(),
+        });
+    }
+    // BFS out to `hops`.
+    let mut selected = BTreeSet::new();
+    selected.insert(center);
+    let mut queue = VecDeque::new();
+    queue.push_back((center, 0usize));
+    // Adjacency lists once, to avoid O(E) per neighbor query.
+    let mut adjacency = vec![Vec::new(); graph.num_nodes()];
+    for &(u, v) in graph.edges() {
+        adjacency[u].push(v);
+        adjacency[v].push(u);
+    }
+    while let Some((u, depth)) = queue.pop_front() {
+        if depth == hops {
+            continue;
+        }
+        for &v in &adjacency[u] {
+            if selected.insert(v) {
+                queue.push_back((v, depth + 1));
+            }
+        }
+    }
+    let original_ids: Vec<usize> = selected.into_iter().collect();
+    let local: std::collections::HashMap<usize, usize> = original_ids
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let mut edges = Vec::new();
+    for &(u, v) in graph.edges() {
+        if let (Some(&lu), Some(&lv)) = (local.get(&u), local.get(&v)) {
+            edges.push((lu, lv));
+        }
+    }
+    let sub = Graph::from_edges(original_ids.len(), &edges)?;
+    let center_local = local[&center];
+    let original_degrees = original_ids
+        .iter()
+        .map(|&old| adjacency[old].len())
+        .collect();
+    Ok(EgoGraph {
+        graph: sub,
+        original_ids,
+        original_degrees,
+        center: center_local,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn zero_hops_is_just_the_center() {
+        let ego = ego_graph(&path5(), 2, 0).unwrap();
+        assert_eq!(ego.original_ids, vec![2]);
+        assert_eq!(ego.graph.num_nodes(), 1);
+        assert_eq!(ego.graph.num_edges(), 0);
+        assert_eq!(ego.center, 0);
+    }
+
+    #[test]
+    fn one_hop_neighbourhood_on_a_path() {
+        let ego = ego_graph(&path5(), 2, 1).unwrap();
+        assert_eq!(ego.original_ids, vec![1, 2, 3]);
+        assert_eq!(ego.graph.num_edges(), 2);
+        assert_eq!(ego.local_id(2), Some(ego.center));
+        assert_eq!(ego.local_id(0), None);
+    }
+
+    #[test]
+    fn hops_cover_whole_component() {
+        let ego = ego_graph(&path5(), 0, 10).unwrap();
+        assert_eq!(ego.original_ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ego.graph.num_edges(), 4);
+    }
+
+    #[test]
+    fn disconnected_component_is_excluded() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let ego = ego_graph(&g, 0, 3).unwrap();
+        assert_eq!(ego.original_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induced_edges_include_cross_links() {
+        // Triangle + tail: ego of node 0 at 1 hop picks the triangle and
+        // the 1-2 edge between the two neighbours.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap();
+        let ego = ego_graph(&g, 0, 1).unwrap();
+        assert_eq!(ego.original_ids, vec![0, 1, 2]);
+        assert_eq!(ego.graph.num_edges(), 3, "induced subgraph keeps 1-2");
+    }
+
+    #[test]
+    fn invalid_center_rejected() {
+        assert!(ego_graph(&path5(), 9, 1).is_err());
+    }
+
+    #[test]
+    fn ego_embedding_matches_full_graph_for_k_layer_gcn() {
+        // The motivating property: a k-hop ego graph with *original*
+        // degrees computes the center's k-layer GCN propagation exactly,
+        // even though boundary nodes lost edges.
+        use linalg::DenseMatrix;
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (1, 3)],
+        )
+        .unwrap();
+        let x = DenseMatrix::from_fn(7, 3, |r, c| ((r * 3 + c) as f32).sin());
+        let full_adj = crate::normalization::gcn_normalize(&g);
+        // Two propagation steps on the full graph.
+        let full = full_adj.spmm(&full_adj.spmm(&x).unwrap()).unwrap();
+
+        let center = 3usize;
+        let ego = ego_graph(&g, center, 2).unwrap();
+        let ego_x = x.select_rows(&ego.original_ids).unwrap();
+        let ego_adj = crate::normalization::gcn_normalize_with_degrees(
+            &ego.graph,
+            &ego.original_degrees,
+        );
+        let local = ego_adj.spmm(&ego_adj.spmm(&ego_x).unwrap()).unwrap();
+
+        for c in 0..3 {
+            let a = full.get(center, c);
+            let b = local.get(ego.center, c);
+            assert!((a - b).abs() < 1e-5, "col {c}: {a} vs {b}");
+        }
+        // Sanity: node 5 sits on the boundary and indeed lost an edge.
+        let five = ego.local_id(5).unwrap();
+        assert_eq!(ego.graph.degree(five), 1);
+        assert_eq!(ego.original_degrees[five], 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Substitute-graph generation (paper §IV-C, Table III, Fig. 5).
+//!
+//! The public backbone never sees the private adjacency; instead it is
+//! trained on a *substitute* graph derived from public node features.
+//! Three constructions are provided, mirroring the paper's evaluation:
+//!
+//! - [`knn_graph`]: connect each node to its top-`k` most cosine-similar
+//!   nodes (the paper's default, `k = 2`),
+//! - [`cosine_graph`]: connect every pair whose cosine similarity crosses
+//!   a threshold `τ` (paper Eq. 2),
+//! - [`random_graph`]: Erdős–Rényi-style graph with a target edge count
+//!   (the paper samples the substitute density to match the real graph).
+
+use crate::{Graph, GraphError};
+use linalg::{ops, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the k-nearest-neighbour substitute graph over node features.
+///
+/// For every node, edges are added to its `k` most similar other nodes by
+/// cosine similarity. The union over all nodes is returned (so degrees
+/// can exceed `k`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `k == 0` or
+/// `k >= num_nodes`.
+///
+/// # Examples
+///
+/// ```
+/// # use linalg::DenseMatrix;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0]])?;
+/// let g = graph::substitute::knn_graph(&x, 1)?;
+/// assert!(g.has_edge(0, 1)); // most similar pair
+/// # Ok(())
+/// # }
+/// ```
+pub fn knn_graph(features: &DenseMatrix, k: usize) -> Result<Graph, GraphError> {
+    let n = features.rows();
+    if k == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            reason: "must be at least 1".into(),
+        });
+    }
+    if n > 0 && k >= n {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            reason: format!("must be smaller than the number of nodes ({n})"),
+        });
+    }
+    let sims = similarity_rows(features);
+    let mut edges = Vec::with_capacity(n * k);
+    for u in 0..n {
+        let mut scored: Vec<(usize, f32)> = (0..n)
+            .filter(|&v| v != u)
+            .map(|v| (v, sims[u][v]))
+            .collect();
+        // Sort by similarity descending, tie-break on index for determinism.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0)));
+        for &(v, _) in scored.iter().take(k) {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Builds the cosine-similarity-threshold substitute graph (paper Eq. 2):
+/// `A'(i, j) = 1` iff `sim(x_i, x_j) ≥ τ` for `i ≠ j`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `tau` is not finite.
+pub fn cosine_graph(features: &DenseMatrix, tau: f32) -> Result<Graph, GraphError> {
+    if !tau.is_finite() {
+        return Err(GraphError::InvalidParameter {
+            name: "tau",
+            reason: "must be a finite number".into(),
+        });
+    }
+    let n = features.rows();
+    let sims = similarity_rows(features);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if sims[u][v] >= tau {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Builds a cosine-threshold graph whose edge count approximately matches
+/// `target_edges`, by binary-searching the threshold. Used to density-match
+/// substitutes to the real graph (paper §V-B2).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `target_edges` exceeds the
+/// number of node pairs.
+pub fn cosine_graph_with_budget(
+    features: &DenseMatrix,
+    target_edges: usize,
+) -> Result<Graph, GraphError> {
+    let n = features.rows();
+    let max_edges = n * n.saturating_sub(1) / 2;
+    if target_edges > max_edges {
+        return Err(GraphError::InvalidParameter {
+            name: "target_edges",
+            reason: format!("exceeds the {max_edges} possible node pairs"),
+        });
+    }
+    if target_edges == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let sims = similarity_rows(features);
+    let mut all: Vec<f32> = Vec::with_capacity(max_edges);
+    for u in 0..n {
+        for v in u + 1..n {
+            all.push(sims[u][v]);
+        }
+    }
+    all.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let tau = all[target_edges - 1];
+    cosine_graph(features, tau)
+}
+
+/// Builds a uniformly random substitute graph with exactly
+/// `min(num_edges, pairs)` edges, deterministic under `seed`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `num_nodes < 2` while
+/// `num_edges > 0`.
+pub fn random_graph(num_nodes: usize, num_edges: usize, seed: u64) -> Result<Graph, GraphError> {
+    if num_edges > 0 && num_nodes < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "num_nodes",
+            reason: "need at least 2 nodes to place an edge".into(),
+        });
+    }
+    let max_edges = num_nodes * num_nodes.saturating_sub(1) / 2;
+    let target = num_edges.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(num_nodes);
+    // Rejection sampling is fine for the sparse graphs used here; fall
+    // back to dense enumeration when the request is more than half the
+    // possible pairs.
+    if target * 2 > max_edges {
+        let mut pairs: Vec<(usize, usize)> = (0..num_nodes)
+            .flat_map(|u| (u + 1..num_nodes).map(move |v| (u, v)))
+            .collect();
+        // Fisher-Yates partial shuffle.
+        for i in 0..target {
+            let j = rng.gen_range(i..pairs.len());
+            pairs.swap(i, j);
+        }
+        return Graph::from_edges(num_nodes, &pairs[..target]);
+    }
+    while g.num_edges() < target {
+        let u = rng.gen_range(0..num_nodes);
+        let v = rng.gen_range(0..num_nodes);
+        if u != v {
+            let _ = g.add_edge(u, v).expect("indices are in range");
+        }
+    }
+    Ok(g)
+}
+
+/// Pairwise cosine similarity rows. O(n² d); acceptable for the scaled
+/// datasets this reproduction trains on.
+fn similarity_rows(features: &DenseMatrix) -> Vec<Vec<f32>> {
+    let n = features.rows();
+    let mut normalized = features.clone();
+    ops::l2_normalize_rows(&mut normalized);
+    let mut sims = vec![vec![0.0f32; n]; n];
+    for u in 0..n {
+        let ru = normalized.row(u);
+        for v in u + 1..n {
+            let s: f32 = ru.iter().zip(normalized.row(v)).map(|(a, b)| a * b).sum();
+            sims[u][v] = s;
+            sims[v][u] = s;
+        }
+    }
+    sims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn clustered_features() -> DenseMatrix {
+        // Two tight clusters of 3 nodes each.
+        DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 0.1],
+            &[0.9, 0.1, 0.0],
+            &[1.0, 0.1, 0.1],
+            &[0.0, 1.0, 0.1],
+            &[0.1, 0.9, 0.0],
+            &[0.0, 1.0, 0.2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn knn_connects_within_clusters() {
+        let g = knn_graph(&clustered_features(), 2).unwrap();
+        // Every node's top-2 neighbours are in its own cluster.
+        for u in 0..3 {
+            for v in g.neighbors(u) {
+                assert!(v < 3, "node {u} connected across clusters to {v}");
+            }
+        }
+        for u in 3..6 {
+            for v in g.neighbors(u) {
+                assert!(v >= 3, "node {u} connected across clusters to {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_rejects_bad_k() {
+        let x = clustered_features();
+        assert!(knn_graph(&x, 0).is_err());
+        assert!(knn_graph(&x, 6).is_err());
+        assert!(knn_graph(&x, 5).is_ok());
+    }
+
+    #[test]
+    fn knn_min_degree_is_k() {
+        let g = knn_graph(&clustered_features(), 2).unwrap();
+        for (u, &d) in g.degrees().iter().enumerate() {
+            assert!(d >= 2, "node {u} has degree {d} < k");
+        }
+    }
+
+    #[test]
+    fn cosine_threshold_monotone_in_tau() {
+        let x = clustered_features();
+        let loose = cosine_graph(&x, 0.2).unwrap();
+        let tight = cosine_graph(&x, 0.9).unwrap();
+        assert!(tight.num_edges() <= loose.num_edges());
+        // Every tight edge is also a loose edge.
+        for &(u, v) in tight.edges() {
+            assert!(loose.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn cosine_rejects_nan_tau() {
+        assert!(cosine_graph(&clustered_features(), f32::NAN).is_err());
+    }
+
+    #[test]
+    fn cosine_budget_hits_target() {
+        let x = clustered_features();
+        for target in [0usize, 3, 6, 10] {
+            let g = cosine_graph_with_budget(&x, target).unwrap();
+            // Ties in similarity may slightly overshoot, never undershoot.
+            assert!(g.num_edges() >= target, "target {target}");
+            assert!(g.num_edges() <= target + 3, "target {target} overshoot");
+        }
+        assert!(cosine_graph_with_budget(&x, 1000).is_err());
+    }
+
+    #[test]
+    fn random_graph_deterministic_and_sized() {
+        let a = random_graph(20, 30, 7).unwrap();
+        let b = random_graph(20, 30, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_edges(), 30);
+        let c = random_graph(20, 30, 8).unwrap();
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn random_graph_caps_at_complete_graph() {
+        let g = random_graph(4, 100, 1).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert!(random_graph(1, 5, 0).is_err());
+        assert_eq!(random_graph(0, 0, 0).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn dense_request_uses_enumeration_path() {
+        let g = random_graph(6, 12, 3).unwrap(); // 12 of 15 possible
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_graph_edge_count_exact(n in 2usize..30, e in 0usize..60, seed in 0u64..100) {
+            let g = random_graph(n, e, seed).unwrap();
+            let max = n * (n - 1) / 2;
+            prop_assert_eq!(g.num_edges(), e.min(max));
+        }
+
+        #[test]
+        fn knn_graph_has_no_isolated_nodes(seed in 0u64..50) {
+            // Random features: every node still gets k neighbours.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+            let x = DenseMatrix::from_fn(10, 4, |_, _| {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state % 100) as f32 / 50.0 - 1.0
+            });
+            let g = knn_graph(&x, 2).unwrap();
+            prop_assert!(g.degrees().iter().all(|&d| d >= 1));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// Every public constructor and kernel validates its inputs and reports
+/// dimension or structural problems through this type rather than
+/// panicking, so callers can surface configuration mistakes gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given data whose length does not match the
+    /// requested dimensions.
+    DataLength {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index (row, column, or triplet coordinate) was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must stay below.
+        bound: usize,
+        /// Which axis the index addressed.
+        axis: &'static str,
+    },
+    /// Rows of a jagged input had differing lengths.
+    JaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the first row whose length differs.
+        row: usize,
+        /// Length of that row.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::DataLength { expected, actual } => write!(
+                f,
+                "data length {actual} does not match requested dimensions ({expected} elements)"
+            ),
+            LinalgError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (must be < {bound})")
+            }
+            LinalgError::JaggedRows { first, row, len } => write!(
+                f,
+                "jagged input rows: row 0 has {first} elements but row {row} has {len}"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = [
+            LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            },
+            LinalgError::DataLength {
+                expected: 6,
+                actual: 5,
+            },
+            LinalgError::IndexOutOfBounds {
+                index: 9,
+                bound: 4,
+                axis: "row",
+            },
+            LinalgError::JaggedRows {
+                first: 3,
+                row: 2,
+                len: 1,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "no trailing period: {s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "lowercase: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,313 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three implementations are provided with identical semantics:
+//!
+//! - [`matmul_naive`]: triple loop, the reference implementation,
+//! - [`matmul_blocked`]: cache-blocked ikj ordering,
+//! - [`matmul_threaded`]: row-partitioned across crossbeam scoped threads.
+//!
+//! [`matmul`] picks a strategy automatically based on problem size. The
+//! property-test suite cross-checks blocked and threaded kernels against
+//! the naive kernel on random inputs.
+
+use crate::{DenseMatrix, LinalgError};
+
+/// Block edge (in elements) for the cache-blocked kernel.
+const BLOCK: usize = 64;
+
+/// FLOP threshold above which [`matmul`] switches to the threaded kernel.
+const THREADED_FLOP_THRESHOLD: usize = 64 * 1024 * 1024;
+
+/// Strategy selector for [`matmul`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GemmStrategy {
+    /// Let the library choose based on problem size.
+    #[default]
+    Auto,
+    /// Reference triple-loop kernel.
+    Naive,
+    /// Cache-blocked single-threaded kernel.
+    Blocked,
+    /// Multi-threaded kernel (row-partitioned scoped threads).
+    Threaded,
+}
+
+/// Multiplies `a × b` choosing a kernel by [`GemmStrategy::Auto`] rules.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{matmul, DenseMatrix};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let i = DenseMatrix::identity(2);
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    matmul_with(a, b, GemmStrategy::Auto)
+}
+
+/// Multiplies `a × b` with an explicit strategy.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_with(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    strategy: GemmStrategy,
+) -> Result<DenseMatrix, LinalgError> {
+    check_shapes(a, b)?;
+    let flops = a.rows() * a.cols() * b.cols();
+    match strategy {
+        GemmStrategy::Naive => Ok(naive(a, b)),
+        GemmStrategy::Blocked => Ok(blocked(a, b)),
+        GemmStrategy::Threaded => Ok(threaded(a, b)),
+        GemmStrategy::Auto => {
+            if flops >= THREADED_FLOP_THRESHOLD {
+                Ok(threaded(a, b))
+            } else {
+                Ok(blocked(a, b))
+            }
+        }
+    }
+}
+
+/// Reference triple-loop multiplication.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    check_shapes(a, b)?;
+    Ok(naive(a, b))
+}
+
+/// Cache-blocked multiplication.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_blocked(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    check_shapes(a, b)?;
+    Ok(blocked(a, b))
+}
+
+/// Multi-threaded multiplication over row partitions.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_threaded(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    check_shapes(a, b)?;
+    Ok(threaded(a, b))
+}
+
+fn check_shapes(a: &DenseMatrix, b: &DenseMatrix) -> Result<(), LinalgError> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+fn naive(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.get(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let orow = out.row_mut(i);
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    out
+}
+
+fn blocked(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    for ii in (0..m).step_by(BLOCK) {
+        for pp in (0..k).step_by(BLOCK) {
+            for jj in (0..n).step_by(BLOCK) {
+                let i_end = (ii + BLOCK).min(m);
+                let p_end = (pp + BLOCK).min(k);
+                let j_end = (jj + BLOCK).min(n);
+                for i in ii..i_end {
+                    for p in pp..p_end {
+                        let av = a_data[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_data[p * n + jj..p * n + j_end];
+                        let orow = &mut out_data[i * n + jj..i * n + j_end];
+                        for (o, bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn threaded(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(m.max(1));
+    if workers <= 1 || m < 2 {
+        return blocked(a, b);
+    }
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let rows_per = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let row_start = chunk_idx * rows_per;
+            scope.spawn(move |_| {
+                let rows_here = out_chunk.len() / n;
+                for local_i in 0..rows_here {
+                    let i = row_start + local_i;
+                    for p in 0..k {
+                        let av = a_data[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_data[p * n..(p + 1) * n];
+                        let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                        for (o, bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("gemm worker thread panicked");
+    DenseMatrix::from_vec(m, n, out).expect("internal dimension bookkeeping")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        // Deterministic pseudo-random fill without pulling in rand here.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = small(5, 5, 3);
+        let i = DenseMatrix::identity(5);
+        assert!(matmul(&a, &i).unwrap().approx_eq(&a, 1e-6));
+        assert!(matmul(&i, &a).unwrap().approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = matmul_naive(&a, &b).unwrap();
+        let expected = DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn mismatched_inner_dimension_is_error() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 2);
+        for strat in [
+            GemmStrategy::Naive,
+            GemmStrategy::Blocked,
+            GemmStrategy::Threaded,
+            GemmStrategy::Auto,
+        ] {
+            assert!(matmul_with(&a, &b, strat).is_err());
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_rectangular_input() {
+        let a = small(33, 71, 1);
+        let b = small(71, 17, 2);
+        let reference = matmul_naive(&a, &b).unwrap();
+        assert!(matmul_blocked(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+        assert!(matmul_threaded(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+    }
+
+    #[test]
+    fn threaded_handles_single_row() {
+        let a = small(1, 16, 4);
+        let b = small(16, 8, 5);
+        let reference = matmul_naive(&a, &b).unwrap();
+        assert!(matmul_threaded(&a, &b).unwrap().approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn empty_matrices_multiply() {
+        let a = DenseMatrix::zeros(0, 0);
+        let b = DenseMatrix::zeros(0, 0);
+        assert_eq!(matmul(&a, &b).unwrap().shape(), (0, 0));
+        let a = DenseMatrix::zeros(3, 0);
+        let b = DenseMatrix::zeros(0, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.sum(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn blocked_and_threaded_match_naive(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+        ) {
+            let a = small(m, k, seed);
+            let b = small(k, n, seed.wrapping_add(1));
+            let reference = matmul_naive(&a, &b).unwrap();
+            prop_assert!(matmul_blocked(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+            prop_assert!(matmul_threaded(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+        }
+
+        #[test]
+        fn matmul_is_associative_with_identity(m in 1usize..16, n in 1usize..16, seed in 0u64..1000) {
+            let a = small(m, n, seed);
+            let i = DenseMatrix::identity(n);
+            prop_assert!(matmul(&a, &i).unwrap().approx_eq(&a, 1e-4));
+        }
+    }
+}

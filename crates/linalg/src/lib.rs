@@ -1,0 +1,45 @@
+//! Dense and sparse linear algebra kernels for the GNNVault reproduction.
+//!
+//! This crate is the computational substrate that replaces PyTorch (normal
+//! world) and Eigen (enclave world) from the paper. It provides:
+//!
+//! - [`DenseMatrix`]: a row-major `f32` matrix with elementwise and
+//!   reduction operations,
+//! - [`matmul`]: naive, cache-blocked, and multi-threaded matrix
+//!   multiplication kernels,
+//! - [`CsrMatrix`]: compressed sparse row matrices with sparse × dense
+//!   multiplication ([`CsrMatrix::spmm`]) — the message-passing kernel of
+//!   every GCN layer (`Â · H`),
+//! - [`ops`]: activations, softmax family, argmax, and reductions used by
+//!   the neural-network crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use linalg::{DenseMatrix, CsrMatrix};
+//!
+//! # fn main() -> Result<(), linalg::LinalgError> {
+//! let h = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+//! // A 3-node path graph adjacency (edges 0-1, 1-2) in triplet form.
+//! let a = CsrMatrix::from_triplets(3, 3,
+//!     &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])?;
+//! let aggregated = a.spmm(&h)?;
+//! assert_eq!(aggregated.rows(), 3);
+//! assert_eq!(aggregated.cols(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod error;
+mod gemm;
+pub mod ops;
+mod sparse;
+
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use gemm::{matmul, matmul_blocked, matmul_naive, matmul_threaded, GemmStrategy};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,399 @@
+use crate::{DenseMatrix, LinalgError};
+use serde::{Deserialize, Serialize};
+
+/// A compressed sparse row (CSR) matrix of `f32` values.
+///
+/// CSR is the storage format used for normalized adjacency matrices
+/// (`Â = D^-1/2 (A + I) D^-1/2`) in both worlds of the GNNVault
+/// deployment. The paper stores the private graph in COO inside the
+/// enclave; [`CsrMatrix::from_triplets`] accepts exactly that COO form
+/// and compiles it to CSR for fast message passing.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{CsrMatrix, DenseMatrix};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0)])?;
+/// let x = DenseMatrix::from_rows(&[&[1.0], &[3.0]])?;
+/// let y = a.spmm(&x)?;
+/// assert_eq!(y.get(0, 0), 2.0);
+/// assert_eq!(y.get(1, 0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Non-zero values, parallel to `col_idx`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from COO triplets `(row, col, value)`.
+    ///
+    /// Duplicate coordinates are summed; entries that sum to exactly zero
+    /// are retained (structural nonzeros), mirroring common sparse
+    /// library behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] if any coordinate is out
+    /// of range.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self, LinalgError> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                    axis: "row",
+                });
+            }
+            if c >= cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                    axis: "column",
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        // Sorted triplets make duplicates adjacent; merge them while
+        // counting per-row entries.
+        let mut merged_col: Vec<usize> = Vec::with_capacity(sorted.len());
+        let mut merged_val: Vec<f32> = Vec::with_capacity(sorted.len());
+        let mut counts = vec![0usize; rows];
+        let mut prev: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if prev == Some((r, c)) {
+                *merged_val.last_mut().expect("duplicate follows an entry") += v;
+            } else {
+                merged_col.push(c);
+                merged_val.push(v);
+                counts[r] += 1;
+                prev = Some((r, c));
+            }
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for r in 0..rows {
+            row_ptr[r + 1] = row_ptr[r] + counts[r];
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: merged_col,
+            values: merged_val,
+        })
+    }
+
+    /// Builds a CSR matrix from a dense matrix, keeping nonzero entries.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut triplets = Vec::new();
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                let v = dense.get(r, c);
+                if v != 0.0 {
+                    triplets.push((r, c, v));
+                }
+            }
+        }
+        Self::from_triplets(dense.rows(), dense.cols(), &triplets)
+            .expect("dense coordinates are always in range")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (structural) nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(row, col, value)` of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_ptr[r]..self.row_ptr[r + 1]
+        }.map(move |k| (r, self.col_idx[k], self.values[k])))
+    }
+
+    /// The stored entries of row `r` as parallel `(columns, values)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_entries(&self, r: usize) -> (&[usize], &[f32]) {
+        assert!(r < self.rows, "row index out of bounds");
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Value at `(r, c)`, zero when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let (cols, vals) = self.row_entries(r);
+        match cols.binary_search(&c) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse × dense multiplication: `self (r×c) × rhs (c×n) -> r×n`.
+    ///
+    /// This is the message-passing kernel `Â · H` at the heart of every
+    /// GCN layer (paper Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn spmm(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let (cols, vals) = {
+                let span = self.row_ptr[r]..self.row_ptr[r + 1];
+                (&self.col_idx[span.clone()], &self.values[span])
+            };
+            let orow = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let brow = rhs.row(c);
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose-multiply: `selfᵀ (c×r) × rhs (r×n) -> c×n` without
+    /// materializing the transpose.
+    ///
+    /// Used in GCN backward passes. For symmetric `Â` this equals
+    /// [`CsrMatrix::spmm`], but the rectifier's gradient path uses the
+    /// general form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn spmm_transposed(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.rows != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm_transposed",
+                lhs: (self.cols, self.rows),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.cols, n);
+        for r in 0..self.rows {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            let brow: Vec<f32> = rhs.row(r).to_vec();
+            for k in span {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                let orow = out.row_mut(c);
+                for (o, bv) in orow.iter_mut().zip(&brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f32)> =
+            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transposed coordinates are in range")
+    }
+
+    /// Converts to a dense matrix (for tests and small examples).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            d.set(r, c, d.get(r, c) + v);
+        }
+        d
+    }
+
+    /// Whether the matrix is symmetric within an absolute tolerance.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+    }
+
+    /// Approximate size in bytes of the CSR payload, used by the TEE
+    /// memory accounting (row pointers + column indices + values).
+    pub fn nbytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Size in bytes of the equivalent COO representation (two `u32`
+    /// indices + one `f32` value per nonzero), matching the enclave
+    /// storage format described in §IV-E of the paper.
+    pub fn coo_nbytes(&self) -> usize {
+        self.nnz() * (2 * std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_indexes() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(1, 2, 5.0), (0, 0, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn out_of_bounds_triplets_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let a = path3();
+        let x = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let sparse_result = a.spmm(&x).unwrap();
+        let dense_result = crate::matmul_naive(&a.to_dense(), &x).unwrap();
+        assert!(sparse_result.approx_eq(&dense_result, 1e-6));
+    }
+
+    #[test]
+    fn spmm_shape_check() {
+        let a = path3();
+        let x = DenseMatrix::zeros(4, 2);
+        assert!(a.spmm(&x).is_err());
+    }
+
+    #[test]
+    fn spmm_transposed_matches_transpose_then_spmm() {
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let x = DenseMatrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let fused = m.spmm_transposed(&x).unwrap();
+        let explicit = m.transpose().spmm(&x).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-6));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.5), (1, 0, -2.0)]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        assert!(path3().is_symmetric(1e-9));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(!asym.is_symmetric(1e-9));
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 1, 1.0)]).unwrap();
+        assert!(!rect.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(4, 4);
+        assert_eq!(z.nnz(), 0);
+        let x = DenseMatrix::filled(4, 2, 1.0);
+        assert_eq!(z.spmm(&x).unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]).unwrap();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn coo_nbytes_matches_paper_storage_model() {
+        // 4 nonzeros, each 2 u32 indices + 1 f32 value = 12 bytes.
+        assert_eq!(path3().coo_nbytes(), 4 * 12);
+    }
+
+    #[test]
+    fn iter_yields_sorted_triplets() {
+        let m = path3();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(
+            triplets,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]
+        );
+    }
+}

@@ -1,0 +1,164 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input was empty (or a mask selected nothing).
+    Empty,
+    /// An index was out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound.
+        bound: usize,
+    },
+    /// AUC needs at least one positive and one negative example.
+    SingleClass,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have different lengths ({left} vs {right})")
+            }
+            MetricError::Empty => write!(f, "metric input is empty"),
+            MetricError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            MetricError::SingleClass => {
+                write!(f, "auc requires both positive and negative examples")
+            }
+        }
+    }
+}
+
+impl Error for MetricError {}
+
+/// Rank-based ROC-AUC: the probability that a uniformly random positive
+/// example scores higher than a uniformly random negative example, with
+/// ties counted half. Equivalent to the Mann-Whitney U statistic.
+///
+/// Higher scores must indicate "more positive". The link-stealing
+/// analysis (Table IV) feeds pairwise embedding similarities as scores
+/// and true edge membership as labels.
+///
+/// # Errors
+///
+/// Returns [`MetricError::LengthMismatch`], [`MetricError::Empty`], or
+/// [`MetricError::SingleClass`] per their documentation.
+///
+/// # Examples
+///
+/// ```
+/// // Random scores give AUC ~0.5; perfect ranking gives 1.0.
+/// let auc = metrics::roc_auc(&[0.1, 0.9], &[false, true]).unwrap();
+/// assert_eq!(auc, 1.0);
+/// ```
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Result<f64, MetricError> {
+    if scores.len() != labels.len() {
+        return Err(MetricError::LengthMismatch {
+            left: scores.len(),
+            right: labels.len(),
+        });
+    }
+    if scores.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Err(MetricError::SingleClass);
+    }
+
+    // Rank scores ascending, averaging ranks over ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Average 1-based rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (positives as f64 * (positives as f64 + 1.0)) / 2.0;
+    Ok(u / (positives as f64 * negatives as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverted_ranking() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels).unwrap(), 1.0);
+        let inverted = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &inverted).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let scores = [0.5f32, 0.5];
+        let labels = [true, false];
+        assert_eq!(roc_auc(&scores, &labels).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn interleaved_scores() {
+        // pos: 0.8, 0.4; neg: 0.6, 0.2 -> pairs won: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) = 3/4.
+        let scores = [0.8f32, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(roc_auc(&[], &[]).is_err());
+        assert!(roc_auc(&[0.1], &[true]).is_err()); // single class
+        assert!(roc_auc(&[0.1, 0.2], &[true]).is_err()); // length
+        assert!(roc_auc(&[0.1, 0.2], &[false, false]).is_err());
+    }
+
+    #[test]
+    fn large_random_is_near_half() {
+        let mut state = 9u64;
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..4000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            scores.push((state % 10_000) as f32 / 10_000.0);
+            labels.push(i % 2 == 0);
+        }
+        let auc = roc_auc(&scores, &labels).unwrap();
+        assert!((auc - 0.5).abs() < 0.03, "auc {auc}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Silhouette score for embedding-cluster quality (Fig. 4's line chart).
+
+use crate::MetricError;
+use linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Mean silhouette coefficient of `embeddings` rows grouped by `labels`,
+/// using Euclidean distance.
+///
+/// For each sample, `s = (b - a) / max(a, b)` where `a` is the mean
+/// intra-cluster distance and `b` the smallest mean distance to another
+/// cluster. Samples in singleton clusters contribute `0`, following
+/// scikit-learn.
+///
+/// Complexity is O(n²·d); use [`silhouette_score_sampled`] for large
+/// embeddings.
+///
+/// # Errors
+///
+/// Returns [`MetricError::LengthMismatch`] when `labels.len()` differs
+/// from the row count, [`MetricError::Empty`] for empty input, and
+/// [`MetricError::SingleClass`] when fewer than two clusters exist.
+///
+/// # Examples
+///
+/// ```
+/// # use linalg::DenseMatrix;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tight = DenseMatrix::from_rows(&[
+///     &[0.0, 0.0], &[0.1, 0.0], &[5.0, 5.0], &[5.1, 5.0],
+/// ])?;
+/// let score = metrics::silhouette_score(&tight, &[0, 0, 1, 1])?;
+/// assert!(score > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn silhouette_score(embeddings: &DenseMatrix, labels: &[usize]) -> Result<f64, MetricError> {
+    let n = embeddings.rows();
+    if labels.len() != n {
+        return Err(MetricError::LengthMismatch {
+            left: n,
+            right: labels.len(),
+        });
+    }
+    if n == 0 {
+        return Err(MetricError::Empty);
+    }
+    let num_clusters = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut cluster_sizes = vec![0usize; num_clusters];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return Err(MetricError::SingleClass);
+    }
+
+    let mut total = 0.0f64;
+    // Per-sample: mean distance to every cluster.
+    for i in 0..n {
+        if cluster_sizes[labels[i]] <= 1 {
+            continue; // contributes 0
+        }
+        let mut dist_sum = vec![0.0f64; num_clusters];
+        let ri = embeddings.row(i);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d: f32 = ri
+                .iter()
+                .zip(embeddings.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            dist_sum[labels[j]] += d as f64;
+        }
+        let own = labels[i];
+        let a = dist_sum[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..num_clusters)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| dist_sum[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Silhouette score over a deterministic subsample of at most
+/// `max_samples` rows — the practical variant for the larger scaled
+/// datasets.
+///
+/// # Errors
+///
+/// Same conditions as [`silhouette_score`].
+pub fn silhouette_score_sampled(
+    embeddings: &DenseMatrix,
+    labels: &[usize],
+    max_samples: usize,
+    seed: u64,
+) -> Result<f64, MetricError> {
+    let n = embeddings.rows();
+    if labels.len() != n {
+        return Err(MetricError::LengthMismatch {
+            left: n,
+            right: labels.len(),
+        });
+    }
+    if n <= max_samples {
+        return silhouette_score(embeddings, labels);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(max_samples);
+    idx.sort_unstable();
+    let sub = embeddings
+        .select_rows(&idx)
+        .expect("sampled indices are in range");
+    let sub_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+    silhouette_score(&sub, &sub_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(sep: f32) -> (DenseMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let jitter = (i as f32) * 0.01;
+            rows.push(vec![jitter, 0.0]);
+            labels.push(0);
+            rows.push(vec![sep + jitter, 0.0]);
+            labels.push(1);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        (DenseMatrix::from_rows(&refs).unwrap(), labels)
+    }
+
+    #[test]
+    fn well_separated_beats_overlapping() {
+        let (far, labels) = two_blobs(10.0);
+        let (near, _) = two_blobs(0.05);
+        let s_far = silhouette_score(&far, &labels).unwrap();
+        let s_near = silhouette_score(&near, &labels).unwrap();
+        assert!(s_far > 0.9, "far {s_far}");
+        assert!(s_near < s_far);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let (m, labels) = two_blobs(1.0);
+        let s = silhouette_score(&m, &labels).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn random_labels_score_lower_than_true_labels() {
+        let (m, labels) = two_blobs(5.0);
+        let shuffled: Vec<usize> = labels.iter().map(|&l| 1 - l).zip(&labels)
+            .enumerate()
+            .map(|(i, _)| if i % 4 < 2 { 0 } else { 1 })
+            .collect();
+        let s_true = silhouette_score(&m, &labels).unwrap();
+        let s_rand = silhouette_score(&m, &shuffled).unwrap();
+        assert!(s_true > s_rand);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = DenseMatrix::zeros(3, 2);
+        assert!(silhouette_score(&m, &[0, 1]).is_err());
+        assert!(silhouette_score(&m, &[0, 0, 0]).is_err());
+        assert!(silhouette_score(&DenseMatrix::zeros(0, 2), &[]).is_err());
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let m = DenseMatrix::from_rows(&[&[0.0], &[0.1], &[9.0]]).unwrap();
+        let s = silhouette_score(&m, &[0, 0, 1]).unwrap();
+        assert!(s.is_finite());
+        assert!(s > 0.0); // the pair still scores well
+    }
+
+    #[test]
+    fn sampled_matches_exact_when_small() {
+        let (m, labels) = two_blobs(3.0);
+        let exact = silhouette_score(&m, &labels).unwrap();
+        let sampled = silhouette_score_sampled(&m, &labels, 100, 0).unwrap();
+        assert_eq!(exact, sampled);
+    }
+
+    #[test]
+    fn sampled_approximates_exact() {
+        let (m, labels) = two_blobs(4.0);
+        let exact = silhouette_score(&m, &labels).unwrap();
+        let sampled = silhouette_score_sampled(&m, &labels, 12, 3).unwrap();
+        assert!((exact - sampled).abs() < 0.3, "exact {exact} sampled {sampled}");
+    }
+}

@@ -1,0 +1,237 @@
+use crate::{GatForward, GatLayer, GcnForward, GcnLayer, NnError, SageForward, SageLayer};
+use linalg::{CsrMatrix, DenseMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which graph-convolution architecture a layer uses.
+///
+/// [`ConvKind::Gcn`] is the paper's evaluated design; `Sage` and `Gat`
+/// are its §VI future-work extensions, usable anywhere the rectifier
+/// accepts a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ConvKind {
+    /// Spectral GCN (paper Eq. 1), expects the symmetric `Â`.
+    #[default]
+    Gcn,
+    /// GraphSAGE mean aggregator with self-concatenation; expects the
+    /// row-normalized adjacency.
+    Sage,
+    /// Single-head graph attention; uses the adjacency's sparsity
+    /// pattern (pass `Â` so self-loops exist).
+    Gat,
+}
+
+impl ConvKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConvKind::Gcn => "GCN",
+            ConvKind::Sage => "GraphSAGE",
+            ConvKind::Gat => "GAT",
+        }
+    }
+}
+
+/// A graph-convolution layer of any supported architecture, presenting
+/// the uniform forward/backward API the rectifier builds on.
+///
+/// # Examples
+///
+/// ```
+/// use nn::{ConvKind, ConvLayer};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = ConvLayer::new(ConvKind::Sage, 8, 4, &mut rng);
+/// assert_eq!(layer.in_dim(), 8);
+/// assert_eq!(layer.out_dim(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConvLayer {
+    /// Spectral GCN layer.
+    Gcn(GcnLayer),
+    /// GraphSAGE layer.
+    Sage(SageLayer),
+    /// Graph-attention layer.
+    Gat(GatLayer),
+}
+
+/// Forward cache for [`ConvLayer::backward`], wrapping the
+/// architecture-specific cache.
+#[derive(Debug, Clone)]
+pub enum ConvForward {
+    /// GCN cache.
+    Gcn(GcnForward),
+    /// GraphSAGE cache.
+    Sage(SageForward),
+    /// GAT cache.
+    Gat(GatForward),
+}
+
+impl ConvForward {
+    /// The layer's pre-activation output.
+    pub fn output(&self) -> &DenseMatrix {
+        match self {
+            ConvForward::Gcn(f) => &f.output,
+            ConvForward::Sage(f) => &f.output,
+            ConvForward::Gat(f) => &f.output,
+        }
+    }
+}
+
+impl ConvLayer {
+    /// Creates a layer of the requested architecture.
+    pub fn new(kind: ConvKind, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        match kind {
+            ConvKind::Gcn => ConvLayer::Gcn(GcnLayer::new(in_dim, out_dim, rng)),
+            ConvKind::Sage => ConvLayer::Sage(SageLayer::new(in_dim, out_dim, rng)),
+            ConvKind::Gat => ConvLayer::Gat(GatLayer::new(in_dim, out_dim, rng)),
+        }
+    }
+
+    /// The layer's architecture.
+    pub fn kind(&self) -> ConvKind {
+        match self {
+            ConvLayer::Gcn(_) => ConvKind::Gcn,
+            ConvLayer::Sage(_) => ConvKind::Sage,
+            ConvLayer::Gat(_) => ConvKind::Gat,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            ConvLayer::Gcn(l) => l.in_dim(),
+            ConvLayer::Sage(l) => l.in_dim(),
+            ConvLayer::Gat(l) => l.in_dim(),
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            ConvLayer::Gcn(l) => l.out_dim(),
+            ConvLayer::Sage(l) => l.out_dim(),
+            ConvLayer::Gat(l) => l.out_dim(),
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        match self {
+            ConvLayer::Gcn(l) => l.param_count(),
+            ConvLayer::Sage(l) => l.param_count(),
+            ConvLayer::Gat(l) => l.param_count(),
+        }
+    }
+
+    /// Parameter bytes (4 per scalar), for enclave accounting.
+    pub fn nbytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<ConvForward, NnError> {
+        Ok(match self {
+            ConvLayer::Gcn(l) => ConvForward::Gcn(l.forward(adj, input)?),
+            ConvLayer::Sage(l) => ConvForward::Sage(l.forward(adj, input)?),
+            ConvLayer::Gat(l) => ConvForward::Gat(l.forward(adj, input)?),
+        })
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns
+    /// `∂L/∂input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape or cache inconsistencies
+    /// (passing a cache from a different architecture is a logic error
+    /// reported as [`NnError::InvalidArchitecture`]).
+    pub fn backward(
+        &mut self,
+        cache: &ConvForward,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+    ) -> Result<DenseMatrix, NnError> {
+        match (self, cache) {
+            (ConvLayer::Gcn(l), ConvForward::Gcn(c)) => l.backward(c, adj, d_output),
+            (ConvLayer::Sage(l), ConvForward::Sage(c)) => l.backward(c, adj, d_output),
+            (ConvLayer::Gat(l), ConvForward::Gat(c)) => l.backward(c, adj, d_output),
+            _ => Err(NnError::InvalidArchitecture {
+                reason: "forward cache does not match this layer's architecture".into(),
+            }),
+        }
+    }
+
+    /// Mutable access to every parameter, for optimizer updates.
+    pub fn params_mut(&mut self) -> Vec<&mut crate::Param> {
+        match self {
+            ConvLayer::Gcn(l) => l.params_mut().into_iter().collect(),
+            ConvLayer::Sage(l) => l.params_mut().into_iter().collect(),
+            ConvLayer::Gat(l) => l.params_mut().into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{normalization, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adj() -> CsrMatrix {
+        normalization::gcn_normalize(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap())
+    }
+
+    #[test]
+    fn uniform_api_across_kinds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = crate::glorot_uniform(4, 6, &mut rng);
+        for kind in [ConvKind::Gcn, ConvKind::Sage, ConvKind::Gat] {
+            let mut layer = ConvLayer::new(kind, 6, 3, &mut rng);
+            assert_eq!(layer.kind(), kind);
+            assert_eq!(layer.in_dim(), 6);
+            assert_eq!(layer.out_dim(), 3);
+            assert!(layer.param_count() > 0);
+            let fwd = layer.forward(&adj(), &x).unwrap();
+            assert_eq!(fwd.output().shape(), (4, 3));
+            let d = DenseMatrix::filled(4, 3, 1.0);
+            let d_in = layer.backward(&fwd, &adj(), &d).unwrap();
+            assert_eq!(d_in.shape(), (4, 6));
+        }
+    }
+
+    #[test]
+    fn mismatched_cache_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = crate::glorot_uniform(4, 6, &mut rng);
+        let gcn = ConvLayer::new(ConvKind::Gcn, 6, 3, &mut rng);
+        let mut sage = ConvLayer::new(ConvKind::Sage, 6, 3, &mut rng);
+        let cache = gcn.forward(&adj(), &x).unwrap();
+        let d = DenseMatrix::filled(4, 3, 1.0);
+        assert!(matches!(
+            sage.backward(&cache, &adj(), &d),
+            Err(NnError::InvalidArchitecture { .. })
+        ));
+    }
+
+    #[test]
+    fn params_mut_counts_per_architecture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(ConvLayer::new(ConvKind::Gcn, 4, 2, &mut rng).params_mut().len(), 2);
+        assert_eq!(ConvLayer::new(ConvKind::Sage, 4, 2, &mut rng).params_mut().len(), 2);
+        assert_eq!(ConvLayer::new(ConvKind::Gat, 4, 2, &mut rng).params_mut().len(), 4);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(ConvKind::Gcn.label(), "GCN");
+        assert_eq!(ConvKind::Sage.label(), "GraphSAGE");
+        assert_eq!(ConvKind::Gat.label(), "GAT");
+    }
+}

@@ -1,0 +1,189 @@
+use crate::{glorot_uniform, NnError, Param};
+use linalg::{matmul, DenseMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer `Z = H W + b`, used by the DNN/MLP backbone
+/// baseline of Table III (a model that ignores graph structure).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = nn::DenseLayer::new(4, 2, &mut rng);
+/// let h = linalg::DenseMatrix::zeros(3, 4);
+/// let out = layer.forward(&h)?;
+/// assert_eq!(out.output.shape(), (3, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Result of [`DenseLayer::forward`]: output plus cached input for the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseForward {
+    /// Pre-activation output `Z`.
+    pub output: DenseMatrix,
+    /// Cached input `H`.
+    pub cached_input: DenseMatrix,
+}
+
+impl DenseLayer {
+    /// Creates a layer with Glorot-initialized weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            bias: Param::new(DenseMatrix::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Forward pass `Z = H W + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] if `input.cols() != in_dim`.
+    pub fn forward(&self, input: &DenseMatrix) -> Result<DenseForward, NnError> {
+        let z = matmul(input, &self.weight.value)?;
+        let output = z.add_row_broadcast(self.bias.value.row(0))?;
+        Ok(DenseForward {
+            output,
+            cached_input: input.clone(),
+        })
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns
+    /// `∂L/∂H = ∂L/∂Z · Wᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn backward(
+        &mut self,
+        cache: &DenseForward,
+        d_output: &DenseMatrix,
+    ) -> Result<DenseMatrix, NnError> {
+        let d_w = matmul(&cache.cached_input.transpose(), d_output)?;
+        self.weight.grad.add_scaled(&d_w, 1.0)?;
+        let col_sums = d_output.column_sums();
+        let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
+        self.bias.grad.add_scaled(&d_b, 1.0)?;
+        let d_input = matmul(d_output, &self.weight.value.transpose())?;
+        Ok(d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DenseMatrix, DenseLayer) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = glorot_uniform(4, 5, &mut rng);
+        let layer = DenseLayer::new(5, 3, &mut rng);
+        (x, layer)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (x, layer) = setup();
+        let out = layer.forward(&x).unwrap();
+        assert_eq!(out.output.shape(), (4, 3));
+        assert!(layer.forward(&DenseMatrix::zeros(4, 9)).is_err());
+    }
+
+    #[test]
+    fn gradient_check_weight_and_input() {
+        let (mut x, mut layer) = setup();
+        let cache = layer.forward(&x).unwrap();
+        let d_out = DenseMatrix::filled(4, 3, 1.0);
+        layer.weight_mut().zero_grad();
+        let d_input = layer.backward(&cache, &d_out).unwrap();
+
+        let eps = 1e-3f32;
+        let loss = |l: &DenseLayer, x: &DenseMatrix| l.forward(x).unwrap().output.sum();
+        // Weight entries.
+        for (r, c) in [(0, 0), (4, 2)] {
+            let orig = layer.weight().value.get(r, c);
+            layer.weight_mut().value.set(r, c, orig + eps);
+            let plus = loss(&layer, &x);
+            layer.weight_mut().value.set(r, c, orig - eps);
+            let minus = loss(&layer, &x);
+            layer.weight_mut().value.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = layer.weight().grad.get(r, c);
+            assert!((numeric - analytic).abs() < 1e-2 * numeric.abs().max(1.0));
+        }
+        // Input entries.
+        for (r, c) in [(1, 1), (3, 4)] {
+            let orig = x.get(r, c);
+            x.set(r, c, orig + eps);
+            let plus = loss(&layer, &x);
+            x.set(r, c, orig - eps);
+            let minus = loss(&layer, &x);
+            x.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - d_input.get(r, c)).abs() < 1e-2 * numeric.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_row_count_for_sum_loss() {
+        let (x, mut layer) = setup();
+        let cache = layer.forward(&x).unwrap();
+        layer.bias_mut().zero_grad();
+        layer
+            .backward(&cache, &DenseMatrix::filled(4, 3, 1.0))
+            .unwrap();
+        for j in 0..3 {
+            assert!((layer.bias().grad.get(0, j) - 4.0).abs() < 1e-5);
+        }
+    }
+}

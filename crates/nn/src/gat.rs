@@ -1,0 +1,372 @@
+use crate::{glorot_uniform, NnError, Param};
+use linalg::{matmul, CsrMatrix, DenseMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Negative-slope constant for the attention LeakyReLU (GAT default).
+const LEAKY_SLOPE: f32 = 0.2;
+
+/// A single-head Graph Attention (GAT) convolution:
+///
+/// ```text
+/// e_ij = LeakyReLU(a_srcᵀ (W h_i) + a_dstᵀ (W h_j))   for j ∈ N(i) ∪ {i}
+/// α_i· = softmax(e_i·)
+/// z_i  = Σ_j α_ij (W h_j) + b
+/// ```
+///
+/// The neighbour structure comes from the sparsity pattern of `adj`
+/// (values ignored); pass a GCN-normalized matrix so self-loops are
+/// present. This is the second §VI future-work architecture; see
+/// [`crate::ConvLayer`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = nn::GatLayer::new(4, 2, &mut rng);
+/// assert_eq!(layer.param_count(), 4 * 2 + 2 + 2 + 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatLayer {
+    weight: Param,
+    attn_src: Param,
+    attn_dst: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Forward cache for [`GatLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct GatForward {
+    /// Pre-activation output `Z`.
+    pub output: DenseMatrix,
+    cached_input: DenseMatrix,
+    /// Projected features `W H`.
+    wh: DenseMatrix,
+    /// Per-edge attention weights, aligned with `adj`'s CSR layout.
+    alpha: Vec<Vec<f32>>,
+    /// Per-edge pre-LeakyReLU scores, aligned like `alpha`.
+    pre: Vec<Vec<f32>>,
+}
+
+impl GatLayer {
+    /// Creates a layer with Glorot-initialized projection and attention
+    /// vectors, zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            attn_src: Param::new(glorot_uniform(1, out_dim, rng)),
+            attn_dst: Param::new(glorot_uniform(1, out_dim, rng)),
+            bias: Param::new(DenseMatrix::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.attn_src.len() + self.attn_dst.len() + self.bias.len()
+    }
+
+    /// Mutable weight access.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Mutable source-attention access.
+    pub fn attn_src_mut(&mut self) -> &mut Param {
+        &mut self.attn_src
+    }
+
+    /// Mutable destination-attention access.
+    pub fn attn_dst_mut(&mut self) -> &mut Param {
+        &mut self.attn_dst
+    }
+
+    /// Mutable access to all parameters at once (weight, attention
+    /// vectors, bias).
+    pub fn params_mut(&mut self) -> [&mut Param; 4] {
+        [
+            &mut self.weight,
+            &mut self.attn_src,
+            &mut self.attn_dst,
+            &mut self.bias,
+        ]
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Forward pass (see the type-level equation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<GatForward, NnError> {
+        if adj.rows() != input.rows() || adj.cols() != input.rows() {
+            return Err(NnError::Linalg(linalg::LinalgError::ShapeMismatch {
+                op: "gat_forward",
+                lhs: adj.shape(),
+                rhs: input.shape(),
+            }));
+        }
+        let n = input.rows();
+        let wh = matmul(input, &self.weight.value)?;
+        // s_i = a_src · wh_i, t_j = a_dst · wh_j.
+        let a_src = self.attn_src.value.row(0);
+        let a_dst = self.attn_dst.value.row(0);
+        let s: Vec<f32> = (0..n)
+            .map(|i| wh.row(i).iter().zip(a_src).map(|(x, a)| x * a).sum())
+            .collect();
+        let t: Vec<f32> = (0..n)
+            .map(|j| wh.row(j).iter().zip(a_dst).map(|(x, a)| x * a).sum())
+            .collect();
+
+        let mut output = DenseMatrix::zeros(n, self.out_dim);
+        let mut alpha = Vec::with_capacity(n);
+        let mut pre = Vec::with_capacity(n);
+        for i in 0..n {
+            let (cols, _) = adj.row_entries(i);
+            let mut row_pre: Vec<f32> = cols.iter().map(|&j| s[i] + t[j]).collect();
+            let mut row_post: Vec<f32> = row_pre
+                .iter()
+                .map(|&e| if e >= 0.0 { e } else { LEAKY_SLOPE * e })
+                .collect();
+            // Stable softmax over the neighbourhood.
+            let max = row_post.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row_post.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row_post.iter_mut() {
+                    *v /= sum;
+                }
+            }
+            let orow = output.row_mut(i);
+            for (&j, &a) in cols.iter().zip(&row_post) {
+                for (o, w) in orow.iter_mut().zip(wh.row(j)) {
+                    *o += a * w;
+                }
+            }
+            for (o, b) in orow.iter_mut().zip(self.bias.value.row(0)) {
+                *o += b;
+            }
+            row_pre.shrink_to_fit();
+            alpha.push(row_post);
+            pre.push(row_pre);
+        }
+        Ok(GatForward {
+            output,
+            cached_input: input.clone(),
+            wh,
+            alpha,
+            pre,
+        })
+    }
+
+    /// Backward pass through attention, softmax, and projection;
+    /// accumulates all four parameter gradients and returns `∂L/∂H`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn backward(
+        &mut self,
+        cache: &GatForward,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+    ) -> Result<DenseMatrix, NnError> {
+        let n = cache.cached_input.rows();
+        let out_dim = self.out_dim;
+        let mut d_wh = DenseMatrix::zeros(n, out_dim);
+        let mut d_s = vec![0.0f32; n];
+        let mut d_t = vec![0.0f32; n];
+
+        for i in 0..n {
+            let (cols, _) = adj.row_entries(i);
+            let alpha = &cache.alpha[i];
+            let pre = &cache.pre[i];
+            let dz = d_output.row(i);
+            // dα_ij = dz_i · wh_j ; z_i also feeds d_wh via α.
+            let d_alpha: Vec<f32> = cols
+                .iter()
+                .zip(alpha)
+                .map(|(&j, &a)| {
+                    let whj = cache.wh.row(j);
+                    let dot: f32 = dz.iter().zip(whj).map(|(d, w)| d * w).sum();
+                    let d_whj = d_wh.row_mut(j);
+                    for (g, d) in d_whj.iter_mut().zip(dz) {
+                        *g += a * d;
+                    }
+                    dot
+                })
+                .collect();
+            // Softmax backward: de = α ⊙ (dα − Σ α dα).
+            let weighted: f32 = alpha.iter().zip(&d_alpha).map(|(a, d)| a * d).sum();
+            for ((&j, (&a, &da)), &p) in cols
+                .iter()
+                .zip(alpha.iter().zip(&d_alpha))
+                .zip(pre.iter())
+            {
+                let de = a * (da - weighted);
+                let dpre = if p >= 0.0 { de } else { LEAKY_SLOPE * de };
+                d_s[i] += dpre;
+                d_t[j] += dpre;
+            }
+        }
+
+        // s_i = a_src · wh_i and t_i = a_dst · wh_i.
+        let a_src: Vec<f32> = self.attn_src.value.row(0).to_vec();
+        let a_dst: Vec<f32> = self.attn_dst.value.row(0).to_vec();
+        let mut d_a_src = vec![0.0f32; out_dim];
+        let mut d_a_dst = vec![0.0f32; out_dim];
+        for i in 0..n {
+            let whi = cache.wh.row(i);
+            let d_whi = d_wh.row_mut(i);
+            for k in 0..out_dim {
+                d_whi[k] += d_s[i] * a_src[k] + d_t[i] * a_dst[k];
+                d_a_src[k] += d_s[i] * whi[k];
+                d_a_dst[k] += d_t[i] * whi[k];
+            }
+        }
+        self.attn_src
+            .grad
+            .add_scaled(&DenseMatrix::from_vec(1, out_dim, d_a_src)?, 1.0)?;
+        self.attn_dst
+            .grad
+            .add_scaled(&DenseMatrix::from_vec(1, out_dim, d_a_dst)?, 1.0)?;
+
+        let d_w = matmul(&cache.cached_input.transpose(), &d_wh)?;
+        self.weight.grad.add_scaled(&d_w, 1.0)?;
+        let col_sums = d_output.column_sums();
+        let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
+        self.bias.grad.add_scaled(&d_b, 1.0)?;
+        let d_input = matmul(&d_wh, &self.weight.value.transpose())?;
+        Ok(d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{normalization, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CsrMatrix, DenseMatrix, GatLayer) {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        // GCN normalization provides the self-loop structure GAT expects.
+        let adj = normalization::gcn_normalize(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = glorot_uniform(5, 4, &mut rng);
+        let layer = GatLayer::new(4, 3, &mut rng);
+        (adj, x, layer)
+    }
+
+    #[test]
+    fn forward_shapes_and_attention_normalization() {
+        let (adj, x, layer) = setup();
+        let fwd = layer.forward(&adj, &x).unwrap();
+        assert_eq!(fwd.output.shape(), (5, 3));
+        for (i, row) in fwd.alpha.iter().enumerate() {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} attention sums to {sum}");
+            assert!(row.iter().all(|&a| a >= 0.0));
+        }
+        assert!(layer.forward(&adj, &DenseMatrix::zeros(4, 4)).is_err());
+    }
+
+    #[test]
+    fn all_parameter_gradients_match_finite_differences() {
+        let (adj, mut x, mut layer) = setup();
+        let cache = layer.forward(&adj, &x).unwrap();
+        let d_out = DenseMatrix::filled(5, 3, 1.0);
+        layer.weight_mut().zero_grad();
+        layer.bias_mut().zero_grad();
+        layer.attn_src_mut().zero_grad();
+        layer.attn_dst_mut().zero_grad();
+        let d_input = layer.backward(&cache, &adj, &d_out).unwrap();
+
+        let eps = 1e-3f32;
+        let loss = |l: &GatLayer, x: &DenseMatrix| l.forward(&adj, x).unwrap().output.sum();
+
+        // Projection weights.
+        for (r, c) in [(0usize, 0usize), (3, 2)] {
+            let orig = layer.weight().value.get(r, c);
+            layer.weight_mut().value.set(r, c, orig + eps);
+            let plus = loss(&layer, &x);
+            layer.weight_mut().value.set(r, c, orig - eps);
+            let minus = loss(&layer, &x);
+            layer.weight_mut().value.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = layer.weight().grad.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dW[{r},{c}]: {numeric} vs {analytic}"
+            );
+        }
+        // Attention vectors.
+        for k in 0..3usize {
+            let orig = layer.attn_src.value.get(0, k);
+            layer.attn_src.value.set(0, k, orig + eps);
+            let plus = loss(&layer, &x);
+            layer.attn_src.value.set(0, k, orig - eps);
+            let minus = loss(&layer, &x);
+            layer.attn_src.value.set(0, k, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = layer.attn_src.grad.get(0, k);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "da_src[{k}]: {numeric} vs {analytic}"
+            );
+        }
+        // Input gradient.
+        for (r, c) in [(1usize, 1usize), (4, 0)] {
+            let orig = x.get(r, c);
+            x.set(r, c, orig + eps);
+            let plus = loss(&layer, &x);
+            x.set(r, c, orig - eps);
+            let minus = loss(&layer, &x);
+            x.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - d_input.get(r, c)).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dH[{r},{c}]"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_self_loop_attends_only_to_itself() {
+        let adj = normalization::gcn_normalize(&Graph::empty(3));
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = glorot_uniform(3, 4, &mut rng);
+        let layer = GatLayer::new(4, 2, &mut rng);
+        let fwd = layer.forward(&adj, &x).unwrap();
+        for row in &fwd.alpha {
+            assert_eq!(row.len(), 1);
+            assert!((row[0] - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+use crate::{glorot_uniform, NnError, Param};
+use linalg::{matmul, CsrMatrix, DenseMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One graph-convolution layer: `Z = Â (H W) + b` (paper Eq. 1, without
+/// the activation, which the network container applies between layers).
+///
+/// The forward pass returns a [`GcnForward`] carrying the cache needed
+/// for the explicit backward pass; this keeps `forward` free of interior
+/// mutability and lets inference paths drop the cache immediately.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = nn::GcnLayer::new(4, 2, &mut rng);
+/// let g = graph::Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let adj = graph::normalization::gcn_normalize(&g);
+/// let h = linalg::DenseMatrix::zeros(3, 4);
+/// let out = layer.forward(&adj, &h)?;
+/// assert_eq!(out.output.shape(), (3, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnLayer {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Result of a [`GcnLayer::forward`] call: the layer output plus the
+/// cached input needed by [`GcnLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct GcnForward {
+    /// Pre-activation layer output `Z`.
+    pub output: DenseMatrix,
+    /// Cached layer input `H`, consumed by the backward pass.
+    pub cached_input: DenseMatrix,
+}
+
+impl GcnLayer {
+    /// Creates a layer with Glorot-initialized weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            bias: Param::new(DenseMatrix::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable scalars (`in·out + out`).
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the weight parameter (used by optimizers).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Mutable access to the bias parameter (used by optimizers).
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Mutable access to all parameters at once (weight, bias).
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.weight, &mut self.bias]
+    }
+
+    /// Size in bytes of the layer's parameters, for enclave memory
+    /// accounting.
+    pub fn nbytes(&self) -> usize {
+        (self.weight.len() + self.bias.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Forward pass `Z = Â (H W) + b`.
+    ///
+    /// `H W` is computed first so the sparse multiply runs on the
+    /// (usually narrower) projected matrix — the same ordering PyG uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] if `adj`, `input`, and the layer
+    /// dimensions are inconsistent.
+    pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<GcnForward, NnError> {
+        let xw = matmul(input, &self.weight.value)?;
+        let z = adj.spmm(&xw)?;
+        let output = z.add_row_broadcast(self.bias.value.row(0))?;
+        Ok(GcnForward {
+            output,
+            cached_input: input.clone(),
+        })
+    }
+
+    /// Backward pass. Given `d_output = ∂L/∂Z`, accumulates `∂L/∂W` and
+    /// `∂L/∂b` into the layer's parameter gradients and returns
+    /// `∂L/∂H`.
+    ///
+    /// Derivation: with `Z = Â H W + b`,
+    /// `∂L/∂(HW) = Âᵀ ∂L/∂Z`, `∂L/∂W = Hᵀ Âᵀ ∂L/∂Z`,
+    /// `∂L/∂H = (Âᵀ ∂L/∂Z) Wᵀ`, `∂L/∂b = Σ_rows ∂L/∂Z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies between the
+    /// cache, the adjacency, and `d_output`.
+    pub fn backward(
+        &mut self,
+        cache: &GcnForward,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+    ) -> Result<DenseMatrix, NnError> {
+        // Âᵀ dZ (Â is symmetric for GCN but we use the general form).
+        let d_xw = adj.spmm_transposed(d_output)?;
+        let d_w = matmul(&cache.cached_input.transpose(), &d_xw)?;
+        self.weight.grad.add_scaled(&d_w, 1.0)?;
+        let col_sums = d_output.column_sums();
+        let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
+        self.bias.grad.add_scaled(&d_b, 1.0)?;
+        let d_input = matmul(&d_xw, &self.weight.value.transpose())?;
+        Ok(d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{normalization, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CsrMatrix, DenseMatrix, GcnLayer) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let adj = normalization::gcn_normalize(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = crate::glorot_uniform(4, 5, &mut rng);
+        let layer = GcnLayer::new(5, 3, &mut rng);
+        (adj, x, layer)
+    }
+
+    /// Scalar loss used for finite-difference checks: sum of outputs.
+    fn loss_of(layer: &GcnLayer, adj: &CsrMatrix, x: &DenseMatrix) -> f32 {
+        layer.forward(adj, x).unwrap().output.sum()
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let (adj, x, mut layer) = setup();
+        let out = layer.forward(&adj, &x).unwrap();
+        assert_eq!(out.output.shape(), (4, 3));
+        // Shifting the bias shifts every output row by the same amount.
+        let before = out.output.clone();
+        layer.bias_mut().value.set(0, 1, 10.0);
+        let after = layer.forward(&adj, &x).unwrap().output;
+        for r in 0..4 {
+            assert!((after.get(r, 1) - before.get(r, 1) - 10.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_width() {
+        let (adj, _, layer) = setup();
+        let bad = DenseMatrix::zeros(4, 7);
+        assert!(layer.forward(&adj, &bad).is_err());
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let (adj, x, mut layer) = setup();
+        let cache = layer.forward(&adj, &x).unwrap();
+        let d_out = DenseMatrix::filled(4, 3, 1.0); // dL/dZ for L = sum(Z)
+        layer.weight_mut().zero_grad();
+        layer.bias_mut().zero_grad();
+        layer.backward(&cache, &adj, &d_out).unwrap();
+
+        let eps = 1e-3f32;
+        for (r, c) in [(0, 0), (2, 1), (4, 2)] {
+            let orig = layer.weight().value.get(r, c);
+            layer.weight_mut().value.set(r, c, orig + eps);
+            let plus = loss_of(&layer, &adj, &x);
+            layer.weight_mut().value.set(r, c, orig - eps);
+            let minus = loss_of(&layer, &adj, &x);
+            layer.weight_mut().value.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = layer.weight().grad.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * numeric.abs().max(1.0),
+                "dW[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_matches_finite_differences() {
+        let (adj, x, mut layer) = setup();
+        let cache = layer.forward(&adj, &x).unwrap();
+        let d_out = DenseMatrix::filled(4, 3, 1.0);
+        layer.bias_mut().zero_grad();
+        layer.backward(&cache, &adj, &d_out).unwrap();
+        // d(sum Z)/db_j = number of rows.
+        for j in 0..3 {
+            assert!((layer.bias().grad.get(0, j) - 4.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let (adj, mut x, mut layer) = setup();
+        let cache = layer.forward(&adj, &x).unwrap();
+        let d_out = DenseMatrix::filled(4, 3, 1.0);
+        let d_input = layer.backward(&cache, &adj, &d_out).unwrap();
+
+        let eps = 1e-3f32;
+        for (r, c) in [(0, 0), (3, 4), (1, 2)] {
+            let orig = x.get(r, c);
+            x.set(r, c, orig + eps);
+            let plus = loss_of(&layer, &adj, &x);
+            x.set(r, c, orig - eps);
+            let minus = loss_of(&layer, &adj, &x);
+            x.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = d_input.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * numeric.abs().max(1.0),
+                "dH[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let (adj, x, mut layer) = setup();
+        let cache = layer.forward(&adj, &x).unwrap();
+        let d_out = DenseMatrix::filled(4, 3, 1.0);
+        layer.weight_mut().zero_grad();
+        layer.backward(&cache, &adj, &d_out).unwrap();
+        let once = layer.weight().grad.clone();
+        layer.backward(&cache, &adj, &d_out).unwrap();
+        let twice = layer.weight().grad.clone();
+        assert!(twice.approx_eq(&once.scale(2.0), 1e-4));
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let (_, _, layer) = setup();
+        assert_eq!(layer.param_count(), 5 * 3 + 3);
+        assert_eq!(layer.nbytes(), (5 * 3 + 3) * 4);
+    }
+}

@@ -1,0 +1,210 @@
+use crate::{glorot_uniform, NnError, Param};
+use linalg::{matmul, CsrMatrix, DenseMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A GraphSAGE-style convolution (mean aggregator, concatenation
+/// variant): `Z = [H ‖ Ā H] W + b`, where `Ā` is the row-normalized
+/// adjacency (see [`graph::normalization::row_normalize`]).
+///
+/// This is the first of the paper's §VI future-work architectures;
+/// [`crate::ConvLayer`] lets the GNNVault rectifier swap it in for the
+/// GCN layer.
+///
+/// [`graph::normalization::row_normalize`]: ../graph/normalization/fn.row_normalize.html
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = nn::SageLayer::new(4, 2, &mut rng);
+/// assert_eq!(layer.param_count(), 2 * 4 * 2 + 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SageLayer {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Forward cache for [`SageLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct SageForward {
+    /// Pre-activation output `Z`.
+    pub output: DenseMatrix,
+    /// Cached concatenated input `[H ‖ Ā H]`.
+    pub cached_concat: DenseMatrix,
+}
+
+impl SageLayer {
+    /// Creates a layer with Glorot-initialized weights (fan-in `2·in`).
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Param::new(glorot_uniform(2 * in_dim, out_dim, rng)),
+            bias: Param::new(DenseMatrix::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable scalars (`2·in·out + out`).
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Mutable weight access (for optimizers).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Mutable bias access (for optimizers).
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Mutable access to all parameters at once (weight, bias).
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.weight, &mut self.bias]
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Forward pass `Z = [H ‖ Ā H] W + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<SageForward, NnError> {
+        let aggregated = adj.spmm(input)?;
+        let concat = DenseMatrix::hconcat(&[input, &aggregated])?;
+        let z = matmul(&concat, &self.weight.value)?;
+        let output = z.add_row_broadcast(self.bias.value.row(0))?;
+        Ok(SageForward {
+            output,
+            cached_concat: concat,
+        })
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns
+    /// `∂L/∂H = (∂L/∂C)_self + Āᵀ (∂L/∂C)_agg` where `C = [H ‖ Ā H]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn backward(
+        &mut self,
+        cache: &SageForward,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+    ) -> Result<DenseMatrix, NnError> {
+        let d_w = matmul(&cache.cached_concat.transpose(), d_output)?;
+        self.weight.grad.add_scaled(&d_w, 1.0)?;
+        let col_sums = d_output.column_sums();
+        let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
+        self.bias.grad.add_scaled(&d_b, 1.0)?;
+
+        let d_concat = matmul(d_output, &self.weight.value.transpose())?;
+        let d_self = d_concat.slice_cols(0, self.in_dim)?;
+        let d_agg = d_concat.slice_cols(self.in_dim, 2 * self.in_dim)?;
+        let mut d_input = d_self;
+        d_input.add_scaled(&adj.spmm_transposed(&d_agg)?, 1.0)?;
+        Ok(d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{normalization, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CsrMatrix, DenseMatrix, SageLayer) {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let adj = normalization::row_normalize(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = glorot_uniform(5, 4, &mut rng);
+        let layer = SageLayer::new(4, 3, &mut rng);
+        (adj, x, layer)
+    }
+
+    #[test]
+    fn forward_shapes_and_validation() {
+        let (adj, x, layer) = setup();
+        let out = layer.forward(&adj, &x).unwrap();
+        assert_eq!(out.output.shape(), (5, 3));
+        assert_eq!(out.cached_concat.shape(), (5, 8));
+        assert!(layer.forward(&adj, &DenseMatrix::zeros(5, 9)).is_err());
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_features() {
+        // With only a self-loop in Ā, both concat halves equal H.
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let adj = normalization::row_normalize(&Graph::empty(2));
+        let _ = g;
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let layer = SageLayer::new(2, 2, &mut rng);
+        let fwd = layer.forward(&adj, &x).unwrap();
+        assert_eq!(fwd.cached_concat.row(0), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (adj, mut x, mut layer) = setup();
+        let cache = layer.forward(&adj, &x).unwrap();
+        let d_out = DenseMatrix::filled(5, 3, 1.0);
+        layer.weight_mut().zero_grad();
+        layer.bias_mut().zero_grad();
+        let d_input = layer.backward(&cache, &adj, &d_out).unwrap();
+
+        let eps = 1e-3f32;
+        let loss = |l: &SageLayer, x: &DenseMatrix| l.forward(&adj, x).unwrap().output.sum();
+        for (r, c) in [(0usize, 0usize), (7, 2), (3, 1)] {
+            let orig = layer.weight().value.get(r, c);
+            layer.weight_mut().value.set(r, c, orig + eps);
+            let plus = loss(&layer, &x);
+            layer.weight_mut().value.set(r, c, orig - eps);
+            let minus = loss(&layer, &x);
+            layer.weight_mut().value.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = layer.weight().grad.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * numeric.abs().max(1.0),
+                "dW[{r},{c}]: {numeric} vs {analytic}"
+            );
+        }
+        for (r, c) in [(0usize, 0usize), (4, 3)] {
+            let orig = x.get(r, c);
+            x.set(r, c, orig + eps);
+            let plus = loss(&layer, &x);
+            x.set(r, c, orig - eps);
+            let minus = loss(&layer, &x);
+            x.set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - d_input.get(r, c)).abs() < 1e-2 * numeric.abs().max(1.0),
+                "dH[{r},{c}]"
+            );
+        }
+    }
+}

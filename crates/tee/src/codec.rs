@@ -1,0 +1,130 @@
+//! Byte codecs for marshalling matrices across the enclave boundary.
+//!
+//! The workspace's approved dependency list has no serde *format* crate,
+//! so world-crossing payloads use a small explicit little-endian layout:
+//!
+//! ```text
+//! DenseMatrix: [rows: u64][cols: u64][data: f32 × rows·cols]
+//! ```
+//!
+//! The format is versionless by design — both worlds are built from the
+//! same binary, exactly like an SGX app and its enclave shared object.
+
+use crate::TeeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use linalg::DenseMatrix;
+
+/// Encodes a dense matrix into a world-crossing payload.
+///
+/// # Examples
+///
+/// ```
+/// # use linalg::DenseMatrix;
+/// # fn main() -> Result<(), tee::TeeError> {
+/// let m = DenseMatrix::filled(2, 3, 1.5);
+/// let bytes = tee::codec::encode_dense(&m);
+/// let back = tee::codec::decode_dense(&bytes)?;
+/// assert_eq!(m, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_dense(matrix: &DenseMatrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + matrix.len() * 4);
+    buf.put_u64_le(matrix.rows() as u64);
+    buf.put_u64_le(matrix.cols() as u64);
+    for &v in matrix.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a dense matrix from a world-crossing payload.
+///
+/// # Errors
+///
+/// Returns [`TeeError::Codec`] on truncated or inconsistent payloads.
+pub fn decode_dense(payload: &[u8]) -> Result<DenseMatrix, TeeError> {
+    let mut buf = payload;
+    if buf.len() < 16 {
+        return Err(TeeError::Codec {
+            reason: format!("header needs 16 bytes, got {}", buf.len()),
+        });
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let expected = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| TeeError::Codec {
+            reason: "dimension overflow".into(),
+        })?;
+    if buf.len() != expected {
+        return Err(TeeError::Codec {
+            reason: format!("payload has {} data bytes, expected {expected}", buf.len()),
+        });
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(buf.get_f32_le());
+    }
+    DenseMatrix::from_vec(rows, cols, data).map_err(|e| TeeError::Codec {
+        reason: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let m = DenseMatrix::from_rows(&[&[1.0, -2.5], &[0.0, f32::MIN_POSITIVE]]).unwrap();
+        assert_eq!(decode_dense(&encode_dense(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = DenseMatrix::zeros(0, 5);
+        assert_eq!(decode_dense(&encode_dense(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let m = DenseMatrix::filled(2, 2, 1.0);
+        let bytes = encode_dense(&m);
+        assert!(decode_dense(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_dense(&bytes[..8]).is_err());
+        assert!(decode_dense(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let m = DenseMatrix::filled(1, 1, 1.0);
+        let mut bytes = encode_dense(&m).to_vec();
+        bytes.push(0);
+        assert!(decode_dense(&bytes).is_err());
+    }
+
+    #[test]
+    fn absurd_dimensions_rejected() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        buf.put_u64_le(u64::MAX);
+        assert!(decode_dense(&buf).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn roundtrip_random(rows in 0usize..12, cols in 0usize..12, seed in 0u64..500) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let m = DenseMatrix::from_fn(rows, cols, |_, _| {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                f32::from_bits(((state as u32) % 0x7F00_0000).max(1))
+            });
+            prop_assert_eq!(decode_dense(&encode_dense(&m)).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+use crate::{CostModel, Meter, Phase, TeeError, PAGE_BYTES, SGX_EPC_BYTES};
+use std::collections::HashMap;
+
+/// Handle to one live enclave allocation; returned by
+/// [`EnclaveSim::alloc`] and consumed by [`EnclaveSim::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationId(u64);
+
+/// Behaviour when an allocation would push usage past the EPC budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverBudgetPolicy {
+    /// Model SGX paging: the allocation succeeds but every page beyond
+    /// the budget is charged an EWB/ELDU swap cost — the "frequent page
+    /// swapping … high overhead" regime of §III-C.
+    #[default]
+    Swap,
+    /// Refuse the allocation — useful for asserting that a deployment
+    /// (e.g. every GNNVault rectifier, per Fig. 6) stays inside the EPC.
+    Fail,
+}
+
+/// Software model of one SGX enclave: an allocation ledger against the
+/// EPC budget plus cost/metering hooks.
+///
+/// The simulator does not execute code "inside" anything — isolation is
+/// modelled structurally: the [`gnnvault`](../gnnvault) deployment keeps
+/// private data in types that never cross back out (see
+/// [`UntrustedToEnclave`](crate::UntrustedToEnclave)); this type makes
+/// the *resource* constraints of that placement measurable.
+///
+/// # Examples
+///
+/// ```
+/// use tee::{EnclaveSim, OverBudgetPolicy, MB};
+///
+/// # fn main() -> Result<(), tee::TeeError> {
+/// let mut enclave = EnclaveSim::new(8 * MB, Default::default(), OverBudgetPolicy::Fail);
+/// let a = enclave.alloc("adjacency", 6 * MB)?;
+/// assert!(enclave.alloc("too big", 4 * MB).is_err());
+/// enclave.free(a)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EnclaveSim {
+    epc_budget: usize,
+    policy: OverBudgetPolicy,
+    cost: CostModel,
+    meter: Meter,
+    ledger: HashMap<u64, Allocation>,
+    next_id: u64,
+    in_use: usize,
+    peak: usize,
+    swapped_pages: u64,
+    transitions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    label: String,
+    bytes: usize,
+}
+
+impl EnclaveSim {
+    /// Creates an enclave with an explicit budget, cost model, and
+    /// over-budget policy.
+    pub fn new(epc_budget: usize, cost: CostModel, policy: OverBudgetPolicy) -> Self {
+        Self {
+            epc_budget,
+            policy,
+            cost,
+            meter: Meter::new(),
+            ledger: HashMap::new(),
+            next_id: 0,
+            in_use: 0,
+            peak: 0,
+            swapped_pages: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Creates an enclave with the classic SGX1 96 MB EPC, default cost
+    /// model, and the [`OverBudgetPolicy::Swap`] paging behaviour.
+    pub fn with_defaults() -> Self {
+        Self::new(SGX_EPC_BYTES, CostModel::default(), OverBudgetPolicy::default())
+    }
+
+    /// The configured EPC budget in bytes.
+    pub fn epc_budget(&self) -> usize {
+        self.epc_budget
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_usage(&self) -> usize {
+        self.in_use
+    }
+
+    /// High-water mark of allocated bytes — the "enclave runtime memory
+    /// usage" series of Fig. 6 (bottom).
+    pub fn peak_usage(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of EPC pages charged as swapped so far.
+    pub fn swapped_pages(&self) -> u64 {
+        self.swapped_pages
+    }
+
+    /// Number of world transitions (ECALLs/OCALLs) charged so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Shared handle to the enclave's meter.
+    pub fn meter(&self) -> Meter {
+        self.meter.clone()
+    }
+
+    /// The enclave's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Allocates `bytes` inside the enclave under a diagnostic label.
+    ///
+    /// # Errors
+    ///
+    /// Under [`OverBudgetPolicy::Fail`], returns
+    /// [`TeeError::EpcExhausted`] when the allocation would exceed the
+    /// budget. Under [`OverBudgetPolicy::Swap`] it always succeeds and
+    /// charges swap costs for pages beyond the budget.
+    pub fn alloc(&mut self, label: &str, bytes: usize) -> Result<AllocationId, TeeError> {
+        let new_total = self.in_use + bytes;
+        if new_total > self.epc_budget {
+            match self.policy {
+                OverBudgetPolicy::Fail => {
+                    return Err(TeeError::EpcExhausted {
+                        requested: bytes,
+                        in_use: self.in_use,
+                        budget: self.epc_budget,
+                    });
+                }
+                OverBudgetPolicy::Swap => {
+                    let overflow = new_total - self.epc_budget.max(self.in_use);
+                    let pages = overflow.div_ceil(PAGE_BYTES);
+                    self.swapped_pages += pages as u64;
+                    self.meter
+                        .record_simulated(Phase::PageSwap, self.cost.swap_ns(pages));
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ledger.insert(
+            id,
+            Allocation {
+                label: label.to_owned(),
+                bytes,
+            },
+        );
+        self.in_use = new_total;
+        self.peak = self.peak.max(self.in_use);
+        Ok(AllocationId(id))
+    }
+
+    /// Frees a previous allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::UnknownAllocation`] on double-free or a stale
+    /// id.
+    pub fn free(&mut self, id: AllocationId) -> Result<(), TeeError> {
+        let alloc = self
+            .ledger
+            .remove(&id.0)
+            .ok_or(TeeError::UnknownAllocation { id: id.0 })?;
+        self.in_use -= alloc.bytes;
+        Ok(())
+    }
+
+    /// Charges one ECALL transition plus marshalling for `bytes` of
+    /// ingress data, recording it under [`Phase::Transfer`]. Returns the
+    /// simulated nanoseconds charged.
+    pub fn charge_ingress(&mut self, bytes: usize) -> u64 {
+        self.transitions += 1;
+        let ns = self.cost.transfer_ns(bytes);
+        self.meter.record_simulated(Phase::Transfer, ns);
+        ns
+    }
+
+    /// Runs enclave-side work, timing its wall clock under
+    /// [`Phase::Enclave`] and charging the cost model's in-enclave
+    /// compute surcharge on top.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        self.meter.record_wall(Phase::Enclave, elapsed);
+        self.meter.record_simulated(
+            Phase::Enclave,
+            self.cost.enclave_surcharge_ns(elapsed.as_nanos() as u64),
+        );
+        out
+    }
+
+    /// Current allocations as `(label, bytes)` pairs, sorted by label;
+    /// useful for memory-usage reports.
+    pub fn allocations(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .ledger
+            .values()
+            .map(|a| (a.label.clone(), a.bytes))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MB;
+
+    #[test]
+    fn alloc_free_roundtrip_updates_usage() {
+        let mut e = EnclaveSim::with_defaults();
+        let a = e.alloc("x", MB).unwrap();
+        let b = e.alloc("y", 2 * MB).unwrap();
+        assert_eq!(e.current_usage(), 3 * MB);
+        e.free(a).unwrap();
+        assert_eq!(e.current_usage(), 2 * MB);
+        assert_eq!(e.peak_usage(), 3 * MB);
+        e.free(b).unwrap();
+        assert_eq!(e.current_usage(), 0);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut e = EnclaveSim::with_defaults();
+        let a = e.alloc("x", 10).unwrap();
+        e.free(a).unwrap();
+        assert!(matches!(e.free(a), Err(TeeError::UnknownAllocation { .. })));
+    }
+
+    #[test]
+    fn fail_policy_rejects_over_budget() {
+        let mut e = EnclaveSim::new(MB, CostModel::free(), OverBudgetPolicy::Fail);
+        assert!(e.alloc("big", 2 * MB).is_err());
+        let _ = e.alloc("fits", MB / 2).unwrap();
+        assert!(e.alloc("overflow", MB).is_err());
+    }
+
+    #[test]
+    fn swap_policy_charges_pages_beyond_budget() {
+        let mut e = EnclaveSim::new(MB, CostModel::default(), OverBudgetPolicy::Swap);
+        let _ = e.alloc("fits", MB).unwrap();
+        assert_eq!(e.swapped_pages(), 0);
+        let _ = e.alloc("spills", 8192).unwrap();
+        assert_eq!(e.swapped_pages(), 2);
+        let swap = e.meter().breakdown()[&Phase::PageSwap];
+        assert_eq!(swap.simulated_ns, CostModel::default().swap_ns(2));
+    }
+
+    #[test]
+    fn ingress_counts_transitions_and_cost() {
+        let mut e = EnclaveSim::with_defaults();
+        let ns = e.charge_ingress(1000);
+        assert_eq!(ns, CostModel::default().transfer_ns(1000));
+        assert_eq!(e.transitions(), 1);
+        e.charge_ingress(0);
+        assert_eq!(e.transitions(), 2);
+    }
+
+    #[test]
+    fn run_meters_enclave_phase() {
+        let e = EnclaveSim::with_defaults();
+        let v = e.run(|| 1 + 1);
+        assert_eq!(v, 2);
+        assert!(e.meter().breakdown().contains_key(&Phase::Enclave));
+    }
+
+    #[test]
+    fn allocations_report_sorted_labels() {
+        let mut e = EnclaveSim::with_defaults();
+        e.alloc("weights", 8).unwrap();
+        e.alloc("adjacency", 4).unwrap();
+        let allocs = e.allocations();
+        assert_eq!(allocs[0].0, "adjacency");
+        assert_eq!(allocs[1], ("weights".to_string(), 8));
+    }
+}

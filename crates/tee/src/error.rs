@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the TEE simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeError {
+    /// An allocation would exceed the EPC budget under
+    /// [`OverBudgetPolicy::Fail`](crate::OverBudgetPolicy::Fail).
+    EpcExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently in use.
+        in_use: usize,
+        /// Configured EPC budget.
+        budget: usize,
+    },
+    /// An [`AllocationId`](crate::AllocationId) was double-freed or never
+    /// existed.
+    UnknownAllocation {
+        /// The stale id.
+        id: u64,
+    },
+    /// Sealed data failed its integrity check.
+    SealTampered,
+    /// A byte payload could not be decoded.
+    Codec {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::EpcExhausted {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "epc exhausted: requested {requested} bytes with {in_use} of {budget} in use"
+            ),
+            TeeError::UnknownAllocation { id } => {
+                write!(f, "unknown or already freed allocation id {id}")
+            }
+            TeeError::SealTampered => write!(f, "sealed payload failed integrity verification"),
+            TeeError::Codec { reason } => write!(f, "payload decode failure: {reason}"),
+        }
+    }
+}
+
+impl Error for TeeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(TeeError::EpcExhausted {
+            requested: 10,
+            in_use: 5,
+            budget: 12
+        }
+        .to_string()
+        .contains("epc exhausted"));
+        assert!(TeeError::UnknownAllocation { id: 3 }.to_string().contains("3"));
+        assert!(TeeError::SealTampered.to_string().contains("integrity"));
+        assert!(TeeError::Codec { reason: "short".into() }.to_string().contains("short"));
+    }
+}

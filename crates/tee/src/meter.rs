@@ -1,0 +1,170 @@
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Phases of a GNNVault inference, matching the Fig. 6 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Public backbone execution in the untrusted world.
+    Backbone,
+    /// Data marshalling across the enclave boundary.
+    Transfer,
+    /// Rectifier execution inside the enclave.
+    Enclave,
+    /// EPC page swapping (only when over budget).
+    PageSwap,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Backbone,
+        Phase::Transfer,
+        Phase::Enclave,
+        Phase::PageSwap,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Backbone => "backbone",
+            Phase::Transfer => "transfer",
+            Phase::Enclave => "rectifier",
+            Phase::PageSwap => "page swap",
+        }
+    }
+}
+
+/// Aggregated per-phase timings: real wall-clock time of the Rust
+/// kernels plus simulated SGX costs from the [`CostModel`](crate::CostModel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Measured wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated SGX overhead nanoseconds.
+    pub simulated_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Total of measured and simulated time.
+    pub fn total_ns(&self) -> u64 {
+        self.wall_ns + self.simulated_ns
+    }
+}
+
+/// Thread-safe accumulator of per-phase timings.
+///
+/// Cloning a `Meter` yields a handle onto the same accumulator, so the
+/// untrusted world and the enclave simulator can meter into one report.
+///
+/// # Examples
+///
+/// ```
+/// use tee::{Meter, Phase};
+///
+/// let meter = Meter::new();
+/// meter.record_simulated(Phase::Transfer, 5_000);
+/// meter.record_wall(Phase::Backbone, std::time::Duration::from_micros(10));
+/// let report = meter.breakdown();
+/// assert_eq!(report[&Phase::Transfer].simulated_ns, 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    inner: Arc<Mutex<std::collections::HashMap<Phase, TimeBreakdown>>>,
+}
+
+impl Meter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds simulated nanoseconds to a phase.
+    pub fn record_simulated(&self, phase: Phase, ns: u64) {
+        self.inner.lock().entry(phase).or_default().simulated_ns += ns;
+    }
+
+    /// Adds measured wall-clock time to a phase.
+    pub fn record_wall(&self, phase: Phase, elapsed: Duration) {
+        self.inner.lock().entry(phase).or_default().wall_ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Runs `f`, charging its wall-clock time to `phase`.
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record_wall(phase, start.elapsed());
+        out
+    }
+
+    /// Snapshot of all phase timings.
+    pub fn breakdown(&self) -> std::collections::HashMap<Phase, TimeBreakdown> {
+        self.inner.lock().clone()
+    }
+
+    /// Total time across phases.
+    pub fn total(&self) -> TimeBreakdown {
+        let map = self.inner.lock();
+        let mut out = TimeBreakdown::default();
+        for v in map.values() {
+            out.wall_ns += v.wall_ns;
+            out.simulated_ns += v.simulated_ns;
+        }
+        out
+    }
+
+    /// Clears all recorded timings.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let m = Meter::new();
+        m.record_simulated(Phase::Transfer, 10);
+        m.record_simulated(Phase::Transfer, 5);
+        assert_eq!(m.breakdown()[&Phase::Transfer].simulated_ns, 15);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Meter::new();
+        let m2 = m.clone();
+        m2.record_simulated(Phase::Enclave, 7);
+        assert_eq!(m.breakdown()[&Phase::Enclave].simulated_ns, 7);
+    }
+
+    #[test]
+    fn time_closure_charges_wall_clock() {
+        let m = Meter::new();
+        let out = m.time(Phase::Backbone, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(m.breakdown()[&Phase::Backbone].wall_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn total_sums_phases_and_reset_clears() {
+        let m = Meter::new();
+        m.record_simulated(Phase::Transfer, 10);
+        m.record_simulated(Phase::Enclave, 20);
+        assert_eq!(m.total().simulated_ns, 30);
+        m.reset();
+        assert_eq!(m.total().simulated_ns, 0);
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Phase::ALL.len());
+    }
+}

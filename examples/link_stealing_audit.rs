@@ -1,0 +1,85 @@
+//! Security audit: run the Table IV link-stealing attack against an
+//! unprotected GNN, a GNNVault deployment, and a feature-only baseline,
+//! across all six similarity metrics.
+//!
+//! ```text
+//! cargo run --release --example link_stealing_audit
+//! ```
+
+use attacks::{surface, LinkStealingAttack, SimilarityMetric, SupervisedLinkAttack};
+use datasets::{DatasetSpec, SyntheticPlanetoid};
+use gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
+use nn::{MlpNetwork, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.08)
+        .seed(13)
+        .generate()?;
+    println!(
+        "auditing {} ({} nodes, {} private edges)\n",
+        data.name,
+        data.num_nodes(),
+        data.graph.num_edges()
+    );
+
+    let config = pipeline::PipelineConfig {
+        model: ModelConfig::m1(data.num_classes),
+        substitute: SubstituteKind::Knn { k: 2 },
+        rectifier: RectifierKind::Parallel,
+        epochs: 150,
+        ..Default::default()
+    };
+    let trained = pipeline::train(&data, &config)?;
+    let original = trained
+        .original
+        .as_ref()
+        .expect("pipeline trains the reference by default");
+
+    let mut mlp = MlpNetwork::new(data.num_features(), &config.model.backbone_channels, 0)?;
+    mlp.fit(
+        &data.features,
+        &data.labels,
+        &data.train_mask,
+        &TrainConfig {
+            epochs: 150,
+            ..Default::default()
+        },
+    )?;
+
+    let m_org = surface::original_surface(original, &data.features)?;
+    let m_gv = surface::gnnvault_surface(&trained.backbone, &data.features)?;
+    let m_base = surface::baseline_surface(&mlp, &data.features)?;
+
+    println!("{:<12} {:>8} {:>8} {:>8}", "metric", "Morg", "Mgv", "Mbase");
+    println!("{}", "-".repeat(40));
+    let mut worst_gv: f64 = 0.0;
+    for metric in SimilarityMetric::ALL {
+        let attack = LinkStealingAttack::new(metric).with_seed(3);
+        let auc_org = attack.run(&data.graph, &m_org)?;
+        let auc_gv = attack.run(&data.graph, &m_gv)?;
+        let auc_base = attack.run(&data.graph, &m_base)?;
+        worst_gv = worst_gv.max(auc_gv);
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3}",
+            metric.label(),
+            auc_org,
+            auc_gv,
+            auc_base
+        );
+    }
+    println!(
+        "\nverdict: worst-case GNNVault leakage AUC = {worst_gv:.3} \
+         (0.5 = no leakage; unprotected models typically exceed 0.85)"
+    );
+
+    // Stronger adversary: supervised attacker who already knows 30% of
+    // the edges and trains a classifier over all metrics and layers.
+    println!("\nsupervised attacker (30% of edges known, all-metric features):");
+    let strong = SupervisedLinkAttack::new().with_seed(3);
+    let sup_org = strong.run(&data.graph, &m_org)?;
+    let sup_gv = strong.run(&data.graph, &m_gv)?;
+    let sup_base = strong.run(&data.graph, &m_base)?;
+    println!("  Morg {sup_org:.3} | Mgv {sup_gv:.3} | Mbase {sup_base:.3}");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the GNNVault reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! `use gnnvault_suite::...` a single dependency. See the repository
+//! README for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+
+pub use attacks;
+pub use datasets;
+pub use gnnvault;
+pub use graph;
+pub use linalg;
+pub use metrics;
+pub use nn;
+pub use tee;

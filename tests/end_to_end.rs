@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full GNNVault lifecycle from
+//! synthetic data generation through deployment and inference.
+
+use datasets::{DatasetSpec, SyntheticPlanetoid};
+use gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
+
+fn quick_config(rectifier: RectifierKind, substitute: SubstituteKind) -> pipeline::PipelineConfig {
+    pipeline::PipelineConfig {
+        model: ModelConfig::custom("it", &[32, 16, 0], &[16, 8, 0]),
+        substitute,
+        rectifier,
+        epochs: 100,
+        lr: 0.02,
+        weight_decay: 5e-4,
+        dropout: 0.2,
+        seed: 1,
+        train_original: true,
+    }
+}
+
+fn config_for(data: &datasets::CitationDataset, rectifier: RectifierKind) -> pipeline::PipelineConfig {
+    let mut cfg = quick_config(rectifier, SubstituteKind::Knn { k: 2 });
+    *cfg.model.backbone_channels.last_mut().unwrap() = data.num_classes;
+    *cfg.model.rectifier_channels.last_mut().unwrap() = data.num_classes;
+    cfg
+}
+
+#[test]
+fn citeseer_like_pipeline_recovers_accuracy() {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CITESEER)
+        .scale(0.05)
+        .seed(2)
+        .generate()
+        .expect("generation");
+    let cfg = config_for(&data, RectifierKind::Parallel);
+    let trained = pipeline::train(&data, &cfg).expect("training");
+    let eval = pipeline::evaluate(&trained, &data).expect("evaluation");
+    assert!(eval.original_accuracy > eval.backbone_accuracy);
+    assert!(eval.protection_margin() > 0.0);
+    assert!(eval.accuracy_degradation() < 0.15);
+}
+
+#[test]
+fn every_rectifier_kind_deploys_and_infers_consistently() {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.05)
+        .seed(3)
+        .generate()
+        .expect("generation");
+    for kind in RectifierKind::ALL {
+        let cfg = config_for(&data, kind);
+        let trained = pipeline::train(&data, &cfg).expect("training");
+        let real_adj = graph::normalization::gcn_normalize(&data.graph);
+        let embs = trained
+            .backbone
+            .embeddings(&data.features)
+            .expect("embeddings");
+        let direct = trained
+            .rectifier
+            .predict(&real_adj, &embs)
+            .expect("direct prediction");
+
+        let mut vault = pipeline::deploy(trained, &data).expect("deployment");
+        let (labels, report) = vault.infer(&data.features).expect("inference");
+        let via_vault: Vec<usize> = labels.iter().map(|l| l.0).collect();
+        assert_eq!(direct, via_vault, "{kind:?}: enclave path must match direct");
+        assert!(report.peak_enclave_bytes < tee::SGX_EPC_BYTES, "{kind:?}");
+        assert!(report.transferred_bytes > 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn all_six_dataset_specs_run_the_pipeline() {
+    for (i, spec) in DatasetSpec::ALL.iter().enumerate() {
+        let data = SyntheticPlanetoid::new(*spec)
+            .scale(0.02)
+            .seed(i as u64)
+            .generate()
+            .expect("generation");
+        data.check_consistency().expect("consistency");
+        let mut cfg = config_for(&data, RectifierKind::Series);
+        cfg.epochs = 30; // keep the sweep fast; accuracy not asserted here
+        cfg.train_original = false;
+        let trained = pipeline::train(&data, &cfg).expect("training");
+        let eval = pipeline::evaluate(&trained, &data).expect("evaluation");
+        assert!(eval.rectifier_accuracy.is_finite(), "{}", spec.name);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_under_seed() {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.04)
+        .seed(5)
+        .generate()
+        .expect("generation");
+    let cfg = config_for(&data, RectifierKind::Series);
+    let a = pipeline::train(&data, &cfg).expect("training a");
+    let b = pipeline::train(&data, &cfg).expect("training b");
+    let eval_a = pipeline::evaluate(&a, &data).expect("eval a");
+    let eval_b = pipeline::evaluate(&b, &data).expect("eval b");
+    assert_eq!(eval_a, eval_b);
+}
+
+#[test]
+fn substitute_quality_orders_rectified_accuracy() {
+    // Random substitute should rectify worse than KNN (Table III shape).
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.06)
+        .seed(9)
+        .generate()
+        .expect("generation");
+    let knn = {
+        let cfg = config_for(&data, RectifierKind::Parallel);
+        let trained = pipeline::train(&data, &cfg).expect("training");
+        pipeline::evaluate(&trained, &data).expect("eval")
+    };
+    let random = {
+        let mut cfg = config_for(&data, RectifierKind::Parallel);
+        cfg.substitute = SubstituteKind::Random { ratio: 1.0 };
+        let trained = pipeline::train(&data, &cfg).expect("training");
+        pipeline::evaluate(&trained, &data).expect("eval")
+    };
+    assert!(
+        knn.rectifier_accuracy >= random.rectifier_accuracy,
+        "knn prec {} < random prec {}",
+        knn.rectifier_accuracy,
+        random.rectifier_accuracy
+    );
+    assert!(knn.backbone_accuracy > random.backbone_accuracy + 0.1);
+}
