@@ -268,8 +268,7 @@ mod tests {
         assert!(attack.run(&g, &[DenseMatrix::zeros(5, 2)]).is_err());
         let empty = Graph::empty(4);
         assert!(attack.run(&empty, &[DenseMatrix::zeros(4, 2)]).is_err());
-        let complete =
-            Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let complete = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
         assert!(attack.run(&complete, &[DenseMatrix::zeros(3, 2)]).is_err());
     }
 

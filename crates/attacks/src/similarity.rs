@@ -62,21 +62,19 @@ impl SimilarityMetric {
     pub fn score(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len(), "similarity inputs must match");
         match self {
-            SimilarityMetric::Euclidean => {
-                -a.iter()
-                    .zip(b)
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum::<f32>()
-                    .sqrt()
-            }
+            SimilarityMetric::Euclidean => -a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt(),
             SimilarityMetric::Correlation => pearson(a, b),
             SimilarityMetric::Cosine => linalg::ops::cosine_similarity(a, b),
-            SimilarityMetric::Chebyshev => {
-                -a.iter()
-                    .zip(b)
-                    .map(|(x, y)| (x - y).abs())
-                    .fold(0.0f32, f32::max)
-            }
+            SimilarityMetric::Chebyshev => -a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max),
             SimilarityMetric::Braycurtis => {
                 let num: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
                 let den: f32 = a.iter().zip(b).map(|(x, y)| (x + y).abs()).sum();
@@ -86,19 +84,18 @@ impl SimilarityMetric {
                     -num / den
                 }
             }
-            SimilarityMetric::Canberra => {
-                -a.iter()
-                    .zip(b)
-                    .map(|(x, y)| {
-                        let den = x.abs() + y.abs();
-                        if den == 0.0 {
-                            0.0
-                        } else {
-                            (x - y).abs() / den
-                        }
-                    })
-                    .sum::<f32>()
-            }
+            SimilarityMetric::Canberra => -a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let den = x.abs() + y.abs();
+                    if den == 0.0 {
+                        0.0
+                    } else {
+                        (x - y).abs() / den
+                    }
+                })
+                .sum::<f32>(),
         }
     }
 }
@@ -176,7 +173,14 @@ mod tests {
         let labels: Vec<&str> = SimilarityMetric::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(
             labels,
-            vec!["Euclidean", "Correlation", "Cosine", "Chebyshev", "Braycurtis", "Canberra"]
+            vec![
+                "Euclidean",
+                "Correlation",
+                "Cosine",
+                "Chebyshev",
+                "Braycurtis",
+                "Canberra"
+            ]
         );
     }
 

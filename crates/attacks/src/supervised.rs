@@ -120,24 +120,25 @@ impl SupervisedLinkAttack {
         let test_pos = &test_pos[..test_pos.len().min(self.max_pairs_per_class)];
 
         // Matching negatives for both splits.
-        let mut sample_negatives = |count: usize, seen: &mut std::collections::HashSet<(usize, usize)>| {
-            let mut out = Vec::with_capacity(count);
-            let mut attempts = 0;
-            while out.len() < count && attempts < count * 200 + 1000 {
-                attempts += 1;
-                let u = rng.gen_range(0..n);
-                let v = rng.gen_range(0..n);
-                if u == v {
-                    continue;
+        let mut sample_negatives =
+            |count: usize, seen: &mut std::collections::HashSet<(usize, usize)>| {
+                let mut out = Vec::with_capacity(count);
+                let mut attempts = 0;
+                while out.len() < count && attempts < count * 200 + 1000 {
+                    attempts += 1;
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u == v {
+                        continue;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    if target.has_edge(key.0, key.1) || !seen.insert(key) {
+                        continue;
+                    }
+                    out.push(key);
                 }
-                let key = (u.min(v), u.max(v));
-                if target.has_edge(key.0, key.1) || !seen.insert(key) {
-                    continue;
-                }
-                out.push(key);
-            }
-            out
-        };
+                out
+            };
         let mut seen = std::collections::HashSet::new();
         let train_neg = sample_negatives(train_pos.len(), &mut seen);
         let test_neg = sample_negatives(test_pos.len(), &mut seen);
@@ -165,15 +166,13 @@ impl SupervisedLinkAttack {
         };
         let mut train_x = featurize(train_pos);
         train_x.extend(featurize(&train_neg));
-        let train_y: Vec<f32> = std::iter::repeat(1.0f32)
-            .take(train_pos.len())
-            .chain(std::iter::repeat(0.0).take(train_neg.len()))
+        let train_y: Vec<f32> = std::iter::repeat_n(1.0f32, train_pos.len())
+            .chain(std::iter::repeat_n(0.0, train_neg.len()))
             .collect();
         let mut test_x = featurize(test_pos);
         test_x.extend(featurize(&test_neg));
-        let test_y: Vec<bool> = std::iter::repeat(true)
-            .take(test_pos.len())
-            .chain(std::iter::repeat(false).take(test_neg.len()))
+        let test_y: Vec<bool> = std::iter::repeat_n(true, test_pos.len())
+            .chain(std::iter::repeat_n(false, test_neg.len()))
             .collect();
 
         let dim = train_x[0].len();
@@ -328,8 +327,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = cluster_graph();
-        let a = SupervisedLinkAttack::new().with_seed(7).run(&g, &[leaky_embeddings()]).unwrap();
-        let b = SupervisedLinkAttack::new().with_seed(7).run(&g, &[leaky_embeddings()]).unwrap();
+        let a = SupervisedLinkAttack::new()
+            .with_seed(7)
+            .run(&g, &[leaky_embeddings()])
+            .unwrap();
+        let b = SupervisedLinkAttack::new()
+            .with_seed(7)
+            .run(&g, &[leaky_embeddings()])
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -39,10 +39,14 @@ fn bench_channel_send(c: &mut Criterion) {
     let m = embedding(1024, 64);
     c.bench_function("channel_send_1024x64", |bencher| {
         bencher.iter(|| {
-            let mut enclave =
-                EnclaveSim::new(tee::SGX_EPC_BYTES, CostModel::default(), OverBudgetPolicy::Swap);
+            let mut enclave = EnclaveSim::new(
+                tee::SGX_EPC_BYTES,
+                CostModel::default(),
+                OverBudgetPolicy::Swap,
+            );
             let mut chan = UntrustedToEnclave::new();
-            chan.send(&mut enclave, codec::encode_dense(&m)).expect("send");
+            chan.send(&mut enclave, codec::encode_dense(&m))
+                .expect("send");
             chan.drain()
         })
     });

@@ -1,10 +1,18 @@
 //! Criterion micro-benchmarks for the compute kernels that dominate the
 //! Fig. 6 time breakdown: dense GEMM (backbone layers), sparse SpMM
 //! (message passing), and GCN normalization.
+//!
+//! Running this bench writes `BENCH_kernels.json` (machine-readable
+//! mean/median per kernel plus the machine's parallelism) so successive
+//! PRs accumulate a perf trajectory. The `spmm_parallel_50k` group is
+//! the headline: sequential vs pool-parallel message passing on a
+//! ≥50k-nonzero synthetic adjacency — on a multi-core runner the
+//! parallel row should be ≥2× faster; on a single core the two rows
+//! coincide (the pool runs inline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph::{normalization, substitute, Graph};
-use linalg::{matmul_blocked, matmul_naive, matmul_threaded, DenseMatrix};
+use linalg::{matmul_blocked, matmul_naive, matmul_threaded, DenseMatrix, SpmmStrategy};
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -55,6 +63,43 @@ fn bench_spmm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_spmm_parallel(c: &mut Criterion) {
+    // ≥50k structural nonzeros after GCN normalization: a 8192-node
+    // ring with 3 chord families is 8192·(1+3)·2 + 8192 ≈ 73.7k.
+    let n = 8192;
+    let g = ring_graph(n, 3);
+    let adj = normalization::gcn_normalize(&g);
+    let h = random_matrix(n, 64, 11);
+    let reference = adj
+        .spmm_with(&h, SpmmStrategy::Sequential)
+        .expect("sequential spmm");
+    let parallel = adj.spmm_parallel(&h).expect("parallel spmm");
+    assert!(
+        parallel.approx_eq(&reference, 1e-4),
+        "parallel spmm must agree with the sequential kernel"
+    );
+
+    let mut group = c.benchmark_group(format!("spmm_parallel_50k/nnz_{}", adj.nnz()));
+    group.bench_function("sequential", |bencher| {
+        bencher.iter(|| adj.spmm_with(&h, SpmmStrategy::Sequential).expect("spmm"))
+    });
+    group.bench_function(
+        format!("parallel_t{}", linalg::pool::num_threads()),
+        |bencher| bencher.iter(|| adj.spmm_parallel(&h).expect("spmm")),
+    );
+    group.bench_function("transposed_sequential", |bencher| {
+        bencher.iter(|| {
+            adj.spmm_transposed_with(&h, SpmmStrategy::Sequential)
+                .expect("spmm_t")
+        })
+    });
+    group.bench_function(
+        format!("transposed_parallel_t{}", linalg::pool::num_threads()),
+        |bencher| bencher.iter(|| adj.spmm_transposed_parallel(&h).expect("spmm_t")),
+    );
+    group.finish();
+}
+
 fn bench_normalization(c: &mut Criterion) {
     let g = ring_graph(4096, 3);
     c.bench_function("gcn_normalize_4096", |bencher| {
@@ -81,6 +126,7 @@ criterion_group!(
     benches,
     bench_gemm,
     bench_spmm,
+    bench_spmm_parallel,
     bench_normalization,
     bench_substitute_generation
 );

@@ -79,13 +79,23 @@ fn bench_rectifier_training_epoch(c: &mut Criterion) {
         bencher.iter_batched(
             || trained.rectifier.clone(),
             |mut rect| {
-                rect.fit(&real_adj, &embeddings, &data.labels, &data.train_mask, &one_epoch)
-                    .expect("epoch")
+                rect.fit(
+                    &real_adj,
+                    &embeddings,
+                    &data.labels,
+                    &data.train_mask,
+                    &one_epoch,
+                )
+                .expect("epoch")
             },
             criterion::BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group!(benches, bench_vault_inference, bench_rectifier_training_epoch);
+criterion_group!(
+    benches,
+    bench_vault_inference,
+    bench_rectifier_training_epoch
+);
 criterion_main!(benches);

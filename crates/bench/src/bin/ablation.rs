@@ -35,7 +35,10 @@ fn main() {
     let eval = pipeline::evaluate(&trained, &data).expect("evaluation");
 
     // --- 1. Rectifier convolution architecture ---
-    println!("Ablation 1: rectifier convolution architecture ({})", data.name);
+    println!(
+        "Ablation 1: rectifier convolution architecture ({})",
+        data.name
+    );
     println!("{:<12} {:>8} {:>10}", "conv", "prec%", "θrec(M)");
     let embeddings = trained
         .backbone
@@ -58,8 +61,14 @@ fn main() {
         )
         .expect("rectifier construction");
         let adj = rect.preferred_adjacency(&data.graph);
-        rect.fit(&adj, &embeddings, &data.labels, &data.train_mask, &train_cfg)
-            .expect("rectifier training");
+        rect.fit(
+            &adj,
+            &embeddings,
+            &data.labels,
+            &data.train_mask,
+            &train_cfg,
+        )
+        .expect("rectifier training");
         let prec = metrics::masked_accuracy(
             &rect.predict(&adj, &embeddings).expect("predict"),
             &data.labels,
@@ -73,7 +82,11 @@ fn main() {
             rect.param_count() as f64 / 1e6
         );
     }
-    println!("(backbone pbb = {}%, original porg = {}%)\n", pct(eval.backbone_accuracy), pct(eval.original_accuracy));
+    println!(
+        "(backbone pbb = {}%, original porg = {}%)\n",
+        pct(eval.backbone_accuracy),
+        pct(eval.original_accuracy)
+    );
 
     // --- 2. One-way vs hypothetical two-way channel ---
     println!("Ablation 2: what the one-way channel rule protects");

@@ -73,9 +73,7 @@ fn main() {
     };
     let p_org = acc(&original.predict(&data.features).expect("predict"));
     let p_bb = acc(&backbone.predict(&data.features).expect("predict"));
-    let p_rec = acc(&rectifier
-        .predict(&real_adj, &embeddings)
-        .expect("predict"));
+    let p_rec = acc(&rectifier.predict(&real_adj, &embeddings).expect("predict"));
     println!("Fig. 4: embedding clustering quality, {}", data.name);
     println!(
         "accuracies: original {:.1}% | backbone {:.1}% | rectifier {:.1}%\n",

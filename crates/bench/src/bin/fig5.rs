@@ -81,8 +81,7 @@ fn main() {
         println!("  KNN substitute: k sweep");
         println!("  {:>4} {:>7} {:>7}", "k", "pbb%", "prec%");
         for k in [1usize, 2, 3, 4, 6, 8] {
-            let (pbb, prec) =
-                run_point(&data, SubstituteKind::Knn { k }, ch, &cfg, args.seed);
+            let (pbb, prec) = run_point(&data, SubstituteKind::Knn { k }, ch, &cfg, args.seed);
             println!("  {:>4} {:>7} {:>7}", k, pct(pbb), pct(prec));
         }
 
@@ -102,13 +101,8 @@ fn main() {
         println!("  random substitute: edge-percentage sweep");
         println!("  {:>5} {:>7} {:>7}", "ratio", "pbb%", "prec%");
         for ratio in [0.01f64, 0.1, 0.5, 1.0, 1.5, 2.0] {
-            let (pbb, prec) = run_point(
-                &data,
-                SubstituteKind::Random { ratio },
-                ch,
-                &cfg,
-                args.seed,
-            );
+            let (pbb, prec) =
+                run_point(&data, SubstituteKind::Random { ratio }, ch, &cfg, args.seed);
             println!("  {:>5.2} {:>7} {:>7}", ratio, pct(pbb), pct(prec));
         }
         println!();

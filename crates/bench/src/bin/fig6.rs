@@ -20,7 +20,8 @@ use tee::MB;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let configs: [(&DatasetSpec, fn(usize) -> ModelConfig, &str); 3] = [
+    type Preset = (&'static DatasetSpec, fn(usize) -> ModelConfig, &'static str);
+    let configs: [Preset; 3] = [
         (&DatasetSpec::CORA, ModelConfig::m1, "M1 (Cora)"),
         (&DatasetSpec::CORAFULL, ModelConfig::m2, "M2 (CoraFull)"),
         (&DatasetSpec::COMPUTER, ModelConfig::m3, "M3 (Computer)"),
@@ -56,7 +57,9 @@ fn main() {
         let _ = original.predict(&data.features).expect("baseline warmup");
         let start = Instant::now();
         for _ in 0..REPS {
-            let _ = original.predict(&data.features).expect("baseline inference");
+            let _ = original
+                .predict(&data.features)
+                .expect("baseline inference");
         }
         let unprotected_ms = start.elapsed().as_nanos() as f64 / 1e6 / REPS as f64;
 
@@ -116,7 +119,10 @@ fn main() {
     }
 
     println!("\nFig. 6 (bottom): enclave runtime memory usage");
-    println!("{:<14} {:<9} {:>12} {:>10}", "model", "rectifier", "peak (MB)", "fits EPC?");
+    println!(
+        "{:<14} {:<9} {:>12} {:>10}",
+        "model", "rectifier", "peak (MB)", "fits EPC?"
+    );
     println!("{}", "-".repeat(50));
     for (label, kind, mb) in &memory_rows {
         println!(
@@ -124,7 +130,11 @@ fn main() {
             label,
             kind,
             mb,
-            if *mb < (tee::SGX_EPC_BYTES / MB) as f64 { "yes" } else { "NO" }
+            if *mb < (tee::SGX_EPC_BYTES / MB) as f64 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!(

@@ -29,7 +29,10 @@ fn main() {
         );
     }
 
-    println!("\nSynthetic stand-ins generated at harness scale (seed {}):", args.seed);
+    println!(
+        "\nSynthetic stand-ins generated at harness scale (seed {}):",
+        args.seed
+    );
     println!(
         "{:<16} {:>7} {:>8} {:>9} {:>7} {:>10} {:>9}",
         "Dataset@scale", "#Node", "#Edge*2", "#Feature", "#Class", "homophily", "density"

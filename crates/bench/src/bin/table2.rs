@@ -29,10 +29,19 @@ fn main() {
     );
     println!(
         "{:<10} | {:>7} {:>8} {:>7} | {:>7} {:>7} {:>8} | {:>7} {:>7} {:>8} | {:>7} {:>7} {:>8}",
-        "Dataset", "porg%", "θbb(M)", "pbb%",
-        "prec%", "Δp%", "θrec(M)",
-        "prec%", "Δp%", "θrec(M)",
-        "prec%", "Δp%", "θrec(M)"
+        "Dataset",
+        "porg%",
+        "θbb(M)",
+        "pbb%",
+        "prec%",
+        "Δp%",
+        "θrec(M)",
+        "prec%",
+        "Δp%",
+        "θrec(M)",
+        "prec%",
+        "Δp%",
+        "θrec(M)"
     );
     println!("{}", "-".repeat(128));
 

@@ -152,14 +152,25 @@ mod tests {
     #[test]
     fn args_parse_flags_and_ignore_unknown() {
         let args = HarnessArgs::parse(
-            ["--epochs", "10", "--mystery", "--scale", "0.5", "--seed", "7"]
-                .into_iter()
-                .map(String::from),
+            [
+                "--epochs",
+                "10",
+                "--mystery",
+                "--scale",
+                "0.5",
+                "--seed",
+                "7",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(args.epochs, 10);
         assert_eq!(args.scale_mult, 0.5);
         assert_eq!(args.seed, 7);
-        assert_eq!(HarnessArgs::parse(std::iter::empty()), HarnessArgs::default());
+        assert_eq!(
+            HarnessArgs::parse(std::iter::empty()),
+            HarnessArgs::default()
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl CitationDataset {
             ));
         }
         if self.labels.len() != n {
-            return Err(format!("label count {} != node count {n}", self.labels.len()));
+            return Err(format!(
+                "label count {} != node count {n}",
+                self.labels.len()
+            ));
         }
         if let Some(&bad) = self.labels.iter().find(|&&l| l >= self.num_classes) {
             return Err(format!("label {bad} >= class count {}", self.num_classes));

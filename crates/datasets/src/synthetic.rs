@@ -145,8 +145,7 @@ impl SyntheticPlanetoid {
         let spec = &self.spec;
         let n = ((spec.num_nodes as f64 * self.scale).round() as usize).max(spec.num_classes * 4);
         let d = ((spec.num_features as f64 * self.scale).round() as usize).max(24);
-        let target_edges =
-            ((spec.undirected_edges() as f64 * self.scale).round() as usize).max(n);
+        let target_edges = ((spec.undirected_edges() as f64 * self.scale).round() as usize).max(n);
         let classes = spec.num_classes;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -288,7 +287,11 @@ mod tests {
         d.check_consistency().unwrap();
         assert_eq!(d.num_classes, 7);
         // ~5% of 2708 nodes.
-        assert!(d.num_nodes() >= 120 && d.num_nodes() <= 150, "{}", d.num_nodes());
+        assert!(
+            d.num_nodes() >= 120 && d.num_nodes() <= 150,
+            "{}",
+            d.num_nodes()
+        );
     }
 
     #[test]

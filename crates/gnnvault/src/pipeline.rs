@@ -7,8 +7,7 @@
 //! ```
 
 use crate::{
-    Backbone, ModelConfig, OriginalGnn, Rectifier, RectifierKind, SubstituteKind, Vault,
-    VaultError,
+    Backbone, ModelConfig, OriginalGnn, Rectifier, RectifierKind, SubstituteKind, Vault, VaultError,
 };
 use datasets::CitationDataset;
 use graph::normalization;
@@ -189,8 +188,7 @@ pub fn evaluate(
 
     let rect_preds = trained.rectifier.predict(&real_adj, &embeddings)?;
     let rectifier_accuracy =
-        metrics::masked_accuracy(&rect_preds, &data.labels, &data.test_mask)
-            .unwrap_or(f32::NAN);
+        metrics::masked_accuracy(&rect_preds, &data.labels, &data.test_mask).unwrap_or(f32::NAN);
 
     let original_accuracy = match &trained.original {
         Some(model) => {
@@ -224,7 +222,7 @@ pub fn deploy(trained: TrainedGnnVault, data: &CitationDataset) -> Result<Vault,
         tee::SGX_EPC_BYTES,
         CostModel::default(),
         OverBudgetPolicy::Fail,
-        SealKey(0x6E6E_7661_756C_74 as u128),
+        SealKey(0x006E_6E76_6175_6C74_u128),
     )
 }
 

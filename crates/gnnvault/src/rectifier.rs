@@ -1,5 +1,5 @@
 use crate::VaultError;
-use linalg::{ops, CsrMatrix, DenseMatrix};
+use linalg::{ops, CsrMatrix, DenseMatrix, Workspace};
 use nn::{loss, Adam, ConvForward, ConvKind, ConvLayer, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,9 +49,7 @@ impl RectifierKind {
     /// enclave, given the backbone layer widths.
     pub fn tap_indices(&self, backbone_dims: &[usize], rectifier_layers: usize) -> Vec<usize> {
         match self {
-            RectifierKind::Parallel => {
-                (0..rectifier_layers.min(backbone_dims.len())).collect()
-            }
+            RectifierKind::Parallel => (0..rectifier_layers.min(backbone_dims.len())).collect(),
             RectifierKind::Cascaded => (0..backbone_dims.len()).collect(),
             RectifierKind::Series => vec![backbone_dims.len().saturating_sub(2)],
         }
@@ -75,12 +73,55 @@ pub struct Rectifier {
 }
 
 /// Forward-pass artifacts: per-layer post-activation outputs (hidden
-/// layers ReLU-ed, last raw logits) plus the caches for training.
+/// layers ReLU-ed, last raw logits) plus the caches and owned layer
+/// inputs needed for training.
 #[derive(Debug, Clone)]
 pub struct RectifierForward {
     /// Post-activation output of each rectifier layer.
     pub activations: Vec<DenseMatrix>,
     caches: Vec<ConvForward>,
+    /// What each layer consumed: an owned concatenation, or a borrow of
+    /// a backbone tap / the previous activation (never a copy).
+    inputs: Vec<StoredInput>,
+}
+
+/// How a rectifier layer's input is stored in [`RectifierForward`].
+///
+/// Inputs that alias an existing tensor (a backbone embedding or the
+/// previous layer's activation) are recorded as references, so forward
+/// passes copy nothing; only genuine concatenations are owned.
+#[derive(Debug, Clone)]
+enum StoredInput {
+    /// A concatenated input that exists nowhere else.
+    Owned(DenseMatrix),
+    /// Backbone embedding at this index.
+    Tap(usize),
+    /// The previous rectifier layer's activation.
+    Prev,
+}
+
+impl StoredInput {
+    /// Resolves to the actual tensor, given the embeddings the forward
+    /// ran on and the activations produced so far.
+    fn resolve<'a>(
+        &'a self,
+        i: usize,
+        backbone_embeddings: &'a [DenseMatrix],
+        activations: &'a [DenseMatrix],
+    ) -> &'a DenseMatrix {
+        match self {
+            StoredInput::Owned(m) => m,
+            StoredInput::Tap(t) => &backbone_embeddings[*t],
+            StoredInput::Prev => &activations[i - 1],
+        }
+    }
+}
+
+impl RectifierForward {
+    /// Resolves layer `i`'s input against the embeddings it was run on.
+    fn input<'a>(&'a self, i: usize, backbone_embeddings: &'a [DenseMatrix]) -> &'a DenseMatrix {
+        self.inputs[i].resolve(i, backbone_embeddings, &self.activations)
+    }
 }
 
 impl RectifierForward {
@@ -178,9 +219,7 @@ impl Rectifier {
     pub fn preferred_adjacency(&self, real_graph: &graph::Graph) -> CsrMatrix {
         match self.conv {
             ConvKind::Sage => graph::normalization::row_normalize(real_graph),
-            ConvKind::Gcn | ConvKind::Gat => {
-                graph::normalization::gcn_normalize(real_graph)
-            }
+            ConvKind::Gcn | ConvKind::Gat => graph::normalization::gcn_normalize(real_graph),
         }
     }
 
@@ -249,47 +288,61 @@ impl Rectifier {
     /// Indices of the backbone embeddings this rectifier consumes — the
     /// exact tensors that must cross into the enclave.
     pub fn tap_indices(&self) -> Vec<usize> {
-        self.kind.tap_indices(&self.backbone_dims, self.layers.len())
+        self.kind
+            .tap_indices(&self.backbone_dims, self.layers.len())
     }
 
     /// Builds the input to layer `i` from backbone taps and the previous
-    /// activation, following the wiring rules.
+    /// activation, following the wiring rules. Inputs that alias an
+    /// existing tensor are recorded as [`StoredInput::Tap`]/
+    /// [`StoredInput::Prev`] (no copy); concatenations draw their
+    /// buffer from `ws`.
     fn layer_input(
         &self,
         i: usize,
         backbone_embeddings: &[DenseMatrix],
         prev: Option<&DenseMatrix>,
-    ) -> Result<DenseMatrix, VaultError> {
+        ws: &mut Workspace,
+    ) -> Result<StoredInput, VaultError> {
         let input = match self.kind {
             RectifierKind::Parallel => {
                 if i == 0 {
-                    backbone_embeddings[0].clone()
+                    StoredInput::Tap(0)
                 } else {
                     let prev = prev.expect("layer > 0 has a previous activation");
                     match backbone_embeddings.get(i) {
-                        Some(emb) => DenseMatrix::hconcat(&[prev, emb])?,
-                        None => prev.clone(),
+                        Some(emb) => {
+                            let mut concat =
+                                ws.take_for_overwrite(prev.rows(), prev.cols() + emb.cols());
+                            DenseMatrix::hconcat_into(&[prev, emb], &mut concat)?;
+                            StoredInput::Owned(concat)
+                        }
+                        None => StoredInput::Prev,
                     }
                 }
             }
             RectifierKind::Cascaded => {
                 if i == 0 {
-                    let refs: Vec<&DenseMatrix> = backbone_embeddings.iter().collect();
-                    DenseMatrix::hconcat(&refs)?
+                    if backbone_embeddings.len() == 1 {
+                        StoredInput::Tap(0)
+                    } else {
+                        let refs: Vec<&DenseMatrix> = backbone_embeddings.iter().collect();
+                        let rows = refs[0].rows();
+                        let cols = refs.iter().map(|m| m.cols()).sum();
+                        let mut concat = ws.take_for_overwrite(rows, cols);
+                        DenseMatrix::hconcat_into(&refs, &mut concat)?;
+                        StoredInput::Owned(concat)
+                    }
                 } else {
-                    prev.expect("layer > 0 has a previous activation").clone()
+                    StoredInput::Prev
                 }
             }
             RectifierKind::Series => {
                 if i == 0 {
                     let tap = self.backbone_dims.len().saturating_sub(2);
-                    backbone_embeddings
-                        .get(tap)
-                        .or_else(|| backbone_embeddings.last())
-                        .expect("backbone produced embeddings")
-                        .clone()
+                    StoredInput::Tap(tap.min(backbone_embeddings.len() - 1))
                 } else {
-                    prev.expect("layer > 0 has a previous activation").clone()
+                    StoredInput::Prev
                 }
             }
         };
@@ -308,6 +361,23 @@ impl Rectifier {
         real_adj: &CsrMatrix,
         backbone_embeddings: &[DenseMatrix],
     ) -> Result<RectifierForward, VaultError> {
+        self.forward_ws(real_adj, backbone_embeddings, &mut Workspace::new())
+    }
+
+    /// Forward pass drawing every concatenation, projection, and
+    /// activation buffer from `ws`; [`Rectifier::fit`] recycles them
+    /// across epochs so the training loop allocates nothing in steady
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rectifier::forward`].
+    pub fn forward_ws(
+        &self,
+        real_adj: &CsrMatrix,
+        backbone_embeddings: &[DenseMatrix],
+        ws: &mut Workspace,
+    ) -> Result<RectifierForward, VaultError> {
         if backbone_embeddings.len() != self.backbone_dims.len() {
             return Err(VaultError::InvalidConfig {
                 reason: format!(
@@ -320,20 +390,25 @@ impl Rectifier {
         let last = self.layers.len() - 1;
         let mut activations: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
         let mut caches = Vec::with_capacity(self.layers.len());
+        let mut inputs = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
-            let input = self.layer_input(i, backbone_embeddings, activations.last())?;
-            let cache = layer.forward(real_adj, &input)?;
-            let out = if i == last {
-                cache.output().clone()
-            } else {
-                ops::relu(cache.output())
+            let stored = self.layer_input(i, backbone_embeddings, activations.last(), ws)?;
+            let cache = {
+                let input = stored.resolve(i, backbone_embeddings, &activations);
+                layer.forward_ws(real_adj, input, ws)?
             };
+            let mut out = ws.take_copy(cache.output());
+            if i != last {
+                out.map_inplace(|v| v.max(0.0));
+            }
             activations.push(out);
             caches.push(cache);
+            inputs.push(stored);
         }
         Ok(RectifierForward {
             activations,
             caches,
+            inputs,
         })
     }
 
@@ -354,10 +429,12 @@ impl Rectifier {
     ) -> Result<nn::TrainReport, VaultError> {
         let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
         let mut final_loss = f32::NAN;
+        // Shared across epochs: epoch N's activations, concatenations,
+        // and gradients become epoch N+1's buffers.
+        let mut ws = Workspace::new();
         for _ in 0..cfg.epochs {
-            let fwd = self.forward(real_adj, backbone_embeddings)?;
-            let (loss_value, grad) =
-                loss::masked_cross_entropy(fwd.logits(), labels, train_mask)?;
+            let fwd = self.forward_ws(real_adj, backbone_embeddings, &mut ws)?;
+            let (loss_value, grad) = loss::masked_cross_entropy(fwd.logits(), labels, train_mask)?;
             final_loss = loss_value;
 
             for layer in &mut self.layers {
@@ -367,16 +444,23 @@ impl Rectifier {
             }
             let mut d = grad;
             for i in (0..self.layers.len()).rev() {
-                let d_input = self.layers[i].backward(&fwd.caches[i], real_adj, &d)?;
+                let input = fwd.input(i, backbone_embeddings);
+                let d_input = self.layers[i].backward(&fwd.caches[i], input, real_adj, &d)?;
                 if i > 0 {
                     // Keep only the slice of the gradient that flows into
                     // the previous rectifier layer; gradients w.r.t. the
                     // frozen backbone embeddings are discarded.
                     let prev_width = self.layers[i - 1].out_dim();
                     let d_prev = d_input.slice_cols(0, prev_width)?;
-                    d = ops::relu_backward(fwd.caches[i - 1].output(), &d_prev);
+                    let next = ops::relu_backward(fwd.caches[i - 1].output(), &d_prev);
+                    ws.give(d_input);
+                    ws.give(d_prev);
+                    ws.give(std::mem::replace(&mut d, next));
+                } else {
+                    ws.give(d_input);
                 }
             }
+            ws.give(d);
 
             opt.begin_step();
             for layer in &mut self.layers {
@@ -384,8 +468,23 @@ impl Rectifier {
                     opt.update(param);
                 }
             }
+
+            // Recycle this epoch's tensors.
+            for activation in fwd.activations {
+                ws.give(activation);
+            }
+            for cache in fwd.caches {
+                for buf in cache.into_buffers() {
+                    ws.give(buf);
+                }
+            }
+            for input in fwd.inputs {
+                if let StoredInput::Owned(m) = input {
+                    ws.give(m);
+                }
+            }
         }
-        let fwd = self.forward(real_adj, backbone_embeddings)?;
+        let fwd = self.forward_ws(real_adj, backbone_embeddings, &mut ws)?;
         let train_accuracy = loss::masked_accuracy(fwd.logits(), labels, train_mask)?;
         Ok(nn::TrainReport {
             final_loss,
@@ -550,14 +649,9 @@ mod tests {
             let adj = real_adj(n);
             let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
             let mask: Vec<usize> = (0..n).collect();
-            let mut rect = Rectifier::new_with_conv(
-                RectifierKind::Parallel,
-                conv,
-                &[6, 4, 2],
-                &[8, 4, 2],
-                2,
-            )
-            .unwrap();
+            let mut rect =
+                Rectifier::new_with_conv(RectifierKind::Parallel, conv, &[6, 4, 2], &[8, 4, 2], 2)
+                    .unwrap();
 
             // One epoch with lr = 0 leaves weights unchanged but fills
             // the gradient accumulators through fit's backward pass.
@@ -617,8 +711,7 @@ mod tests {
         };
         for conv in [ConvKind::Sage, ConvKind::Gat] {
             let mut rect =
-                Rectifier::new_with_conv(RectifierKind::Series, conv, &[8, 2], &[4, 2], 3)
-                    .unwrap();
+                Rectifier::new_with_conv(RectifierKind::Series, conv, &[8, 2], &[4, 2], 3).unwrap();
             assert_eq!(rect.conv(), conv);
             let adj = rect.preferred_adjacency(&g);
             let report = rect.fit(&adj, &embs, &labels, &mask, &cfg).unwrap();

@@ -81,7 +81,7 @@ impl SubstituteKind {
                 )?)
             }
             SubstituteKind::Random { ratio } => {
-                if !(ratio >= 0.0) || !ratio.is_finite() {
+                if ratio < 0.0 || !ratio.is_finite() {
                     return Err(VaultError::InvalidConfig {
                         reason: format!("random edge ratio must be finite and >= 0, got {ratio}"),
                     });
@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn dnn_builds_nothing() {
-        assert!(SubstituteKind::Dnn.build(&features(), 4, 0).unwrap().is_none());
+        assert!(SubstituteKind::Dnn
+            .build(&features(), 4, 0)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

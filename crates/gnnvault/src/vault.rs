@@ -358,8 +358,7 @@ mod tests {
         .unwrap();
         let labels = vec![0, 0, 0, 1, 1, 1];
         let train = vec![0, 1, 3, 4];
-        let real = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-            .unwrap();
+        let real = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
         let cfg = TrainConfig {
             epochs: 60,
             lr: 0.05,
@@ -378,8 +377,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let mut rectifier =
-            Rectifier::new(kind, &[8, 4, 2], &backbone.channel_dims(), 2).unwrap();
+        let mut rectifier = Rectifier::new(kind, &[8, 4, 2], &backbone.channel_dims(), 2).unwrap();
         let real_adj = graph::normalization::gcn_normalize(&real);
         let embs = backbone.embeddings(&x).unwrap();
         rectifier
@@ -404,17 +402,15 @@ mod tests {
             let (mut vault, x, labels) = toy_vault(kind);
             let (preds, report) = vault.infer(&x).unwrap();
             assert_eq!(preds.len(), 6, "{kind:?}");
-            let acc = preds
-                .iter()
-                .zip(&labels)
-                .filter(|(p, &l)| p.0 == l)
-                .count() as f32
-                / 6.0;
+            let acc = preds.iter().zip(&labels).filter(|(p, &l)| p.0 == l).count() as f32 / 6.0;
             assert!(acc >= 0.5, "{kind:?} acc {acc}");
             assert!(report.transferred_bytes > 0);
             assert!(report.transfer_ns > 0);
             assert!(report.peak_enclave_bytes > 0);
-            assert_eq!(report.transitions, vault.rectifier.tap_indices().len() as u64);
+            assert_eq!(
+                report.transitions,
+                vault.rectifier.tap_indices().len() as u64
+            );
         }
     }
 
@@ -445,6 +441,7 @@ mod tests {
         for kind in RectifierKind::ALL {
             let (mut vault, x, _) = toy_vault(kind);
             let (full_labels, _) = vault.infer(&x).unwrap();
+            #[allow(clippy::needless_range_loop)] // node is also the query argument
             for node in 0..x.rows() {
                 let (label, report) = vault.infer_node(&x, node).unwrap();
                 assert_eq!(
@@ -486,8 +483,7 @@ mod tests {
         )
         .unwrap();
         let rectifier =
-            Rectifier::new(RectifierKind::Series, &[4, 2], &backbone.channel_dims(), 0)
-                .unwrap();
+            Rectifier::new(RectifierKind::Series, &[4, 2], &backbone.channel_dims(), 0).unwrap();
         let result = Vault::deploy(
             backbone,
             rectifier,

@@ -95,7 +95,10 @@ impl Graph {
     ///
     /// Panics if either node index is out of bounds.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        assert!(u < self.num_nodes && v < self.num_nodes, "node out of bounds");
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "node out of bounds"
+        );
         if u == v {
             return false;
         }

@@ -29,7 +29,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node index {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node index {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed here")
@@ -49,7 +52,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::NodeOutOfBounds { node: 7, num_nodes: 4 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 7,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains("7"));
         let e = GraphError::SelfLoop { node: 2 };
         assert!(e.to_string().contains("self-loop"));

@@ -45,8 +45,8 @@ pub fn gcn_normalize_with_degrees(graph: &Graph, degrees: &[usize]) -> CsrMatrix
         .map(|&d| 1.0 / ((d as f32 + 1.0).sqrt()))
         .collect();
     let mut triplets = Vec::with_capacity(graph.num_edges() * 2 + n);
-    for i in 0..n {
-        triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
+    for (i, &isq) in inv_sqrt.iter().enumerate() {
+        triplets.push((i, i, isq * isq));
     }
     for &(u, v) in graph.edges() {
         let w = inv_sqrt[u] * inv_sqrt[v];
@@ -63,8 +63,8 @@ pub fn row_normalize(graph: &Graph) -> CsrMatrix {
     let degrees = graph.degrees();
     let inv: Vec<f32> = degrees.iter().map(|&d| 1.0 / (d as f32 + 1.0)).collect();
     let mut triplets = Vec::with_capacity(graph.num_edges() * 2 + n);
-    for i in 0..n {
-        triplets.push((i, i, inv[i]));
+    for (i, &w) in inv.iter().enumerate() {
+        triplets.push((i, i, w));
     }
     for &(u, v) in graph.edges() {
         triplets.push((u, v, inv[u]));
@@ -145,6 +145,9 @@ mod tests {
         let av = a.spmm(&v).unwrap();
         let lambda = av.frobenius_norm() / v.frobenius_norm();
         assert!(lambda <= 1.0 + 1e-4, "spectral radius {lambda}");
-        assert!(lambda > 0.9, "dominant eigenvalue should be ~1, got {lambda}");
+        assert!(
+            lambda > 0.9,
+            "dominant eigenvalue should be ~1, got {lambda}"
+        );
     }
 }

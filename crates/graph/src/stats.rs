@@ -69,8 +69,8 @@ mod tests {
 
     #[test]
     fn density_of_complete_and_empty() {
-        let complete = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let complete =
+            Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert!((density(&complete) - 1.0).abs() < 1e-12);
         assert_eq!(density(&Graph::empty(4)), 0.0);
         assert_eq!(density(&Graph::empty(1)), 0.0);

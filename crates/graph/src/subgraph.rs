@@ -179,11 +179,8 @@ mod tests {
         // degrees computes the center's k-layer GCN propagation exactly,
         // even though boundary nodes lost edges.
         use linalg::DenseMatrix;
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (1, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (1, 3)])
+            .unwrap();
         let x = DenseMatrix::from_fn(7, 3, |r, c| ((r * 3 + c) as f32).sin());
         let full_adj = crate::normalization::gcn_normalize(&g);
         // Two propagation steps on the full graph.
@@ -192,10 +189,8 @@ mod tests {
         let center = 3usize;
         let ego = ego_graph(&g, center, 2).unwrap();
         let ego_x = x.select_rows(&ego.original_ids).unwrap();
-        let ego_adj = crate::normalization::gcn_normalize_with_degrees(
-            &ego.graph,
-            &ego.original_degrees,
-        );
+        let ego_adj =
+            crate::normalization::gcn_normalize_with_degrees(&ego.graph, &ego.original_degrees);
         let local = ego_adj.spmm(&ego_adj.spmm(&ego_x).unwrap()).unwrap();
 
         for c in 0..3 {

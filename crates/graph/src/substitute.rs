@@ -54,14 +54,18 @@ pub fn knn_graph(features: &DenseMatrix, k: usize) -> Result<Graph, GraphError> 
     }
     let sims = similarity_rows(features);
     let mut edges = Vec::with_capacity(n * k);
+    #[allow(clippy::needless_range_loop)] // pairwise index loops read best as indices
     for u in 0..n {
         let mut scored: Vec<(usize, f32)> = (0..n)
             .filter(|&v| v != u)
             .map(|v| (v, sims[u][v]))
             .collect();
         // Sort by similarity descending, tie-break on index for determinism.
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         for &(v, _) in scored.iter().take(k) {
             edges.push((u, v));
         }
@@ -85,6 +89,7 @@ pub fn cosine_graph(features: &DenseMatrix, tau: f32) -> Result<Graph, GraphErro
     let n = features.rows();
     let sims = similarity_rows(features);
     let mut edges = Vec::new();
+    #[allow(clippy::needless_range_loop)] // pairwise index loops read best as indices
     for u in 0..n {
         for v in u + 1..n {
             if sims[u][v] >= tau {
@@ -120,6 +125,7 @@ pub fn cosine_graph_with_budget(
     }
     let sims = similarity_rows(features);
     let mut all: Vec<f32> = Vec::with_capacity(max_edges);
+    #[allow(clippy::needless_range_loop)] // pairwise index loops read best as indices
     for u in 0..n {
         for v in u + 1..n {
             all.push(sims[u][v]);
@@ -179,6 +185,7 @@ fn similarity_rows(features: &DenseMatrix) -> Vec<Vec<f32>> {
     let mut normalized = features.clone();
     ops::l2_normalize_rows(&mut normalized);
     let mut sims = vec![vec![0.0f32; n]; n];
+    #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
     for u in 0..n {
         let ru = normalized.row(u);
         for v in u + 1..n {

@@ -304,6 +304,48 @@ impl DenseMatrix {
         Ok(out)
     }
 
+    /// Adds `bias` (a length-`cols` vector) to every row in place —
+    /// the allocation-free sibling of [`DenseMatrix::add_row_broadcast`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `bias.len() != cols`.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &[f32]) -> Result<(), LinalgError> {
+        if bias.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: (1, bias.len()),
+            });
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplies elementwise by `other` in place — the allocation-free
+    /// sibling of [`DenseMatrix::hadamard`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn hadamard_inplace(&mut self, other: &DenseMatrix) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hadamard",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+        Ok(())
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
@@ -360,6 +402,47 @@ impl DenseMatrix {
             }
         }
         Ok(out)
+    }
+
+    /// Concatenates matrices horizontally into `out`, overwriting it —
+    /// the buffer-reusing sibling of [`DenseMatrix::hconcat`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseMatrix::hconcat`], plus
+    /// [`LinalgError::ShapeMismatch`] when `out` has the wrong shape.
+    pub fn hconcat_into(parts: &[&DenseMatrix], out: &mut DenseMatrix) -> Result<(), LinalgError> {
+        let first = parts.first().ok_or(LinalgError::DataLength {
+            expected: 1,
+            actual: 0,
+        })?;
+        let rows = first.rows;
+        let total_cols: usize = parts.iter().map(|p| p.cols).sum();
+        for p in parts {
+            if p.rows != rows {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "hconcat",
+                    lhs: (rows, first.cols),
+                    rhs: p.shape(),
+                });
+            }
+        }
+        if out.shape() != (rows, total_cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hconcat_into",
+                lhs: (rows, total_cols),
+                rhs: out.shape(),
+            });
+        }
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                out.data[r * total_cols + offset..r * total_cols + offset + p.cols]
+                    .copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        Ok(())
     }
 
     /// Extracts the sub-matrix of columns `[start, end)`.

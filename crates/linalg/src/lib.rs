@@ -30,16 +30,23 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the scoped
+// lifetime transmute in `pool`, which carries its soundness argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dense;
 mod error;
 mod gemm;
 pub mod ops;
+pub mod pool;
 mod sparse;
+mod workspace;
 
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
-pub use gemm::{matmul, matmul_blocked, matmul_naive, matmul_threaded, GemmStrategy};
-pub use sparse::CsrMatrix;
+pub use gemm::{
+    matmul, matmul_blocked, matmul_into, matmul_naive, matmul_threaded, matmul_with, GemmStrategy,
+};
+pub use sparse::{CsrMatrix, SpmmStrategy};
+pub use workspace::Workspace;

@@ -48,7 +48,11 @@ pub fn leaky_relu(x: &DenseMatrix, alpha: f32) -> DenseMatrix {
 ///
 /// Panics if shapes differ.
 pub fn leaky_relu_backward(x: &DenseMatrix, grad: &DenseMatrix, alpha: f32) -> DenseMatrix {
-    assert_eq!(x.shape(), grad.shape(), "leaky_relu_backward shape mismatch");
+    assert_eq!(
+        x.shape(),
+        grad.shape(),
+        "leaky_relu_backward shape mismatch"
+    );
     let mut out = grad.clone();
     for (o, &xv) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
         if xv < 0.0 {

@@ -1,5 +1,26 @@
-use crate::{DenseMatrix, LinalgError};
+use crate::{pool, DenseMatrix, LinalgError};
 use serde::{Deserialize, Serialize};
+
+/// FLOP threshold (`nnz × rhs.cols()` multiply-adds) above which
+/// [`SpmmStrategy::Auto`] parallelizes, provided the shared pool has
+/// more than one worker. Below it the dispatch overhead (one channel
+/// send + two atomics per chunk) is not worth amortizing.
+const SPMM_PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Strategy selector for [`CsrMatrix::spmm_with`], mirroring
+/// [`crate::GemmStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpmmStrategy {
+    /// Choose by nonzero count: parallel when `nnz × n` crosses
+    /// [`SPMM_PARALLEL_FLOP_THRESHOLD`] and the pool has >1 worker.
+    #[default]
+    Auto,
+    /// Single-threaded row loop (the reference kernel).
+    Sequential,
+    /// Row-partitioned across the shared worker pool, chunks balanced
+    /// by nonzero count.
+    Parallel,
+}
 
 /// A compressed sparse row (CSR) matrix of `f32` values.
 ///
@@ -23,7 +44,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -33,6 +54,21 @@ pub struct CsrMatrix {
     col_idx: Vec<usize>,
     /// Non-zero values, parallel to `col_idx`.
     values: Vec<f32>,
+    /// Lazily built transpose, shared by repeated transpose-multiplies
+    /// (every backward pass of every epoch hits it). Sound because the
+    /// structure is immutable after construction. Excluded from
+    /// equality.
+    transpose_cache: std::sync::OnceLock<Box<CsrMatrix>>,
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -44,6 +80,7 @@ impl CsrMatrix {
             row_ptr: vec![0; rows + 1],
             col_idx: Vec::new(),
             values: Vec::new(),
+            transpose_cache: std::sync::OnceLock::new(),
         }
     }
 
@@ -79,7 +116,7 @@ impl CsrMatrix {
             }
         }
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
 
         // Sorted triplets make duplicates adjacent; merge them while
         // counting per-row entries.
@@ -107,6 +144,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx: merged_col,
             values: merged_val,
+            transpose_cache: std::sync::OnceLock::new(),
         })
     }
 
@@ -148,8 +186,9 @@ impl CsrMatrix {
     /// Iterates over `(row, col, value)` of stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.row_ptr[r]..self.row_ptr[r + 1]
-        }.map(move |k| (r, self.col_idx[k], self.values[k])))
+            { self.row_ptr[r]..self.row_ptr[r + 1] }
+                .map(move |k| (r, self.col_idx[k], self.values[k]))
+        })
     }
 
     /// The stored entries of row `r` as parallel `(columns, values)` slices.
@@ -186,6 +225,63 @@ impl CsrMatrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn spmm(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        self.spmm_with(rhs, SpmmStrategy::Auto)
+    }
+
+    /// Sparse × dense multiplication with an explicit strategy.
+    ///
+    /// Each output row is produced by exactly one worker with the same
+    /// accumulation order as the sequential kernel, so parallel results
+    /// are bit-identical to sequential ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn spmm_with(
+        &self,
+        rhs: &DenseMatrix,
+        strategy: SpmmStrategy,
+    ) -> Result<DenseMatrix, LinalgError> {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        self.spmm_dispatch(rhs, &mut out, strategy)?;
+        Ok(out)
+    }
+
+    /// Sparse × dense multiplication over the shared worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn spmm_parallel(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        self.spmm_with(rhs, SpmmStrategy::Parallel)
+    }
+
+    /// Sparse × dense multiplication into a caller-provided output,
+    /// overwriting it. Pair with [`crate::Workspace::take`] to recycle
+    /// the output allocation across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`
+    /// or `out` has the wrong shape.
+    pub fn spmm_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<(), LinalgError> {
+        if out.shape() != (self.rows, rhs.cols()) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm_into",
+                lhs: (self.rows, rhs.cols()),
+                rhs: out.shape(),
+            });
+        }
+        out.as_mut_slice().fill(0.0);
+        self.spmm_dispatch(rhs, out, SpmmStrategy::Auto)
+    }
+
+    fn spmm_dispatch(
+        &self,
+        rhs: &DenseMatrix,
+        out: &mut DenseMatrix,
+        strategy: SpmmStrategy,
+    ) -> Result<(), LinalgError> {
         if self.cols != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "spmm",
@@ -194,13 +290,41 @@ impl CsrMatrix {
             });
         }
         let n = rhs.cols();
-        let mut out = DenseMatrix::zeros(self.rows, n);
-        for r in 0..self.rows {
-            let (cols, vals) = {
-                let span = self.row_ptr[r]..self.row_ptr[r + 1];
-                (&self.col_idx[span.clone()], &self.values[span])
-            };
-            let orow = out.row_mut(r);
+        let parallel = match strategy {
+            SpmmStrategy::Sequential => false,
+            SpmmStrategy::Parallel => pool::num_threads() > 1 && self.rows > 1 && n > 0,
+            SpmmStrategy::Auto => {
+                self.nnz() * n >= SPMM_PARALLEL_FLOP_THRESHOLD
+                    && pool::num_threads() > 1
+                    && self.rows > 1
+                    && n > 0
+            }
+        };
+        if !parallel {
+            self.spmm_rows_into(rhs, out.as_mut_slice(), 0, self.rows);
+            return Ok(());
+        }
+        let workers = pool::num_threads().min(self.rows);
+        let row_bounds = self.row_bounds_by_nnz(workers);
+        let elem_bounds: Vec<usize> = row_bounds.iter().map(|&r| r * n).collect();
+        let out_data = out.as_mut_slice();
+        pool::global().run_on_partitions(out_data, &elem_bounds, |index, chunk| {
+            let row_start = row_bounds[index];
+            let rows_here = chunk.len() / n;
+            self.spmm_rows_into(rhs, chunk, row_start, rows_here);
+        });
+        Ok(())
+    }
+
+    /// Accumulates output rows `[row_start, row_start + rows)` into the
+    /// pre-zeroed chunk `out` (`rows × rhs.cols()` elements).
+    fn spmm_rows_into(&self, rhs: &DenseMatrix, out: &mut [f32], row_start: usize, rows: usize) {
+        let n = rhs.cols();
+        for local_r in 0..rows {
+            let r = row_start + local_r;
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            let (cols, vals) = (&self.col_idx[span.clone()], &self.values[span]);
+            let orow = &mut out[local_r * n..(local_r + 1) * n];
             for (&c, &v) in cols.iter().zip(vals) {
                 let brow = rhs.row(c);
                 for (o, bv) in orow.iter_mut().zip(brow) {
@@ -208,7 +332,26 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
+    }
+
+    /// Splits rows into `parts` contiguous ranges with near-equal
+    /// nonzero counts, returned as `parts + 1` row boundaries. Row
+    /// pointers are already a prefix sum of nonzeros, so each cut is a
+    /// partition-point search for the next nnz target.
+    fn row_bounds_by_nnz(&self, parts: usize) -> Vec<usize> {
+        let nnz = self.nnz();
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0);
+        for part in 1..parts {
+            let target = nnz * part / parts;
+            let cut = self
+                .row_ptr
+                .partition_point(|&cum| cum < target)
+                .clamp(*bounds.last().expect("bounds is non-empty"), self.rows);
+            bounds.push(cut);
+        }
+        bounds.push(self.rows);
+        bounds
     }
 
     /// Transpose-multiply: `selfᵀ (c×r) × rhs (r×n) -> c×n` without
@@ -222,6 +365,26 @@ impl CsrMatrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
     pub fn spmm_transposed(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        self.spmm_transposed_with(rhs, SpmmStrategy::Auto)
+    }
+
+    /// Transpose-multiply with an explicit strategy.
+    ///
+    /// The sequential kernel scatters into output rows without
+    /// materializing anything. The parallel kernel builds the transpose
+    /// (O(nnz) counting sort) and runs the row-parallel [`CsrMatrix::spmm`]
+    /// on it, which reorders each output row's accumulation — results
+    /// agree with the sequential kernel to f32 rounding (≤1e-5 relative),
+    /// not bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn spmm_transposed_with(
+        &self,
+        rhs: &DenseMatrix,
+        strategy: SpmmStrategy,
+    ) -> Result<DenseMatrix, LinalgError> {
         if self.rows != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "spmm_transposed",
@@ -230,15 +393,29 @@ impl CsrMatrix {
             });
         }
         let n = rhs.cols();
+        let parallel = match strategy {
+            SpmmStrategy::Sequential => false,
+            SpmmStrategy::Parallel => pool::num_threads() > 1 && self.cols > 1 && n > 0,
+            SpmmStrategy::Auto => {
+                self.nnz() * n >= SPMM_PARALLEL_FLOP_THRESHOLD
+                    && pool::num_threads() > 1
+                    && self.cols > 1
+                    && n > 0
+            }
+        };
+        if parallel {
+            // Shape check already passed: the cached transpose swaps
+            // dims, so transposed().cols == self.rows == rhs.rows.
+            return self.transposed().spmm_with(rhs, SpmmStrategy::Parallel);
+        }
         let mut out = DenseMatrix::zeros(self.cols, n);
         for r in 0..self.rows {
             let span = self.row_ptr[r]..self.row_ptr[r + 1];
-            let brow: Vec<f32> = rhs.row(r).to_vec();
-            for k in span {
-                let c = self.col_idx[k];
-                let v = self.values[k];
+            let (cols, vals) = (&self.col_idx[span.clone()], &self.values[span]);
+            let brow = rhs.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
                 let orow = out.row_mut(c);
-                for (o, bv) in orow.iter_mut().zip(&brow) {
+                for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += v * bv;
                 }
             }
@@ -246,12 +423,59 @@ impl CsrMatrix {
         Ok(out)
     }
 
+    /// Transpose-multiply over the shared worker pool (see
+    /// [`CsrMatrix::spmm_transposed_with`] for the accuracy contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn spmm_transposed_parallel(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        self.spmm_transposed_with(rhs, SpmmStrategy::Parallel)
+    }
+
+    /// Cached borrow of the transpose, built once on first use.
+    ///
+    /// Training loops call transpose-multiply on the same adjacency
+    /// every layer of every epoch; this avoids re-running the counting
+    /// sort (and its three allocations) each time.
+    pub fn transposed(&self) -> &CsrMatrix {
+        self.transpose_cache
+            .get_or_init(|| Box::new(self.transpose()))
+    }
+
     /// Returns the transpose as a new CSR matrix.
+    ///
+    /// Runs an O(nnz + rows + cols) counting sort over the column
+    /// indices (no re-sorting of triplets); within each transposed row
+    /// the column order stays sorted because source rows are visited in
+    /// increasing order.
     pub fn transpose(&self) -> CsrMatrix {
-        let triplets: Vec<(usize, usize, f32)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
-        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
-            .expect("transposed coordinates are in range")
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let slot = next[self.col_idx[k]];
+                next[self.col_idx[k]] += 1;
+                col_idx[slot] = r;
+                values[slot] = self.values[k];
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+            transpose_cache: std::sync::OnceLock::new(),
+        }
     }
 
     /// Converts to a dense matrix (for tests and small examples).
@@ -268,7 +492,8 @@ impl CsrMatrix {
         if self.rows != self.cols {
             return false;
         }
-        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+        self.iter()
+            .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
     }
 
     /// Approximate size in bytes of the CSR payload, used by the TEE
@@ -292,12 +517,8 @@ mod tests {
     use super::*;
 
     fn path3() -> CsrMatrix {
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+            .unwrap()
     }
 
     #[test]
@@ -341,8 +562,7 @@ mod tests {
 
     #[test]
     fn spmm_transposed_matches_transpose_then_spmm() {
-        let m =
-            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
         let x = DenseMatrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
         let fused = m.spmm_transposed(&x).unwrap();
         let explicit = m.transpose().spmm(&x).unwrap();
@@ -351,8 +571,7 @@ mod tests {
 
     #[test]
     fn transpose_roundtrip() {
-        let m =
-            CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.5), (1, 0, -2.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.5), (1, 0, -2.0)]).unwrap();
         assert_eq!(m.transpose().transpose(), m);
     }
 
@@ -395,5 +614,198 @@ mod tests {
             triplets,
             vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]
         );
+    }
+
+    #[test]
+    fn spmm_into_overwrites_dirty_buffers() {
+        let a = path3();
+        let x = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let expected = a.spmm(&x).unwrap();
+        let mut out = DenseMatrix::filled(3, 2, 42.0);
+        a.spmm_into(&x, &mut out).unwrap();
+        assert!(out.approx_eq(&expected, 0.0));
+        let mut bad = DenseMatrix::zeros(3, 3);
+        assert!(a.spmm_into(&x, &mut bad).is_err());
+    }
+
+    #[test]
+    fn nnz_balanced_bounds_cover_all_rows() {
+        // Skewed matrix: all nonzeros in one row, plus many empty rows.
+        let triplets: Vec<(usize, usize, f32)> = (0..50).map(|c| (3, c, 1.0)).collect();
+        let m = CsrMatrix::from_triplets(40, 50, &triplets).unwrap();
+        for parts in [1, 2, 3, 7] {
+            let bounds = m.row_bounds_by_nnz(parts);
+            assert_eq!(bounds.len(), parts + 1);
+            assert_eq!(*bounds.first().unwrap(), 0);
+            assert_eq!(*bounds.last().unwrap(), 40);
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+        }
+        // Empty matrix partitions too.
+        let z = CsrMatrix::zeros(5, 5);
+        assert_eq!(z.row_bounds_by_nnz(3).len(), 4);
+    }
+
+    #[test]
+    fn cached_transpose_matches_fresh_and_ignores_equality() {
+        let m = path3();
+        let cached = m.transposed();
+        assert_eq!(cached, &m.transpose());
+        // Repeated calls return the same cached instance.
+        assert!(std::ptr::eq(m.transposed(), cached));
+        // Populating the cache does not affect equality with a clean copy.
+        let clean = path3();
+        assert_eq!(m, clean);
+    }
+
+    #[test]
+    fn transpose_counting_sort_keeps_sorted_columns() {
+        let m = CsrMatrix::from_triplets(
+            4,
+            3,
+            &[
+                (3, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 0, 3.0),
+                (0, 0, 4.0),
+                (1, 1, 5.0),
+            ],
+        )
+        .unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 4));
+        for r in 0..3 {
+            let (cols, _) = t.row_entries(r);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r}: {cols:?}");
+        }
+        assert_eq!(t.transpose(), m);
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic triplet soup: includes duplicate coordinates (which
+    /// `from_triplets` must merge) and leaves many rows empty.
+    fn random_triplets(
+        rows: usize,
+        cols: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(usize, usize, f32)> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|_| {
+                // Bias rows toward a small band so duplicates are common
+                // and the tail rows stay empty.
+                let r = (next() as usize) % rows.div_ceil(2).max(1);
+                let c = (next() as usize) % cols;
+                let v = ((next() % 2000) as f32 - 1000.0) / 250.0;
+                (r, c, v)
+            })
+            .collect()
+    }
+
+    fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed.wrapping_mul(0xD134_2543_DE82_EF95) | 1;
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f32 - 500.0) / 250.0
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The parallel kernel partitions rows but keeps each row's
+        /// accumulation order, so it must agree bit-for-bit with the
+        /// sequential kernel — on non-square shapes, matrices with
+        /// empty rows, and inputs built from duplicate triplets alike.
+        #[test]
+        fn parallel_spmm_is_bit_identical_to_sequential(
+            rows in 1usize..48,
+            cols in 1usize..48,
+            n in 0usize..9,
+            count in 0usize..250,
+            seed in 0u64..10_000,
+        ) {
+            let triplets = random_triplets(rows, cols, count, seed);
+            let m = CsrMatrix::from_triplets(rows, cols, &triplets).unwrap();
+            let rhs = random_dense(cols, n, seed ^ 0xABCD);
+            let sequential = m.spmm_with(&rhs, SpmmStrategy::Sequential).unwrap();
+            let parallel = m.spmm_with(&rhs, SpmmStrategy::Parallel).unwrap();
+            prop_assert_eq!(&sequential, &parallel);
+            let auto = m.spmm(&rhs).unwrap();
+            prop_assert_eq!(&sequential, &auto);
+        }
+
+        /// The parallel transpose-multiply routes through an explicit
+        /// transpose; it visits each output row's contributions in the
+        /// same source-row order as the sequential scatter, so results
+        /// also match exactly. The tolerance check documents the actual
+        /// contract (≤1e-5 relative) should a future kernel reorder.
+        #[test]
+        fn parallel_spmm_transposed_matches_sequential(
+            rows in 1usize..48,
+            cols in 1usize..48,
+            n in 0usize..9,
+            count in 0usize..250,
+            seed in 0u64..10_000,
+        ) {
+            let triplets = random_triplets(rows, cols, count, seed);
+            let m = CsrMatrix::from_triplets(rows, cols, &triplets).unwrap();
+            let rhs = random_dense(rows, n, seed ^ 0x1234);
+            let sequential =
+                m.spmm_transposed_with(&rhs, SpmmStrategy::Sequential).unwrap();
+            let parallel = m.spmm_transposed_parallel(&rhs).unwrap();
+            let scale = sequential
+                .as_slice()
+                .iter()
+                .fold(1.0f32, |acc, v| acc.max(v.abs()));
+            prop_assert!(
+                parallel.approx_eq(&sequential, 1e-5 * scale),
+                "max |seq| = {scale}"
+            );
+            // And both agree with the explicit-transpose reference.
+            let explicit = m.transpose().spmm_with(&rhs, SpmmStrategy::Sequential).unwrap();
+            prop_assert!(explicit.approx_eq(&sequential, 1e-5 * scale));
+        }
+
+        /// spmm against the dense reference (matmul) on small shapes.
+        #[test]
+        fn spmm_strategies_match_dense_reference(
+            rows in 1usize..12,
+            cols in 1usize..12,
+            n in 1usize..6,
+            count in 0usize..40,
+            seed in 0u64..10_000,
+        ) {
+            let triplets = random_triplets(rows, cols, count, seed);
+            let m = CsrMatrix::from_triplets(rows, cols, &triplets).unwrap();
+            let rhs = random_dense(cols, n, seed ^ 0x77);
+            let dense_ref = crate::matmul_naive(&m.to_dense(), &rhs).unwrap();
+            let scale = dense_ref
+                .as_slice()
+                .iter()
+                .fold(1.0f32, |acc, v| acc.max(v.abs()));
+            for strategy in [
+                SpmmStrategy::Auto,
+                SpmmStrategy::Sequential,
+                SpmmStrategy::Parallel,
+            ] {
+                prop_assert!(
+                    m.spmm_with(&rhs, strategy).unwrap().approx_eq(&dense_ref, 1e-4 * scale)
+                );
+            }
+        }
     }
 }

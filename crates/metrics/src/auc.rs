@@ -28,7 +28,10 @@ impl fmt::Display for MetricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MetricError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "paired inputs have different lengths ({left} vs {right})"
+                )
             }
             MetricError::Empty => write!(f, "metric input is empty"),
             MetricError::IndexOutOfBounds { index, bound } => {

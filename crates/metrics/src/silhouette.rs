@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn random_labels_score_lower_than_true_labels() {
         let (m, labels) = two_blobs(5.0);
-        let shuffled: Vec<usize> = labels.iter().map(|&l| 1 - l).zip(&labels)
+        let shuffled: Vec<usize> = labels
+            .iter()
+            .map(|&l| 1 - l)
+            .zip(&labels)
             .enumerate()
             .map(|(i, _)| if i % 4 < 2 { 0 } else { 1 })
             .collect();
@@ -201,6 +204,9 @@ mod tests {
         let (m, labels) = two_blobs(4.0);
         let exact = silhouette_score(&m, &labels).unwrap();
         let sampled = silhouette_score_sampled(&m, &labels, 12, 3).unwrap();
-        assert!((exact - sampled).abs() < 0.3, "exact {exact} sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.3,
+            "exact {exact} sampled {sampled}"
+        );
     }
 }

@@ -1,5 +1,5 @@
 use crate::{GatForward, GatLayer, GcnForward, GcnLayer, NnError, SageForward, SageLayer};
-use linalg::{CsrMatrix, DenseMatrix};
+use linalg::{CsrMatrix, DenseMatrix, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,7 @@ impl ConvKind {
 /// assert_eq!(layer.out_dim(), 4);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // layers are long-lived; boxing buys nothing
 pub enum ConvLayer {
     /// Spectral GCN layer.
     Gcn(GcnLayer),
@@ -75,6 +76,16 @@ impl ConvForward {
             ConvForward::Gcn(f) => &f.output,
             ConvForward::Sage(f) => &f.output,
             ConvForward::Gat(f) => &f.output,
+        }
+    }
+
+    /// Consumes the cache, returning every dense buffer it held so
+    /// training loops can recycle them through a [`Workspace`].
+    pub fn into_buffers(self) -> Vec<DenseMatrix> {
+        match self {
+            ConvForward::Gcn(f) => vec![f.output],
+            ConvForward::Sage(f) => vec![f.output, f.cached_concat],
+            ConvForward::Gat(f) => f.into_buffers(),
         }
     }
 }
@@ -143,8 +154,27 @@ impl ConvLayer {
         })
     }
 
-    /// Backward pass; accumulates parameter gradients and returns
-    /// `∂L/∂input`.
+    /// Forward pass drawing scratch and output buffers from `ws` (see
+    /// [`crate::GcnLayer::forward_ws`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_ws(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<ConvForward, NnError> {
+        Ok(match self {
+            ConvLayer::Gcn(l) => ConvForward::Gcn(l.forward_ws(adj, input, ws)?),
+            ConvLayer::Sage(l) => ConvForward::Sage(l.forward_ws(adj, input, ws)?),
+            ConvLayer::Gat(l) => ConvForward::Gat(l.forward_ws(adj, input, ws)?),
+        })
+    }
+
+    /// Backward pass; given the layer's forward `input`, accumulates
+    /// parameter gradients and returns `∂L/∂input`.
     ///
     /// # Errors
     ///
@@ -154,13 +184,14 @@ impl ConvLayer {
     pub fn backward(
         &mut self,
         cache: &ConvForward,
+        input: &DenseMatrix,
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
         match (self, cache) {
-            (ConvLayer::Gcn(l), ConvForward::Gcn(c)) => l.backward(c, adj, d_output),
+            (ConvLayer::Gcn(l), ConvForward::Gcn(_)) => l.backward(input, adj, d_output),
             (ConvLayer::Sage(l), ConvForward::Sage(c)) => l.backward(c, adj, d_output),
-            (ConvLayer::Gat(l), ConvForward::Gat(c)) => l.backward(c, adj, d_output),
+            (ConvLayer::Gat(l), ConvForward::Gat(c)) => l.backward(c, input, adj, d_output),
             _ => Err(NnError::InvalidArchitecture {
                 reason: "forward cache does not match this layer's architecture".into(),
             }),
@@ -201,7 +232,7 @@ mod tests {
             let fwd = layer.forward(&adj(), &x).unwrap();
             assert_eq!(fwd.output().shape(), (4, 3));
             let d = DenseMatrix::filled(4, 3, 1.0);
-            let d_in = layer.backward(&fwd, &adj(), &d).unwrap();
+            let d_in = layer.backward(&fwd, &x, &adj(), &d).unwrap();
             assert_eq!(d_in.shape(), (4, 6));
         }
     }
@@ -215,7 +246,7 @@ mod tests {
         let cache = gcn.forward(&adj(), &x).unwrap();
         let d = DenseMatrix::filled(4, 3, 1.0);
         assert!(matches!(
-            sage.backward(&cache, &adj(), &d),
+            sage.backward(&cache, &x, &adj(), &d),
             Err(NnError::InvalidArchitecture { .. })
         ));
     }
@@ -223,9 +254,24 @@ mod tests {
     #[test]
     fn params_mut_counts_per_architecture() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(ConvLayer::new(ConvKind::Gcn, 4, 2, &mut rng).params_mut().len(), 2);
-        assert_eq!(ConvLayer::new(ConvKind::Sage, 4, 2, &mut rng).params_mut().len(), 2);
-        assert_eq!(ConvLayer::new(ConvKind::Gat, 4, 2, &mut rng).params_mut().len(), 4);
+        assert_eq!(
+            ConvLayer::new(ConvKind::Gcn, 4, 2, &mut rng)
+                .params_mut()
+                .len(),
+            2
+        );
+        assert_eq!(
+            ConvLayer::new(ConvKind::Sage, 4, 2, &mut rng)
+                .params_mut()
+                .len(),
+            2
+        );
+        assert_eq!(
+            ConvLayer::new(ConvKind::Gat, 4, 2, &mut rng)
+                .params_mut()
+                .len(),
+            4
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, DenseMatrix};
+use linalg::{matmul, matmul_into, DenseMatrix, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -27,14 +27,14 @@ pub struct DenseLayer {
     out_dim: usize,
 }
 
-/// Result of [`DenseLayer::forward`]: output plus cached input for the
-/// backward pass.
+/// Result of [`DenseLayer::forward`].
+///
+/// Holds no input copy; [`DenseLayer::backward`] takes the input by
+/// reference from the caller, which owns it anyway.
 #[derive(Debug, Clone)]
 pub struct DenseForward {
     /// Pre-activation output `Z`.
     pub output: DenseMatrix,
-    /// Cached input `H`.
-    pub cached_input: DenseMatrix,
 }
 
 impl DenseLayer {
@@ -89,26 +89,40 @@ impl DenseLayer {
     ///
     /// Returns [`NnError::Linalg`] if `input.cols() != in_dim`.
     pub fn forward(&self, input: &DenseMatrix) -> Result<DenseForward, NnError> {
-        let z = matmul(input, &self.weight.value)?;
-        let output = z.add_row_broadcast(self.bias.value.row(0))?;
-        Ok(DenseForward {
-            output,
-            cached_input: input.clone(),
-        })
+        let mut output = matmul(input, &self.weight.value)?;
+        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
+        Ok(DenseForward { output })
     }
 
-    /// Backward pass; accumulates parameter gradients and returns
-    /// `∂L/∂H = ∂L/∂Z · Wᵀ`.
+    /// Forward pass drawing the output buffer from `ws` (see
+    /// [`crate::GcnLayer::forward_ws`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseLayer::forward`].
+    pub fn forward_ws(
+        &self,
+        input: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseForward, NnError> {
+        let mut output = ws.take_for_overwrite(input.rows(), self.out_dim);
+        matmul_into(input, &self.weight.value, &mut output)?;
+        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
+        Ok(DenseForward { output })
+    }
+
+    /// Backward pass; given the layer's forward `input`, accumulates
+    /// parameter gradients and returns `∂L/∂H = ∂L/∂Z · Wᵀ`.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::Linalg`] on shape inconsistencies.
     pub fn backward(
         &mut self,
-        cache: &DenseForward,
+        input: &DenseMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
-        let d_w = matmul(&cache.cached_input.transpose(), d_output)?;
+        let d_w = matmul(&input.transpose(), d_output)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
@@ -142,10 +156,9 @@ mod tests {
     #[test]
     fn gradient_check_weight_and_input() {
         let (mut x, mut layer) = setup();
-        let cache = layer.forward(&x).unwrap();
         let d_out = DenseMatrix::filled(4, 3, 1.0);
         layer.weight_mut().zero_grad();
-        let d_input = layer.backward(&cache, &d_out).unwrap();
+        let d_input = layer.backward(&x, &d_out).unwrap();
 
         let eps = 1e-3f32;
         let loss = |l: &DenseLayer, x: &DenseMatrix| l.forward(x).unwrap().output.sum();
@@ -177,11 +190,8 @@ mod tests {
     #[test]
     fn bias_gradient_is_row_count_for_sum_loss() {
         let (x, mut layer) = setup();
-        let cache = layer.forward(&x).unwrap();
         layer.bias_mut().zero_grad();
-        layer
-            .backward(&cache, &DenseMatrix::filled(4, 3, 1.0))
-            .unwrap();
+        layer.backward(&x, &DenseMatrix::filled(4, 3, 1.0)).unwrap();
         for j in 0..3 {
             assert!((layer.bias().grad.get(0, j) - 4.0).abs() < 1e-5);
         }

@@ -59,9 +59,6 @@ mod tests {
         let e = NnError::from(inner.clone());
         assert!(e.to_string().contains("linear algebra"));
         assert!(Error::source(&e).is_some());
-        assert_eq!(
-            NnError::Linalg(inner),
-            e
-        );
+        assert_eq!(NnError::Linalg(inner), e);
     }
 }

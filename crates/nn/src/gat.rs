@@ -1,5 +1,5 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, CsrMatrix, DenseMatrix};
+use linalg::{matmul, matmul_into, CsrMatrix, DenseMatrix, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -37,18 +37,45 @@ pub struct GatLayer {
     out_dim: usize,
 }
 
-/// Forward cache for [`GatLayer::backward`].
+/// Forward cache for [`GatLayer::backward`]: only *derived* tensors
+/// (projections and attention coefficients) — the layer input itself is
+/// passed back to `backward` by the caller, which owns it.
 #[derive(Debug, Clone)]
 pub struct GatForward {
     /// Pre-activation output `Z`.
     pub output: DenseMatrix,
-    cached_input: DenseMatrix,
     /// Projected features `W H`.
     wh: DenseMatrix,
-    /// Per-edge attention weights, aligned with `adj`'s CSR layout.
-    alpha: Vec<Vec<f32>>,
+    /// Per-edge attention weights as one flat `1 × nnz` buffer aligned
+    /// with `adj`'s CSR layout (edge k of row i lives at
+    /// `row_start(i) + k`), so forward passes allocate one recyclable
+    /// buffer instead of one `Vec` per node.
+    alpha: DenseMatrix,
     /// Per-edge pre-LeakyReLU scores, aligned like `alpha`.
-    pre: Vec<Vec<f32>>,
+    pre: DenseMatrix,
+}
+
+impl GatForward {
+    /// Consumes the cache, returning every dense buffer it held so
+    /// training loops can recycle them through a [`Workspace`].
+    pub fn into_buffers(self) -> Vec<DenseMatrix> {
+        vec![self.output, self.wh, self.alpha, self.pre]
+    }
+
+    /// Iterates the attention coefficients row by row, using `adj` (the
+    /// adjacency the forward ran on) to delimit neighbourhoods.
+    pub fn attention_rows<'a>(
+        &'a self,
+        adj: &'a CsrMatrix,
+    ) -> impl Iterator<Item = &'a [f32]> + 'a {
+        let flat = self.alpha.as_slice();
+        (0..adj.rows()).scan(0usize, move |offset, i| {
+            let len = adj.row_entries(i).0.len();
+            let row = &flat[*offset..*offset + len];
+            *offset += len;
+            Some(row)
+        })
+    }
 }
 
 impl GatLayer {
@@ -122,6 +149,21 @@ impl GatLayer {
     ///
     /// Returns [`NnError::Linalg`] on shape inconsistencies.
     pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<GatForward, NnError> {
+        self.forward_ws(adj, input, &mut Workspace::new())
+    }
+
+    /// Forward pass drawing the projection and output buffers from `ws`
+    /// (see [`crate::GcnLayer::forward_ws`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GatLayer::forward`].
+    pub fn forward_ws(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<GatForward, NnError> {
         if adj.rows() != input.rows() || adj.cols() != input.rows() {
             return Err(NnError::Linalg(linalg::LinalgError::ShapeMismatch {
                 op: "gat_forward",
@@ -130,7 +172,8 @@ impl GatLayer {
             }));
         }
         let n = input.rows();
-        let wh = matmul(input, &self.weight.value)?;
+        let mut wh = ws.take_for_overwrite(n, self.out_dim);
+        matmul_into(input, &self.weight.value, &mut wh)?;
         // s_i = a_src · wh_i, t_j = a_dst · wh_j.
         let a_src = self.attn_src.value.row(0);
         let a_dst = self.attn_dst.value.row(0);
@@ -141,16 +184,23 @@ impl GatLayer {
             .map(|j| wh.row(j).iter().zip(a_dst).map(|(x, a)| x * a).sum())
             .collect();
 
-        let mut output = DenseMatrix::zeros(n, self.out_dim);
-        let mut alpha = Vec::with_capacity(n);
-        let mut pre = Vec::with_capacity(n);
+        let mut output = ws.take(n, self.out_dim);
+        let mut alpha = ws.take_for_overwrite(1, adj.nnz());
+        let mut pre = ws.take_for_overwrite(1, adj.nnz());
+        let mut offset = 0usize;
+        #[allow(clippy::needless_range_loop)] // i indexes adj rows and s in lockstep
         for i in 0..n {
             let (cols, _) = adj.row_entries(i);
-            let mut row_pre: Vec<f32> = cols.iter().map(|&j| s[i] + t[j]).collect();
-            let mut row_post: Vec<f32> = row_pre
-                .iter()
-                .map(|&e| if e >= 0.0 { e } else { LEAKY_SLOPE * e })
-                .collect();
+            let span = offset..offset + cols.len();
+            offset = span.end;
+            let row_pre = &mut pre.as_mut_slice()[span.clone()];
+            for (slot, &j) in row_pre.iter_mut().zip(cols) {
+                *slot = s[i] + t[j];
+            }
+            let row_post = &mut alpha.as_mut_slice()[span];
+            for (post, &e) in row_post.iter_mut().zip(row_pre.iter()) {
+                *post = if e >= 0.0 { e } else { LEAKY_SLOPE * e };
+            }
             // Stable softmax over the neighbourhood.
             let max = row_post.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
@@ -164,7 +214,7 @@ impl GatLayer {
                 }
             }
             let orow = output.row_mut(i);
-            for (&j, &a) in cols.iter().zip(&row_post) {
+            for (&j, &a) in cols.iter().zip(row_post.iter()) {
                 for (o, w) in orow.iter_mut().zip(wh.row(j)) {
                     *o += a * w;
                 }
@@ -172,21 +222,18 @@ impl GatLayer {
             for (o, b) in orow.iter_mut().zip(self.bias.value.row(0)) {
                 *o += b;
             }
-            row_pre.shrink_to_fit();
-            alpha.push(row_post);
-            pre.push(row_pre);
         }
         Ok(GatForward {
             output,
-            cached_input: input.clone(),
             wh,
             alpha,
             pre,
         })
     }
 
-    /// Backward pass through attention, softmax, and projection;
-    /// accumulates all four parameter gradients and returns `∂L/∂H`.
+    /// Backward pass through attention, softmax, and projection; given
+    /// the layer's forward `input`, accumulates all four parameter
+    /// gradients and returns `∂L/∂H`.
     ///
     /// # Errors
     ///
@@ -194,40 +241,44 @@ impl GatLayer {
     pub fn backward(
         &mut self,
         cache: &GatForward,
+        input: &DenseMatrix,
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
-        let n = cache.cached_input.rows();
+        let n = input.rows();
         let out_dim = self.out_dim;
         let mut d_wh = DenseMatrix::zeros(n, out_dim);
         let mut d_s = vec![0.0f32; n];
         let mut d_t = vec![0.0f32; n];
+        let flat_alpha = cache.alpha.as_slice();
+        let flat_pre = cache.pre.as_slice();
+        // Scratch hoisted out of the node loop; grows to the largest
+        // neighbourhood once and is reused for every row.
+        let mut d_alpha: Vec<f32> = Vec::new();
+        let mut offset = 0usize;
 
+        #[allow(clippy::needless_range_loop)] // i indexes four aligned per-node arrays
         for i in 0..n {
             let (cols, _) = adj.row_entries(i);
-            let alpha = &cache.alpha[i];
-            let pre = &cache.pre[i];
+            let span = offset..offset + cols.len();
+            offset = span.end;
+            let alpha = &flat_alpha[span.clone()];
+            let pre = &flat_pre[span];
             let dz = d_output.row(i);
             // dα_ij = dz_i · wh_j ; z_i also feeds d_wh via α.
-            let d_alpha: Vec<f32> = cols
-                .iter()
-                .zip(alpha)
-                .map(|(&j, &a)| {
-                    let whj = cache.wh.row(j);
-                    let dot: f32 = dz.iter().zip(whj).map(|(d, w)| d * w).sum();
-                    let d_whj = d_wh.row_mut(j);
-                    for (g, d) in d_whj.iter_mut().zip(dz) {
-                        *g += a * d;
-                    }
-                    dot
-                })
-                .collect();
+            d_alpha.clear();
+            d_alpha.extend(cols.iter().zip(alpha).map(|(&j, &a)| {
+                let whj = cache.wh.row(j);
+                let dot: f32 = dz.iter().zip(whj).map(|(d, w)| d * w).sum();
+                let d_whj = d_wh.row_mut(j);
+                for (g, d) in d_whj.iter_mut().zip(dz) {
+                    *g += a * d;
+                }
+                dot
+            }));
             // Softmax backward: de = α ⊙ (dα − Σ α dα).
             let weighted: f32 = alpha.iter().zip(&d_alpha).map(|(a, d)| a * d).sum();
-            for ((&j, (&a, &da)), &p) in cols
-                .iter()
-                .zip(alpha.iter().zip(&d_alpha))
-                .zip(pre.iter())
+            for ((&j, (&a, &da)), &p) in cols.iter().zip(alpha.iter().zip(&d_alpha)).zip(pre.iter())
             {
                 let de = a * (da - weighted);
                 let dpre = if p >= 0.0 { de } else { LEAKY_SLOPE * de };
@@ -257,7 +308,7 @@ impl GatLayer {
             .grad
             .add_scaled(&DenseMatrix::from_vec(1, out_dim, d_a_dst)?, 1.0)?;
 
-        let d_w = matmul(&cache.cached_input.transpose(), &d_wh)?;
+        let d_w = matmul(&input.transpose(), &d_wh)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
@@ -289,7 +340,7 @@ mod tests {
         let (adj, x, layer) = setup();
         let fwd = layer.forward(&adj, &x).unwrap();
         assert_eq!(fwd.output.shape(), (5, 3));
-        for (i, row) in fwd.alpha.iter().enumerate() {
+        for (i, row) in fwd.attention_rows(&adj).enumerate() {
             let sum: f32 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "row {i} attention sums to {sum}");
             assert!(row.iter().all(|&a| a >= 0.0));
@@ -306,7 +357,7 @@ mod tests {
         layer.bias_mut().zero_grad();
         layer.attn_src_mut().zero_grad();
         layer.attn_dst_mut().zero_grad();
-        let d_input = layer.backward(&cache, &adj, &d_out).unwrap();
+        let d_input = layer.backward(&cache, &x, &adj, &d_out).unwrap();
 
         let eps = 1e-3f32;
         let loss = |l: &GatLayer, x: &DenseMatrix| l.forward(&adj, x).unwrap().output.sum();
@@ -364,7 +415,7 @@ mod tests {
         let x = glorot_uniform(3, 4, &mut rng);
         let layer = GatLayer::new(4, 2, &mut rng);
         let fwd = layer.forward(&adj, &x).unwrap();
-        for row in &fwd.alpha {
+        for row in fwd.attention_rows(&adj) {
             assert_eq!(row.len(), 1);
             assert!((row[0] - 1.0).abs() < 1e-6);
         }

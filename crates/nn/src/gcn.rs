@@ -1,14 +1,16 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, CsrMatrix, DenseMatrix};
+use linalg::{matmul, matmul_into, CsrMatrix, DenseMatrix, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One graph-convolution layer: `Z = Â (H W) + b` (paper Eq. 1, without
 /// the activation, which the network container applies between layers).
 ///
-/// The forward pass returns a [`GcnForward`] carrying the cache needed
-/// for the explicit backward pass; this keeps `forward` free of interior
-/// mutability and lets inference paths drop the cache immediately.
+/// The forward pass never copies its input: [`GcnLayer::backward`]
+/// takes the layer input explicitly (training loops already own every
+/// layer's input), and [`GcnLayer::forward_ws`] additionally draws its
+/// output and scratch buffers from a [`Workspace`] so epochs reuse
+/// allocations instead of re-allocating per step.
 ///
 /// # Examples
 ///
@@ -33,14 +35,14 @@ pub struct GcnLayer {
     out_dim: usize,
 }
 
-/// Result of a [`GcnLayer::forward`] call: the layer output plus the
-/// cached input needed by [`GcnLayer::backward`].
+/// Result of a [`GcnLayer::forward`] call.
+///
+/// Deliberately holds no copy of the input: the backward pass receives
+/// the input by reference from the caller, which owns it anyway.
 #[derive(Debug, Clone)]
 pub struct GcnForward {
     /// Pre-activation layer output `Z`.
     pub output: DenseMatrix,
-    /// Cached layer input `H`, consumed by the backward pass.
-    pub cached_input: DenseMatrix,
 }
 
 impl GcnLayer {
@@ -111,17 +113,36 @@ impl GcnLayer {
     /// dimensions are inconsistent.
     pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<GcnForward, NnError> {
         let xw = matmul(input, &self.weight.value)?;
-        let z = adj.spmm(&xw)?;
-        let output = z.add_row_broadcast(self.bias.value.row(0))?;
-        Ok(GcnForward {
-            output,
-            cached_input: input.clone(),
-        })
+        let mut output = adj.spmm(&xw)?;
+        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
+        Ok(GcnForward { output })
     }
 
-    /// Backward pass. Given `d_output = ∂L/∂Z`, accumulates `∂L/∂W` and
-    /// `∂L/∂b` into the layer's parameter gradients and returns
-    /// `∂L/∂H`.
+    /// Forward pass drawing the projection scratch (`H W`) and the
+    /// output from `ws`, so a training loop that gives buffers back
+    /// each epoch runs allocation-free in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnLayer::forward`].
+    pub fn forward_ws(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<GcnForward, NnError> {
+        let mut xw = ws.take_for_overwrite(input.rows(), self.out_dim);
+        matmul_into(input, &self.weight.value, &mut xw)?;
+        let mut output = ws.take_for_overwrite(adj.rows(), self.out_dim);
+        adj.spmm_into(&xw, &mut output)?;
+        ws.give(xw);
+        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
+        Ok(GcnForward { output })
+    }
+
+    /// Backward pass. Given the layer's forward `input` and
+    /// `d_output = ∂L/∂Z`, accumulates `∂L/∂W` and `∂L/∂b` into the
+    /// layer's parameter gradients and returns `∂L/∂H`.
     ///
     /// Derivation: with `Z = Â H W + b`,
     /// `∂L/∂(HW) = Âᵀ ∂L/∂Z`, `∂L/∂W = Hᵀ Âᵀ ∂L/∂Z`,
@@ -129,17 +150,17 @@ impl GcnLayer {
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::Linalg`] on shape inconsistencies between the
-    /// cache, the adjacency, and `d_output`.
+    /// Returns [`NnError::Linalg`] on shape inconsistencies between
+    /// `input`, the adjacency, and `d_output`.
     pub fn backward(
         &mut self,
-        cache: &GcnForward,
+        input: &DenseMatrix,
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
         // Âᵀ dZ (Â is symmetric for GCN but we use the general form).
         let d_xw = adj.spmm_transposed(d_output)?;
-        let d_w = matmul(&cache.cached_input.transpose(), &d_xw)?;
+        let d_w = matmul(&input.transpose(), &d_xw)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
@@ -194,11 +215,10 @@ mod tests {
     #[test]
     fn weight_gradient_matches_finite_differences() {
         let (adj, x, mut layer) = setup();
-        let cache = layer.forward(&adj, &x).unwrap();
         let d_out = DenseMatrix::filled(4, 3, 1.0); // dL/dZ for L = sum(Z)
         layer.weight_mut().zero_grad();
         layer.bias_mut().zero_grad();
-        layer.backward(&cache, &adj, &d_out).unwrap();
+        layer.backward(&x, &adj, &d_out).unwrap();
 
         let eps = 1e-3f32;
         for (r, c) in [(0, 0), (2, 1), (4, 2)] {
@@ -220,10 +240,9 @@ mod tests {
     #[test]
     fn bias_gradient_matches_finite_differences() {
         let (adj, x, mut layer) = setup();
-        let cache = layer.forward(&adj, &x).unwrap();
         let d_out = DenseMatrix::filled(4, 3, 1.0);
         layer.bias_mut().zero_grad();
-        layer.backward(&cache, &adj, &d_out).unwrap();
+        layer.backward(&x, &adj, &d_out).unwrap();
         // d(sum Z)/db_j = number of rows.
         for j in 0..3 {
             assert!((layer.bias().grad.get(0, j) - 4.0).abs() < 1e-4);
@@ -233,9 +252,8 @@ mod tests {
     #[test]
     fn input_gradient_matches_finite_differences() {
         let (adj, mut x, mut layer) = setup();
-        let cache = layer.forward(&adj, &x).unwrap();
         let d_out = DenseMatrix::filled(4, 3, 1.0);
-        let d_input = layer.backward(&cache, &adj, &d_out).unwrap();
+        let d_input = layer.backward(&x, &adj, &d_out).unwrap();
 
         let eps = 1e-3f32;
         for (r, c) in [(0, 0), (3, 4), (1, 2)] {
@@ -257,12 +275,11 @@ mod tests {
     #[test]
     fn gradients_accumulate_across_backward_calls() {
         let (adj, x, mut layer) = setup();
-        let cache = layer.forward(&adj, &x).unwrap();
         let d_out = DenseMatrix::filled(4, 3, 1.0);
         layer.weight_mut().zero_grad();
-        layer.backward(&cache, &adj, &d_out).unwrap();
+        layer.backward(&x, &adj, &d_out).unwrap();
         let once = layer.weight().grad.clone();
-        layer.backward(&cache, &adj, &d_out).unwrap();
+        layer.backward(&x, &adj, &d_out).unwrap();
         let twice = layer.weight().grad.clone();
         assert!(twice.approx_eq(&once.scale(2.0), 1e-4));
     }

@@ -146,8 +146,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let mut logits =
-            DenseMatrix::from_rows(&[&[0.3, -0.2, 0.9], &[-1.0, 0.4, 0.1]]).unwrap();
+        let mut logits = DenseMatrix::from_rows(&[&[0.3, -0.2, 0.9], &[-1.0, 0.4, 0.1]]).unwrap();
         let labels = [2usize, 1];
         let mask = [0usize, 1];
         let (_, grad) = masked_cross_entropy(&logits, &labels, &mask).unwrap();
@@ -179,8 +178,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits =
-            DenseMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]).unwrap();
+        let logits = DenseMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]).unwrap();
         let labels = [0usize, 1, 1];
         let acc = masked_accuracy(&logits, &labels, &[0, 1, 2]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);

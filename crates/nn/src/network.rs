@@ -1,8 +1,9 @@
 use crate::{loss, Adam, DenseLayer, GcnLayer, NnError};
-use linalg::{ops, CsrMatrix, DenseMatrix};
+use linalg::{ops, CsrMatrix, DenseMatrix, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Training hyperparameters shared by [`GcnNetwork`] and [`MlpNetwork`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,13 +121,16 @@ impl GcnNetwork {
         adj: &CsrMatrix,
         x: &DenseMatrix,
     ) -> Result<Vec<DenseMatrix>, NnError> {
-        let mut embeddings = Vec::with_capacity(self.layers.len());
-        let mut h = x.clone();
+        let mut embeddings: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let out = layer.forward(adj, &h)?.output;
-            h = if i == last { out } else { ops::relu(&out) };
-            embeddings.push(h.clone());
+            let input = embeddings.last().unwrap_or(x);
+            let mut out = layer.forward(adj, input)?.output;
+            if i != last {
+                // Hidden activations are ReLU-ed in place; no copies.
+                out.map_inplace(|v| v.max(0.0));
+            }
+            embeddings.push(out);
         }
         Ok(embeddings)
     }
@@ -168,26 +172,41 @@ impl GcnNetwork {
     ) -> Result<TrainReport, NnError> {
         let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let last = self.layers.len() - 1;
         let mut final_loss = f32::NAN;
+        // One workspace for the whole run: epoch N's activations and
+        // gradients are recycled as epoch N+1's buffers, so the steady
+        // state allocates nothing per step.
+        let mut ws = Workspace::new();
         for _ in 0..cfg.epochs {
-            // Forward with caches.
-            let mut caches = Vec::with_capacity(self.layers.len());
-            let mut dropout_masks: Vec<Option<DenseMatrix>> =
-                Vec::with_capacity(self.layers.len());
-            let mut h = x.clone();
+            // Forward, keeping ownership of every layer's actual input
+            // (the backward pass consumes them by reference — layers
+            // never copy their inputs).
+            let mut inputs: Vec<Cow<'_, DenseMatrix>> = Vec::with_capacity(self.layers.len());
+            let mut caches: Vec<crate::GcnForward> = Vec::with_capacity(self.layers.len());
+            let mut dropout_masks: Vec<Option<DenseMatrix>> = Vec::with_capacity(self.layers.len());
             for (i, layer) in self.layers.iter().enumerate() {
-                let mask = apply_dropout(&mut h, cfg.dropout, &mut rng);
-                dropout_masks.push(mask);
-                let cache = layer.forward(adj, &h)?;
-                h = if i == last {
-                    cache.output.clone()
+                let mut input: Cow<'_, DenseMatrix> = if i == 0 {
+                    if cfg.dropout > 0.0 {
+                        Cow::Owned(ws.take_copy(x))
+                    } else {
+                        Cow::Borrowed(x)
+                    }
                 } else {
-                    ops::relu(&cache.output)
+                    let mut h = ws.take_copy(&caches[i - 1].output);
+                    h.map_inplace(|v| v.max(0.0));
+                    Cow::Owned(h)
                 };
+                let mask = match &mut input {
+                    Cow::Owned(h) => apply_dropout(h, cfg.dropout, &mut rng, &mut ws),
+                    Cow::Borrowed(_) => None, // dropout disabled
+                };
+                dropout_masks.push(mask);
+                let cache = layer.forward_ws(adj, input.as_ref(), &mut ws)?;
+                inputs.push(input);
                 caches.push(cache);
             }
-            let (loss_value, grad) = loss::masked_cross_entropy(&h, labels, train_mask)?;
+            let logits = &caches[self.layers.len() - 1].output;
+            let (loss_value, grad) = loss::masked_cross_entropy(logits, labels, train_mask)?;
             final_loss = loss_value;
 
             // Backward.
@@ -197,23 +216,41 @@ impl GcnNetwork {
             }
             let mut d = grad;
             for i in (0..self.layers.len()).rev() {
-                let d_input = self.layers[i].backward(&caches[i], adj, &d)?;
+                let d_input = self.layers[i].backward(&inputs[i], adj, &d)?;
                 if i > 0 {
                     // Undo this layer's input dropout, then the previous
                     // layer's ReLU.
                     let mut d_masked = d_input;
                     if let Some(mask) = &dropout_masks[i] {
-                        d_masked = d_masked.hadamard(mask)?;
+                        d_masked.hadamard_inplace(mask)?;
                     }
-                    d = ops::relu_backward(&caches[i - 1].output, &d_masked);
+                    let next = ops::relu_backward(&caches[i - 1].output, &d_masked);
+                    ws.give(d_masked);
+                    ws.give(std::mem::replace(&mut d, next));
+                } else {
+                    ws.give(d_input);
                 }
             }
+            ws.give(d);
 
             // Update.
             opt.begin_step();
             for layer in &mut self.layers {
                 opt.update(layer.weight_mut());
                 opt.update(layer.bias_mut());
+            }
+
+            // Recycle this epoch's buffers for the next one.
+            for cache in caches {
+                ws.give(cache.output);
+            }
+            for input in inputs {
+                if let Cow::Owned(h) = input {
+                    ws.give(h);
+                }
+            }
+            for mask in dropout_masks.into_iter().flatten() {
+                ws.give(mask);
             }
         }
         let logits = self.logits(adj, x)?;
@@ -276,13 +313,15 @@ impl MlpNetwork {
     ///
     /// Returns [`NnError::Linalg`] on shape inconsistencies.
     pub fn forward_embeddings(&self, x: &DenseMatrix) -> Result<Vec<DenseMatrix>, NnError> {
-        let mut embeddings = Vec::with_capacity(self.layers.len());
-        let mut h = x.clone();
+        let mut embeddings: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let out = layer.forward(&h)?.output;
-            h = if i == last { out } else { ops::relu(&out) };
-            embeddings.push(h.clone());
+            let input = embeddings.last().unwrap_or(x);
+            let mut out = layer.forward(input)?.output;
+            if i != last {
+                out.map_inplace(|v| v.max(0.0));
+            }
+            embeddings.push(out);
         }
         Ok(embeddings)
     }
@@ -323,25 +362,35 @@ impl MlpNetwork {
     ) -> Result<TrainReport, NnError> {
         let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let last = self.layers.len() - 1;
         let mut final_loss = f32::NAN;
+        let mut ws = Workspace::new();
         for _ in 0..cfg.epochs {
-            let mut caches = Vec::with_capacity(self.layers.len());
-            let mut dropout_masks: Vec<Option<DenseMatrix>> =
-                Vec::with_capacity(self.layers.len());
-            let mut h = x.clone();
+            let mut inputs: Vec<Cow<'_, DenseMatrix>> = Vec::with_capacity(self.layers.len());
+            let mut caches: Vec<crate::DenseForward> = Vec::with_capacity(self.layers.len());
+            let mut dropout_masks: Vec<Option<DenseMatrix>> = Vec::with_capacity(self.layers.len());
             for (i, layer) in self.layers.iter().enumerate() {
-                let mask = apply_dropout(&mut h, cfg.dropout, &mut rng);
-                dropout_masks.push(mask);
-                let cache = layer.forward(&h)?;
-                h = if i == last {
-                    cache.output.clone()
+                let mut input: Cow<'_, DenseMatrix> = if i == 0 {
+                    if cfg.dropout > 0.0 {
+                        Cow::Owned(ws.take_copy(x))
+                    } else {
+                        Cow::Borrowed(x)
+                    }
                 } else {
-                    ops::relu(&cache.output)
+                    let mut h = ws.take_copy(&caches[i - 1].output);
+                    h.map_inplace(|v| v.max(0.0));
+                    Cow::Owned(h)
                 };
+                let mask = match &mut input {
+                    Cow::Owned(h) => apply_dropout(h, cfg.dropout, &mut rng, &mut ws),
+                    Cow::Borrowed(_) => None, // dropout disabled
+                };
+                dropout_masks.push(mask);
+                let cache = layer.forward_ws(input.as_ref(), &mut ws)?;
+                inputs.push(input);
                 caches.push(cache);
             }
-            let (loss_value, grad) = loss::masked_cross_entropy(&h, labels, train_mask)?;
+            let logits = &caches[self.layers.len() - 1].output;
+            let (loss_value, grad) = loss::masked_cross_entropy(logits, labels, train_mask)?;
             final_loss = loss_value;
 
             for layer in &mut self.layers {
@@ -350,20 +399,37 @@ impl MlpNetwork {
             }
             let mut d = grad;
             for i in (0..self.layers.len()).rev() {
-                let d_input = self.layers[i].backward(&caches[i], &d)?;
+                let d_input = self.layers[i].backward(&inputs[i], &d)?;
                 if i > 0 {
                     let mut d_masked = d_input;
                     if let Some(mask) = &dropout_masks[i] {
-                        d_masked = d_masked.hadamard(mask)?;
+                        d_masked.hadamard_inplace(mask)?;
                     }
-                    d = ops::relu_backward(&caches[i - 1].output, &d_masked);
+                    let next = ops::relu_backward(&caches[i - 1].output, &d_masked);
+                    ws.give(d_masked);
+                    ws.give(std::mem::replace(&mut d, next));
+                } else {
+                    ws.give(d_input);
                 }
             }
+            ws.give(d);
 
             opt.begin_step();
             for layer in &mut self.layers {
                 opt.update(layer.weight_mut());
                 opt.update(layer.bias_mut());
+            }
+
+            for cache in caches {
+                ws.give(cache.output);
+            }
+            for input in inputs {
+                if let Cow::Owned(h) = input {
+                    ws.give(h);
+                }
+            }
+            for mask in dropout_masks.into_iter().flatten() {
+                ws.give(mask);
             }
         }
         let logits = self.logits(x)?;
@@ -396,20 +462,28 @@ fn validate_channels(input_dim: usize, channels: &[usize]) -> Result<(), NnError
 }
 
 /// Applies inverted dropout in place when `p > 0`, returning the scaled
-/// keep-mask for the backward pass (`None` when disabled).
-fn apply_dropout(h: &mut DenseMatrix, p: f32, rng: &mut impl Rng) -> Option<DenseMatrix> {
+/// keep-mask for the backward pass (`None` when disabled). The mask is
+/// drawn from `ws` so epochs recycle its allocation.
+fn apply_dropout(
+    h: &mut DenseMatrix,
+    p: f32,
+    rng: &mut impl Rng,
+    ws: &mut Workspace,
+) -> Option<DenseMatrix> {
     if p <= 0.0 {
         return None;
     }
     let keep = 1.0 - p;
-    let mask = DenseMatrix::from_fn(h.rows(), h.cols(), |_, _| {
-        if rng.gen::<f32>() < keep {
+    let mut mask = ws.take_for_overwrite(h.rows(), h.cols());
+    for v in mask.as_mut_slice() {
+        *v = if rng.gen::<f32>() < keep {
             1.0 / keep
         } else {
             0.0
-        }
-    });
-    *h = h.hadamard(&mask).expect("same shape by construction");
+        };
+    }
+    h.hadamard_inplace(&mask)
+        .expect("same shape by construction");
     Some(mask)
 }
 
@@ -484,7 +558,11 @@ mod tests {
             seed: 1,
         };
         let report = net.fit(&adj, &x, &labels, &train, &cfg).unwrap();
-        assert!(report.train_accuracy > 0.9, "train acc {}", report.train_accuracy);
+        assert!(
+            report.train_accuracy > 0.9,
+            "train acc {}",
+            report.train_accuracy
+        );
         let logits = net.logits(&adj, &x).unwrap();
         let acc = loss::masked_accuracy(&logits, &labels, &test).unwrap();
         assert!(acc >= 0.75, "test acc {acc}");
@@ -552,7 +630,11 @@ mod tests {
             seed: 9,
         };
         let report = net.fit(&adj, &x, &labels, &train, &cfg).unwrap();
-        assert!(report.train_accuracy >= 0.75, "train acc {}", report.train_accuracy);
+        assert!(
+            report.train_accuracy >= 0.75,
+            "train acc {}",
+            report.train_accuracy
+        );
     }
 
     #[test]

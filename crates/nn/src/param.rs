@@ -51,7 +51,15 @@ impl Param {
     /// `t` is the 1-based global step count; `weight_decay` is L2 decay
     /// applied to the gradient (decoupled from the moments, i.e. vanilla
     /// Adam with L2, matching PyTorch's `Adam(weight_decay=..)`).
-    pub fn adam_step(&mut self, lr: f32, beta1: f32, beta2: f32, eps: f32, t: u64, weight_decay: f32) {
+    pub fn adam_step(
+        &mut self,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u64,
+        weight_decay: f32,
+    ) {
         debug_assert!(t >= 1, "adam step count is 1-based");
         let bc1 = 1.0 - beta1.powi(t as i32);
         let bc2 = 1.0 - beta2.powi(t as i32);

@@ -1,5 +1,5 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, CsrMatrix, DenseMatrix};
+use linalg::{matmul_into, CsrMatrix, DenseMatrix, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -93,10 +93,30 @@ impl SageLayer {
     ///
     /// Returns [`NnError::Linalg`] on shape inconsistencies.
     pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<SageForward, NnError> {
-        let aggregated = adj.spmm(input)?;
-        let concat = DenseMatrix::hconcat(&[input, &aggregated])?;
-        let z = matmul(&concat, &self.weight.value)?;
-        let output = z.add_row_broadcast(self.bias.value.row(0))?;
+        self.forward_ws(adj, input, &mut Workspace::new())
+    }
+
+    /// Forward pass drawing the aggregation scratch, the concatenated
+    /// input, and the output from `ws` (see
+    /// [`crate::GcnLayer::forward_ws`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SageLayer::forward`].
+    pub fn forward_ws(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<SageForward, NnError> {
+        let mut aggregated = ws.take_for_overwrite(adj.rows(), input.cols());
+        adj.spmm_into(input, &mut aggregated)?;
+        let mut concat = ws.take_for_overwrite(input.rows(), 2 * input.cols());
+        DenseMatrix::hconcat_into(&[input, &aggregated], &mut concat)?;
+        ws.give(aggregated);
+        let mut output = ws.take_for_overwrite(input.rows(), self.out_dim);
+        matmul_into(&concat, &self.weight.value, &mut output)?;
+        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
         Ok(SageForward {
             output,
             cached_concat: concat,
@@ -115,13 +135,13 @@ impl SageLayer {
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
-        let d_w = matmul(&cache.cached_concat.transpose(), d_output)?;
+        let d_w = linalg::matmul(&cache.cached_concat.transpose(), d_output)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
         self.bias.grad.add_scaled(&d_b, 1.0)?;
 
-        let d_concat = matmul(d_output, &self.weight.value.transpose())?;
+        let d_concat = linalg::matmul(d_output, &self.weight.value.transpose())?;
         let d_self = d_concat.slice_cols(0, self.in_dim)?;
         let d_agg = d_concat.slice_cols(self.in_dim, 2 * self.in_dim)?;
         let mut d_input = d_self;

@@ -102,7 +102,9 @@ mod tests {
     fn send_charges_and_queues() {
         let mut enclave = EnclaveSim::with_defaults();
         let mut chan = UntrustedToEnclave::new();
-        let r1 = chan.send(&mut enclave, Bytes::from(vec![0u8; 100])).unwrap();
+        let r1 = chan
+            .send(&mut enclave, Bytes::from(vec![0u8; 100]))
+            .unwrap();
         let r2 = chan.send(&mut enclave, Bytes::from(vec![0u8; 50])).unwrap();
         assert_eq!(r1.bytes, 100);
         assert_eq!(r1.simulated_ns, CostModel::default().transfer_ns(100));

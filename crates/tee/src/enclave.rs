@@ -82,7 +82,11 @@ impl EnclaveSim {
     /// Creates an enclave with the classic SGX1 96 MB EPC, default cost
     /// model, and the [`OverBudgetPolicy::Swap`] paging behaviour.
     pub fn with_defaults() -> Self {
-        Self::new(SGX_EPC_BYTES, CostModel::default(), OverBudgetPolicy::default())
+        Self::new(
+            SGX_EPC_BYTES,
+            CostModel::default(),
+            OverBudgetPolicy::default(),
+        )
     }
 
     /// The configured EPC budget in bytes.

@@ -64,8 +64,14 @@ mod tests {
         }
         .to_string()
         .contains("epc exhausted"));
-        assert!(TeeError::UnknownAllocation { id: 3 }.to_string().contains("3"));
+        assert!(TeeError::UnknownAllocation { id: 3 }
+            .to_string()
+            .contains("3"));
         assert!(TeeError::SealTampered.to_string().contains("integrity"));
-        assert!(TeeError::Codec { reason: "short".into() }.to_string().contains("short"));
+        assert!(TeeError::Codec {
+            reason: "short".into()
+        }
+        .to_string()
+        .contains("short"));
     }
 }

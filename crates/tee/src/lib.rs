@@ -40,8 +40,8 @@
 #![warn(missing_docs)]
 
 pub mod attest;
-pub mod codec;
 mod channel;
+pub mod codec;
 mod cost;
 mod enclave;
 mod error;

@@ -12,14 +12,21 @@ use gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
 use tee::{CostModel, EnclaveSim, OverBudgetPolicy, MB};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("EPC budget: {} MB (of the {} MB PRM)\n", tee::SGX_EPC_BYTES / MB, tee::SGX_PRM_BYTES / MB);
+    println!(
+        "EPC budget: {} MB (of the {} MB PRM)\n",
+        tee::SGX_EPC_BYTES / MB,
+        tee::SGX_PRM_BYTES / MB
+    );
 
     for (spec, model_for) in [
         (DatasetSpec::CORA, "M1"),
         (DatasetSpec::CORAFULL, "M2"),
         (DatasetSpec::COMPUTER, "M3"),
     ] {
-        let data = SyntheticPlanetoid::new(spec).scale(0.05).seed(1).generate()?;
+        let data = SyntheticPlanetoid::new(spec)
+            .scale(0.05)
+            .seed(1)
+            .generate()?;
         let model = match model_for {
             "M1" => ModelConfig::m1(data.num_classes),
             "M2" => ModelConfig::m2(data.num_classes),
@@ -36,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let trained = pipeline::train(&data, &config)?;
 
         // What the full model + dense graph would need inside the enclave.
-        let backbone_params_mb =
-            trained.backbone.param_count() as f64 * 4.0 / MB as f64;
+        let backbone_params_mb = trained.backbone.param_count() as f64 * 4.0 / MB as f64;
         let dense_adj_mb = spec.dense_adjacency_mb();
 
         let mut vault = pipeline::deploy(trained, &data)?;

@@ -38,11 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trained = pipeline::train(&data, &config)?;
     let eval = pipeline::evaluate(&trained, &data)?;
     println!("\naccuracies on the test split:");
-    println!("  original GNN (porg, unprotected) : {:.1}%", eval.original_accuracy * 100.0);
-    println!("  public backbone (pbb, attacker)  : {:.1}%", eval.backbone_accuracy * 100.0);
-    println!("  GNNVault rectifier (prec)        : {:.1}%", eval.rectifier_accuracy * 100.0);
-    println!("  protection margin Δp             : {:.1}%", eval.protection_margin() * 100.0);
-    println!("  accuracy degradation porg - prec : {:.1}%", eval.accuracy_degradation() * 100.0);
+    println!(
+        "  original GNN (porg, unprotected) : {:.1}%",
+        eval.original_accuracy * 100.0
+    );
+    println!(
+        "  public backbone (pbb, attacker)  : {:.1}%",
+        eval.backbone_accuracy * 100.0
+    );
+    println!(
+        "  GNNVault rectifier (prec)        : {:.1}%",
+        eval.rectifier_accuracy * 100.0
+    );
+    println!(
+        "  protection margin Δp             : {:.1}%",
+        eval.protection_margin() * 100.0
+    );
+    println!(
+        "  accuracy degradation porg - prec : {:.1}%",
+        eval.accuracy_degradation() * 100.0
+    );
     println!(
         "  θbb = {:.4} M, θrec = {:.4} M",
         eval.backbone_params as f64 / 1e6,

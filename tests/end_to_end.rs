@@ -18,7 +18,10 @@ fn quick_config(rectifier: RectifierKind, substitute: SubstituteKind) -> pipelin
     }
 }
 
-fn config_for(data: &datasets::CitationDataset, rectifier: RectifierKind) -> pipeline::PipelineConfig {
+fn config_for(
+    data: &datasets::CitationDataset,
+    rectifier: RectifierKind,
+) -> pipeline::PipelineConfig {
     let mut cfg = quick_config(rectifier, SubstituteKind::Knn { k: 2 });
     *cfg.model.backbone_channels.last_mut().unwrap() = data.num_classes;
     *cfg.model.rectifier_channels.last_mut().unwrap() = data.num_classes;
@@ -63,7 +66,10 @@ fn every_rectifier_kind_deploys_and_infers_consistently() {
         let mut vault = pipeline::deploy(trained, &data).expect("deployment");
         let (labels, report) = vault.infer(&data.features).expect("inference");
         let via_vault: Vec<usize> = labels.iter().map(|l| l.0).collect();
-        assert_eq!(direct, via_vault, "{kind:?}: enclave path must match direct");
+        assert_eq!(
+            direct, via_vault,
+            "{kind:?}: enclave path must match direct"
+        );
         assert!(report.peak_enclave_bytes < tee::SGX_EPC_BYTES, "{kind:?}");
         assert!(report.transferred_bytes > 0, "{kind:?}");
     }

@@ -9,7 +9,10 @@ use tee::{CostModel, EnclaveSim, OverBudgetPolicy, SealKey, MB};
 #[test]
 fn every_model_config_fits_strict_epc() {
     for (spec, model_fn) in [
-        (DatasetSpec::CORA, ModelConfig::m1 as fn(usize) -> ModelConfig),
+        (
+            DatasetSpec::CORA,
+            ModelConfig::m1 as fn(usize) -> ModelConfig,
+        ),
         (DatasetSpec::CORAFULL, ModelConfig::m2),
         (DatasetSpec::COMPUTER, ModelConfig::m3),
     ] {
@@ -60,7 +63,9 @@ fn paging_policy_charges_swap_costs_where_strict_fails() {
     assert!(strict.alloc("too big", budget + 1).is_err());
 
     let mut paging = EnclaveSim::new(budget, CostModel::default(), OverBudgetPolicy::Swap);
-    paging.alloc("too big", budget + 8192).expect("paging accepts");
+    paging
+        .alloc("too big", budget + 8192)
+        .expect("paging accepts");
     assert_eq!(paging.swapped_pages(), 2);
     assert!(paging.meter().total().simulated_ns > 0);
 }

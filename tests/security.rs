@@ -31,9 +31,11 @@ fn trained_pair() -> (pipeline::TrainedGnnVault, datasets::CitationDataset) {
 #[test]
 fn untrusted_world_leaks_no_more_than_feature_baseline() {
     let (trained, data) = trained_pair();
-    let m_org =
-        surface::original_surface(trained.original.as_ref().expect("reference"), &data.features)
-            .expect("Morg");
+    let m_org = surface::original_surface(
+        trained.original.as_ref().expect("reference"),
+        &data.features,
+    )
+    .expect("Morg");
     let m_gv = surface::gnnvault_surface(&trained.backbone, &data.features).expect("Mgv");
 
     for metric in [SimilarityMetric::Cosine, SimilarityMetric::Euclidean] {
@@ -66,7 +68,10 @@ fn rectifier_activations_would_leak_if_exposed() {
 
     let attack = LinkStealingAttack::new(SimilarityMetric::Cosine).with_seed(2);
     let auc_backbone = attack
-        .run(&data.graph, &surface::gnnvault_surface(&trained.backbone, &data.features).expect("Mgv"))
+        .run(
+            &data.graph,
+            &surface::gnnvault_surface(&trained.backbone, &data.features).expect("Mgv"),
+        )
         .expect("attack");
     let auc_rectifier = attack
         .run(&data.graph, &rect_fwd.activations)
@@ -110,7 +115,10 @@ fn deployment_records_sealed_private_artifacts() {
     let (trained, data) = trained_pair();
     let vault = pipeline::deploy(trained, &data).expect("deployment");
     let labels = vault.sealed_artifact_labels();
-    assert!(labels.contains(&"real-graph-coo"), "graph must be sealed at rest");
+    assert!(
+        labels.contains(&"real-graph-coo"),
+        "graph must be sealed at rest"
+    );
     assert!(labels.contains(&"rectifier-shape"));
 }
 

@@ -1,0 +1,509 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Throughput`, `BenchmarkId`)
+//! with a simple warmup + multi-sample wall-clock measurement. Every
+//! bench binary writes `BENCH_<suite>.json` into the working directory
+//! (the workspace root under `cargo bench`) so successive PRs have a
+//! machine-readable perf trajectory to regress against.
+//!
+//! Knobs (environment):
+//! - `BENCH_JSON`: override the output path.
+//! - `BENCH_SAMPLE_MS` (default 5): target milliseconds per sample.
+//! - `BENCH_BUDGET_MS` (default 1500): time budget per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measured statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id, `group/function` or bare function name.
+    pub id: String,
+    /// Mean time per iteration.
+    pub mean_ns: f64,
+    /// Median of per-sample means.
+    pub median_ns: f64,
+    /// Fastest per-sample mean.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Declared per-iteration payload, if any.
+    pub throughput_bytes: Option<u64>,
+}
+
+/// Per-iteration payload declaration, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    fn bytes(self) -> Option<u64> {
+        match self {
+            Throughput::Bytes(b) => Some(b),
+            Throughput::Elements(_) => None,
+        }
+    }
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Input-regeneration granularity for [`Bencher::iter_batched`],
+/// mirroring `criterion::BatchSize`. Only a sizing hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch freely.
+    SmallInput,
+    /// Inputs are large; keep batches short.
+    LargeInput,
+    /// Regenerate for every call.
+    PerIteration,
+}
+
+/// Drives a single benchmark's measurement loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    stats: Option<(f64, f64, f64, usize, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`: short warmup, then fixed-size samples until
+    /// the per-benchmark time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let sample_target = Duration::from_millis(env_ms("BENCH_SAMPLE_MS", 5));
+        let budget = Duration::from_millis(env_ms("BENCH_BUDGET_MS", 1500));
+
+        // Warmup + calibration: estimate one iteration's cost.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= sample_target || calib_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let iters_per_sample =
+            ((sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut sample_means: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget && sample_means.len() < 100 {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            sample_means.push(elapsed * 1e9 / iters_per_sample as f64);
+            if sample_means.len() >= 10 && run_start.elapsed() >= budget / 2 {
+                break;
+            }
+        }
+        sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = sample_means.len();
+        let mean = sample_means.iter().sum::<f64>() / n as f64;
+        let median = sample_means[n / 2];
+        let min = sample_means[0];
+        self.stats = Some((mean, median, min, n, iters_per_sample));
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        size: BatchSize,
+    ) {
+        let sample_target = Duration::from_millis(env_ms("BENCH_SAMPLE_MS", 5));
+        let budget = Duration::from_millis(env_ms("BENCH_BUDGET_MS", 1500));
+        let max_batch = match size {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        };
+
+        // Calibrate with one timed call.
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let per_iter = t.elapsed().as_secs_f64().max(1e-9);
+        let iters_per_sample =
+            ((sample_target.as_secs_f64() / per_iter) as u64).clamp(1, max_batch);
+
+        let mut sample_means: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        loop {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            sample_means.push(elapsed * 1e9 / iters_per_sample as f64);
+            if run_start.elapsed() >= budget || sample_means.len() >= 100 {
+                break;
+            }
+        }
+        sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = sample_means.len();
+        let mean = sample_means.iter().sum::<f64>() / n as f64;
+        self.stats = Some((
+            mean,
+            sample_means[n / 2],
+            sample_means[0],
+            n,
+            iters_per_sample,
+        ));
+    }
+}
+
+/// Collects benchmark results and writes the JSON trajectory.
+#[derive(Debug)]
+pub struct Criterion {
+    suite: String,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            suite: "bench".to_string(),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a runner whose suite name is derived from the bench
+    /// binary's file stem (cargo's trailing `-<hash>` stripped).
+    pub fn from_env() -> Self {
+        let suite = std::env::args()
+            .next()
+            .and_then(|argv0| {
+                std::path::Path::new(&argv0)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .map(|stem| strip_cargo_hash(&stem))
+            .unwrap_or_else(|| "bench".to_string());
+        Self {
+            suite,
+            records: Vec::new(),
+        }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into().id;
+        self.run(None, id, None, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run(
+        &mut self,
+        group: Option<&str>,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let full_id = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id,
+        };
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let (mean_ns, median_ns, min_ns, samples, iters_per_sample) = bencher
+            .stats
+            .expect("benchmark closure must call Bencher::iter");
+        let record = BenchRecord {
+            id: full_id,
+            mean_ns,
+            median_ns,
+            min_ns,
+            samples,
+            iters_per_sample,
+            throughput_bytes: throughput.and_then(Throughput::bytes),
+        };
+        let rate = record
+            .throughput_bytes
+            .map(|b| {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    b as f64 / (record.mean_ns / 1e9) / (1 << 20) as f64
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "{:<48} mean {:>12}  median {:>12}{rate}",
+            record.id,
+            fmt_ns(record.mean_ns),
+            fmt_ns(record.median_ns),
+        );
+        self.records.push(record);
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes `BENCH_<suite>.json` (or `$BENCH_JSON`) with every record.
+    ///
+    /// The default path is anchored at the workspace root (the nearest
+    /// ancestor directory holding a `Cargo.lock`) — `cargo bench` runs
+    /// bench binaries from the package directory, but the perf
+    /// trajectory belongs beside the repository's other top-level
+    /// reports.
+    pub fn finalize(&self) {
+        let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
+            let name = format!("BENCH_{}.json", self.suite);
+            workspace_root()
+                .map(|root| root.join(&name).to_string_lossy().into_owned())
+                .unwrap_or(name)
+        });
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_string(&self.suite)));
+        out.push_str(&format!(
+            "  \"generated_unix_ms\": {},\n",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        ));
+        out.push_str("  \"benches\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let tp = r
+                .throughput_bytes
+                .map_or("null".to_string(), |b| b.to_string());
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}, \"throughput_bytes\": {}}}{}\n",
+                json_string(&r.id),
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+                tp,
+                if i + 1 == self.records.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path} ({} benches)", self.records.len());
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration payload for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into().id;
+        self.parent.run(Some(&self.name), id, self.throughput, f);
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into().id;
+        self.parent
+            .run(Some(&self.name), id, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` works as upstream.
+pub use std::hint::black_box as criterion_black_box;
+
+fn env_ms(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn strip_cargo_hash(stem: &str) -> String {
+    match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Declares a group function running each target, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group then writing
+/// the JSON trajectory.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_env();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("BENCH_SAMPLE_MS", "1");
+        std::env::set_var("BENCH_BUDGET_MS", "20");
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| vec![0u8; n * 10])
+        });
+        group.finish();
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[0].id, "noop_sum");
+        assert_eq!(c.records()[1].id, "grouped/7");
+        assert_eq!(c.records()[1].throughput_bytes, Some(4096));
+        assert!(c.records().iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn cargo_hash_stripping() {
+        assert_eq!(strip_cargo_hash("kernels-0123456789abcdef"), "kernels");
+        assert_eq!(strip_cargo_hash("kernels-xyz"), "kernels-xyz");
+        assert_eq!(strip_cargo_hash("kernels"), "kernels");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` names (trait + derive macro)
+//! so annotated types compile. No serialization machinery is provided —
+//! the workspace marshals world-crossing payloads through the explicit
+//! codec in `tee::codec` instead.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
