@@ -44,5 +44,5 @@ mod supervised;
 pub mod surface;
 
 pub use linksteal::{AttackError, LinkStealingAttack};
-pub use similarity::SimilarityMetric;
+pub use similarity::{PairScorer, SimilarityMetric};
 pub use supervised::SupervisedLinkAttack;

@@ -1,4 +1,4 @@
-use crate::SimilarityMetric;
+use crate::{PairScorer, SimilarityMetric};
 use graph::Graph;
 use linalg::DenseMatrix;
 use rand::rngs::StdRng;
@@ -158,26 +158,21 @@ impl LinkStealingAttack {
             });
         }
 
+        // Per-node terms (norms, normalized rows) are precomputed once;
+        // each pair is then a single dot product for the decomposable
+        // metrics.
+        let scorer = PairScorer::new(self.metric, embeddings);
         let mut scores = Vec::with_capacity(positives.len() + negatives.len());
         let mut labels = Vec::with_capacity(scores.capacity());
         for &(u, v) in &positives {
-            scores.push(self.pair_score(embeddings, u, v));
+            scores.push(scorer.score_mean(u, v));
             labels.push(true);
         }
         for &(u, v) in &negatives {
-            scores.push(self.pair_score(embeddings, u, v));
+            scores.push(scorer.score_mean(u, v));
             labels.push(false);
         }
         Ok(metrics::roc_auc(&scores, &labels)?)
-    }
-
-    /// Mean similarity across all observed embedding layers.
-    fn pair_score(&self, embeddings: &[DenseMatrix], u: usize, v: usize) -> f32 {
-        let sum: f32 = embeddings
-            .iter()
-            .map(|e| self.metric.score(e.row(u), e.row(v)))
-            .sum();
-        sum / embeddings.len() as f32
     }
 }
 

@@ -9,7 +9,7 @@
 //! paper's threat model admits, so it is the right adversary for
 //! stress-testing GNNVault's isolation.
 
-use crate::{AttackError, SimilarityMetric};
+use crate::{AttackError, PairScorer, SimilarityMetric};
 use graph::Graph;
 use linalg::DenseMatrix;
 use rand::rngs::StdRng;
@@ -149,15 +149,21 @@ impl SupervisedLinkAttack {
         }
 
         // Pair features: every metric on every observable layer,
-        // standardized per feature over the training set.
+        // standardized per feature over the training set. Per-node
+        // terms are cached once per (metric, layer) by the scorers, so
+        // each pair feature is a single dot for decomposable metrics.
+        let scorers: Vec<PairScorer<'_>> = SimilarityMetric::ALL
+            .iter()
+            .map(|&m| PairScorer::new(m, embeddings))
+            .collect();
         let featurize = |pairs: &[(usize, usize)]| -> Vec<Vec<f32>> {
             pairs
                 .iter()
                 .map(|&(u, v)| {
-                    let mut f = Vec::with_capacity(embeddings.len() * SimilarityMetric::ALL.len());
-                    for e in embeddings {
-                        for m in SimilarityMetric::ALL {
-                            f.push(m.score(e.row(u), e.row(v)));
+                    let mut f = Vec::with_capacity(embeddings.len() * scorers.len());
+                    for layer in 0..embeddings.len() {
+                        for scorer in &scorers {
+                            f.push(scorer.score_layer(layer, u, v));
                         }
                     }
                     f

@@ -1,6 +1,10 @@
 //! Criterion micro-benchmarks for the compute kernels that dominate the
 //! Fig. 6 time breakdown: dense GEMM (backbone layers), sparse SpMM
-//! (message passing), and GCN normalization.
+//! (message passing), GCN normalization, and the tiled pairwise
+//! engine behind substitute-graph construction (`pairwise_gram`,
+//! `substitute_graphs_512`/`_4096`). The gemm/spmm/pairwise groups
+//! declare per-iteration byte throughput so the JSON trajectory can
+//! report GB/s.
 //!
 //! Running this bench writes `BENCH_kernels.json` (machine-readable
 //! mean/median per kernel plus the machine's parallelism) so successive
@@ -10,9 +14,21 @@
 //! parallel row should be ≥2× faster; on a single core the two rows
 //! coincide (the pool runs inline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graph::{normalization, substitute, Graph};
-use linalg::{matmul_blocked, matmul_naive, matmul_threaded, DenseMatrix, SpmmStrategy};
+use linalg::{matmul_blocked, matmul_naive, matmul_threaded, pairwise, DenseMatrix, SpmmStrategy};
+
+/// Bytes moved by one `m×k · k×n` GEMM call (read A and B, write C).
+fn gemm_bytes(m: usize, k: usize, n: usize) -> u64 {
+    ((m * k + k * n + m * n) * std::mem::size_of::<f32>()) as u64
+}
+
+/// Bytes moved by one SpMM call: CSR values + column indices, plus the
+/// dense input read and output write.
+fn spmm_bytes(nnz: usize, rows: usize, cols: usize) -> u64 {
+    (nnz * (std::mem::size_of::<f32>() + std::mem::size_of::<usize>())
+        + 2 * rows * cols * std::mem::size_of::<f32>()) as u64
+}
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -36,6 +52,7 @@ fn ring_graph(n: usize, extra: usize) -> Graph {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_256");
+    group.throughput(Throughput::Bytes(gemm_bytes(256, 256, 256)));
     let a = random_matrix(256, 256, 1);
     let b = random_matrix(256, 256, 2);
     group.bench_function("naive", |bencher| {
@@ -56,6 +73,7 @@ fn bench_spmm(c: &mut Criterion) {
         let g = ring_graph(n, 2);
         let adj = normalization::gcn_normalize(&g);
         let h = random_matrix(n, 64, 3);
+        group.throughput(Throughput::Bytes(spmm_bytes(adj.nnz(), n, 64)));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
             bencher.iter(|| adj.spmm(&h).expect("spmm"))
         });
@@ -80,6 +98,7 @@ fn bench_spmm_parallel(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group(format!("spmm_parallel_50k/nnz_{}", adj.nnz()));
+    group.throughput(Throughput::Bytes(spmm_bytes(adj.nnz(), n, 64)));
     group.bench_function("sequential", |bencher| {
         bencher.iter(|| adj.spmm_with(&h, SpmmStrategy::Sequential).expect("spmm"))
     });
@@ -122,12 +141,44 @@ fn bench_substitute_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_substitute_generation_4096(c: &mut Criterion) {
+    // 8x the node count of the 512 group: demonstrates the tiled
+    // engine's scaling on a problem whose full similarity matrix
+    // (4096² f32 = 64 MB) would be a wasteful intermediate.
+    let x = random_matrix(4096, 64, 13);
+    let mut group = c.benchmark_group("substitute_graphs_4096");
+    group.bench_function("knn_k2", |bencher| {
+        bencher.iter(|| substitute::knn_graph(&x, 2).expect("knn"))
+    });
+    group.bench_function("cosine_tau05", |bencher| {
+        bencher.iter(|| substitute::cosine_graph(&x, 0.5).expect("cosine"))
+    });
+    group.finish();
+}
+
+fn bench_pairwise_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_gram");
+    for &n in &[512usize, 2048] {
+        let x = random_matrix(n, 64, 21);
+        // Read X (+ its transpose), write the n×n Gram matrix.
+        group.throughput(Throughput::Bytes(
+            ((2 * n * 64 + n * n) * std::mem::size_of::<f32>()) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| pairwise::gram(&x).expect("gram"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
     bench_spmm,
     bench_spmm_parallel,
     bench_normalization,
-    bench_substitute_generation
+    bench_substitute_generation,
+    bench_substitute_generation_4096,
+    bench_pairwise_gram
 );
 criterion_main!(benches);

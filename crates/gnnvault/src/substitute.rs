@@ -7,6 +7,12 @@ use serde::{Deserialize, Serialize};
 /// that the backbone is a plain MLP using no graph at all (the "DNN"
 /// backbone of Table III).
 ///
+/// The similarity-based constructions (`Knn`, `CosineThreshold`,
+/// `CosineBudget`) run on `linalg::pairwise`'s tiled streaming engine:
+/// peak memory is `O(tile · n)` rather than `n²`, so deployments can
+/// build substitutes for graphs far beyond the point where a full
+/// similarity matrix would fit in RAM.
+///
 /// # Examples
 ///
 /// ```

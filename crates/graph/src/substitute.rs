@@ -10,11 +10,30 @@
 //!   a threshold `τ` (paper Eq. 2),
 //! - [`random_graph`]: Erdős–Rényi-style graph with a target edge count
 //!   (the paper samples the substitute density to match the real graph).
+//!
+//! All similarity scans run on [`linalg::pairwise`]'s tiled streaming
+//! engine: row-normalized features are visited one `tile × n` cosine
+//! panel at a time (tiles dispatched across the shared worker pool,
+//! per-tile edge lists merged in tile order), so peak memory is
+//! `O(tile · n)` — never an `n × n` similarity matrix — and neighbour
+//! ranking uses bounded top-k selection instead of full per-row sorts.
+//! Panel similarities come from the blocked kernel, which may differ
+//! from a scalar per-pair dot by f32 reassociation error (≈1e-6
+//! relative); edge sets are identical away from threshold/ranking ties
+//! at that scale.
 
 use crate::{Graph, GraphError};
-use linalg::{ops, DenseMatrix};
+use linalg::{ops, pairwise, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Row-normalizes a copy of `features` so Gram panels are cosine
+/// similarities.
+fn normalized(features: &DenseMatrix) -> DenseMatrix {
+    let mut normalized = features.clone();
+    ops::l2_normalize_rows(&mut normalized);
+    normalized
+}
 
 /// Builds the k-nearest-neighbour substitute graph over node features.
 ///
@@ -52,24 +71,22 @@ pub fn knn_graph(features: &DenseMatrix, k: usize) -> Result<Graph, GraphError> 
             reason: format!("must be smaller than the number of nodes ({n})"),
         });
     }
-    let sims = similarity_rows(features);
-    let mut edges = Vec::with_capacity(n * k);
-    #[allow(clippy::needless_range_loop)] // pairwise index loops read best as indices
-    for u in 0..n {
-        let mut scored: Vec<(usize, f32)> = (0..n)
-            .filter(|&v| v != u)
-            .map(|v| (v, sims[u][v]))
-            .collect();
-        // Sort by similarity descending, tie-break on index for determinism.
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        for &(v, _) in scored.iter().take(k) {
-            edges.push((u, v));
+    // Full-width tiles: a node's nearest neighbours can sit anywhere,
+    // so every row needs all n candidates. Ranking is the engine's
+    // bounded top-k with the (similarity desc, index asc) tie-break.
+    let edges: Vec<(usize, usize)> = pairwise::map_tiles(&normalized(features), |tile| {
+        let mut tile_edges = Vec::with_capacity(tile.rows() * k);
+        for local in 0..tile.rows() {
+            let u = tile.global_row(local);
+            for (v, _) in pairwise::top_k_by_similarity(tile.row(local), k, Some(u)) {
+                tile_edges.push((u, v));
+            }
         }
-    }
+        tile_edges
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Graph::from_edges(n, &edges)
 }
 
@@ -87,16 +104,23 @@ pub fn cosine_graph(features: &DenseMatrix, tau: f32) -> Result<Graph, GraphErro
         });
     }
     let n = features.rows();
-    let sims = similarity_rows(features);
-    let mut edges = Vec::new();
-    #[allow(clippy::needless_range_loop)] // pairwise index loops read best as indices
-    for u in 0..n {
-        for v in u + 1..n {
-            if sims[u][v] >= tau {
-                edges.push((u, v));
+    // Upper-triangle tiles: the threshold scan is symmetric, so each
+    // pair is visited exactly once at half the panel flops.
+    let edges: Vec<(usize, usize)> = pairwise::map_tiles_upper(&normalized(features), |tile| {
+        let mut tile_edges = Vec::new();
+        for local in 0..tile.rows() {
+            let u = tile.global_row(local);
+            for (v, s) in tile.above_diagonal(local) {
+                if s >= tau {
+                    tile_edges.push((u, v));
+                }
             }
         }
-    }
+        tile_edges
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Graph::from_edges(n, &edges)
 }
 
@@ -123,17 +147,40 @@ pub fn cosine_graph_with_budget(
     if target_edges == 0 {
         return Ok(Graph::empty(n));
     }
-    let sims = similarity_rows(features);
-    let mut all: Vec<f32> = Vec::with_capacity(max_edges);
-    #[allow(clippy::needless_range_loop)] // pairwise index loops read best as indices
+    // Stream the upper triangle once, keeping only the flat similarity
+    // values in (row, ascending-column) order (the distribution is
+    // needed to find the threshold; the n × n matrix itself never
+    // exists). A partial selection on a scratch copy replaces the old
+    // full descending sort — only the target_edges-th largest value
+    // matters — and the edge list is then rebuilt from the stored
+    // values, so the expensive panel scan runs exactly once.
+    let all: Vec<f32> = pairwise::map_tiles_upper(&normalized(features), |tile| {
+        let mut sims = Vec::with_capacity(tile.rows() * (n - tile.row_start()));
+        for local in 0..tile.rows() {
+            sims.extend(tile.above_diagonal(local).map(|(_, s)| s));
+        }
+        sims
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut scratch = all.clone();
+    let (_, &mut tau, _) = scratch.select_nth_unstable_by(target_edges - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // `all` holds pairs (u, v) for u ascending, v in u+1..n — the same
+    // enumeration cosine_graph would produce, from the same panel
+    // values. Ties at tau may overshoot the target, never undershoot.
+    let mut edges = Vec::with_capacity(target_edges);
+    let mut flat = all.iter();
     for u in 0..n {
         for v in u + 1..n {
-            all.push(sims[u][v]);
+            if *flat.next().expect("flat sims cover every pair") >= tau {
+                edges.push((u, v));
+            }
         }
     }
-    all.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    let tau = all[target_edges - 1];
-    cosine_graph(features, tau)
+    Graph::from_edges(n, &edges)
 }
 
 /// Builds a uniformly random substitute graph with exactly
@@ -176,25 +223,6 @@ pub fn random_graph(num_nodes: usize, num_edges: usize, seed: u64) -> Result<Gra
         }
     }
     Ok(g)
-}
-
-/// Pairwise cosine similarity rows. O(n² d); acceptable for the scaled
-/// datasets this reproduction trains on.
-fn similarity_rows(features: &DenseMatrix) -> Vec<Vec<f32>> {
-    let n = features.rows();
-    let mut normalized = features.clone();
-    ops::l2_normalize_rows(&mut normalized);
-    let mut sims = vec![vec![0.0f32; n]; n];
-    #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
-    for u in 0..n {
-        let ru = normalized.row(u);
-        for v in u + 1..n {
-            let s: f32 = ru.iter().zip(normalized.row(v)).map(|(a, b)| a * b).sum();
-            sims[u][v] = s;
-            sims[v][u] = s;
-        }
-    }
-    sims
 }
 
 #[cfg(test)]

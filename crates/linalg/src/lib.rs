@@ -11,7 +11,10 @@
 //!   multiplication ([`CsrMatrix::spmm`]) — the message-passing kernel of
 //!   every GCN layer (`Â · H`),
 //! - [`ops`]: activations, softmax family, argmax, and reductions used by
-//!   the neural-network crate.
+//!   the neural-network crate,
+//! - [`pairwise`]: the tiled pool-parallel pairwise-similarity engine
+//!   (Gram panels, streaming row tiles, bounded top-k selection) behind
+//!   substitute graphs, silhouette, and attack scoring.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ mod dense;
 mod error;
 mod gemm;
 pub mod ops;
+pub mod pairwise;
 pub mod pool;
 mod sparse;
 mod workspace;

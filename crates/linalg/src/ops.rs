@@ -137,6 +137,18 @@ pub fn l2_normalize_rows(x: &mut DenseMatrix) {
     }
 }
 
+/// Dot product of two equal-length vectors.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(linalg::ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
 /// Cosine similarity between two equal-length vectors; zero when either
 /// vector has zero norm.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
