@@ -15,8 +15,10 @@
 //! coincide (the pool runs inline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
 use graph::{normalization, substitute, Graph};
 use linalg::{matmul_blocked, matmul_naive, matmul_threaded, pairwise, DenseMatrix, SpmmStrategy};
+use nn::TrainConfig;
 
 /// Bytes moved by one `m×k · k×n` GEMM call (read A and B, write C).
 fn gemm_bytes(m: usize, k: usize, n: usize) -> u64 {
@@ -171,6 +173,79 @@ fn bench_pairwise_gram(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trains and deploys a small vault on a 512-node synthetic graph for
+/// the serving benchmarks (few epochs: the bench measures inference).
+fn serving_vault(n: usize) -> (Vault, DenseMatrix) {
+    let x = random_matrix(n, 32, 17);
+    let half = n / 2;
+    let labels: Vec<usize> = (0..n).map(|r| usize::from(r >= half)).collect();
+    let train: Vec<usize> = (0..n).step_by(2).collect();
+    let real = ring_graph(n, 2);
+    let cfg = TrainConfig {
+        epochs: 10,
+        lr: 0.05,
+        weight_decay: 0.0,
+        dropout: 0.0,
+        seed: 0,
+    };
+    let backbone = Backbone::train(
+        &x,
+        &labels,
+        &train,
+        SubstituteKind::Knn { k: 2 },
+        &[16, 8, 2],
+        real.num_edges(),
+        &cfg,
+        1,
+    )
+    .expect("backbone");
+    let mut rectifier = Rectifier::new(
+        RectifierKind::Series,
+        &[16, 8, 2],
+        &backbone.channel_dims(),
+        2,
+    )
+    .expect("rectifier");
+    let real_adj = normalization::gcn_normalize(&real);
+    let embs = backbone.embeddings(&x).expect("embeddings");
+    rectifier
+        .fit(&real_adj, &embs, &labels, &train, &cfg)
+        .expect("fit");
+    let vault = Vault::deploy(
+        backbone,
+        rectifier,
+        &real,
+        tee::SGX_EPC_BYTES,
+        tee::CostModel::default(),
+        tee::OverBudgetPolicy::Fail,
+        tee::SealKey(3),
+    )
+    .expect("deploy");
+    (vault, x)
+}
+
+fn bench_serving_batch(c: &mut Criterion) {
+    // The serving hot path: one `Vault::infer_batch` per admitted batch
+    // on the 512-node graph. Larger batches amortize the per-batch
+    // backbone forward, tap transfer, and rectifier pass over more
+    // queries — compare per-iteration time divided by batch size across
+    // the rows, and transitions/query in the serving stats.
+    let (mut vault, x) = serving_vault(512);
+    let mut session = vault.open_session();
+    let mut group = c.benchmark_group("serving_batch");
+    for &batch in &[1usize, 16, 128] {
+        let nodes: Vec<usize> = (0..batch).map(|i| (i * 97) % 512).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bencher, _| {
+            bencher.iter(|| {
+                vault
+                    .infer_batch(&mut session, &x, &nodes)
+                    .expect("batched inference")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -179,6 +254,7 @@ criterion_group!(
     bench_normalization,
     bench_substitute_generation,
     bench_substitute_generation_4096,
-    bench_pairwise_gram
+    bench_pairwise_gram,
+    bench_serving_batch
 );
 criterion_main!(benches);

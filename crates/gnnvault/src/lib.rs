@@ -22,7 +22,11 @@
 //!
 //! [`OriginalGnn`] provides the unprotected reference model (`porg`),
 //! and [`pipeline`] drives the whole four-step flow for the experiment
-//! harness.
+//! harness. Deployed vaults answer single queries ([`Vault::infer`],
+//! [`Vault::infer_node`]) or serving-style batches
+//! ([`Vault::infer_batch`], one enclave transition set per batch); the
+//! `serve` crate stacks admission control, batching, and caching on
+//! top.
 //!
 //! # Examples
 //!

@@ -2,10 +2,18 @@ use crate::{Backbone, Rectifier, VaultError};
 use graph::{normalization, Graph};
 use linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tee::{
-    codec, ClassLabel, CostModel, EnclaveSim, Meter, OverBudgetPolicy, Phase, SealKey, Sealed,
-    UntrustedToEnclave,
+    codec, AllocationId, ClassLabel, CostModel, EnclaveSession, EnclaveSim, Meter,
+    OverBudgetPolicy, Phase, SealKey, Sealed, SessionId, UntrustedToEnclave,
 };
+
+/// Process-wide deployment counter behind [`Vault::epoch`]: every
+/// deployment in this process gets a distinct epoch, so in-memory
+/// caches keyed by epoch can never mix answers from two deployments.
+/// The counter restarts with the process — a cache that outlives the
+/// process (disk, remote) must add its own boot-unique component.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 /// Per-inference report: the Fig. 6 measurables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +54,11 @@ impl InferenceReport {
 /// world, tap embeddings marshalled one-way into the enclave, rectifier
 /// inside, and *label-only* output ([`ClassLabel`]) — logits never leave.
 ///
+/// For serving traffic, [`Vault::infer_batch`] answers many node
+/// queries with a single enclave transition set per batch through a
+/// reusable [`EnclaveSession`]; the `serve` crate builds its admission
+/// queue, caching, and scheduling on top of that entry point.
+///
 /// # Examples
 ///
 /// See [`crate::pipeline`] for end-to-end construction; the integration
@@ -53,6 +66,8 @@ impl InferenceReport {
 #[derive(Debug)]
 pub struct Vault {
     backbone: Backbone,
+    epoch: u64,
+    next_session: u64,
     // --- enclave-private state (never exposed by any accessor) ---
     rectifier: Rectifier,
     real_graph: Graph,
@@ -117,12 +132,56 @@ impl Vault {
 
         Ok(Vault {
             backbone,
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            next_session: 0,
             rectifier,
             real_graph: real_graph.clone(),
             real_adj,
             enclave,
             sealed_artifacts,
         })
+    }
+
+    /// Deployment epoch of this vault: unique within the current
+    /// process, minted fresh at every [`Vault::deploy`]. Serving layers
+    /// key *in-memory* result caches by `(epoch, node)` so entries from
+    /// a superseded deployment can never be served by a newer one.
+    /// Epochs restart with the process, so a cache persisted beyond the
+    /// process lifetime additionally needs a boot-unique key component.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes in the deployed (real) graph; valid query ids
+    /// for [`Vault::infer_node`] / [`Vault::infer_batch`] are
+    /// `0..num_nodes`. Not a secret: the untrusted world already knows
+    /// it from the feature matrix it runs the backbone on.
+    pub fn num_nodes(&self) -> usize {
+        self.real_graph.num_nodes()
+    }
+
+    /// Bytes currently allocated inside the enclave (resident set plus
+    /// any live transients). Serving tests use it to prove failed
+    /// batches roll their transient allocations back.
+    pub fn enclave_in_use_bytes(&self) -> usize {
+        self.enclave.current_usage()
+    }
+
+    /// Opens a new enclave session for batched inference
+    /// ([`Vault::infer_batch`]): a long-lived ingress channel a serving
+    /// worker reuses across batches. Session ids are unique per vault.
+    pub fn open_session(&mut self) -> EnclaveSession {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        EnclaveSession::new(id)
+    }
+
+    /// Total enclave transitions (ECALLs) charged over the vault's
+    /// lifetime — the counter behind each report's per-call
+    /// [`InferenceReport::transitions`] delta. Serving tests use it to
+    /// prove cache hits never re-enter the enclave.
+    pub fn enclave_transitions(&self) -> u64 {
+        self.enclave.transitions()
     }
 
     /// The public backbone (the attacker-visible half).
@@ -179,6 +238,7 @@ impl Vault {
     ) -> Result<(Vec<ClassLabel>, InferenceReport), VaultError> {
         let meter = self.enclave.meter();
         meter.reset();
+        let transitions_before = self.enclave.transitions();
 
         // 1. Public backbone in the untrusted world.
         let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
@@ -191,57 +251,32 @@ impl Vault {
             channel.send(&mut self.enclave, payload)?;
         }
         let transferred_bytes = channel.total_bytes();
-        let transitions = self.enclave.transitions();
 
-        // Enclave side: decode payloads back into tap embeddings. The
-        // rectifier's wiring expects the full embedding list; non-tapped
-        // slots are never read, so placeholders stand in for them.
+        // Enclave side: decode payloads back into tap embeddings.
         let payloads = channel.drain();
-        let mut enclave_embeddings: Vec<DenseMatrix> = embeddings
-            .iter()
-            .map(|e| DenseMatrix::zeros(0, e.cols()))
-            .collect();
-        for (&t, payload) in taps.iter().zip(&payloads) {
-            enclave_embeddings[t] = codec::decode_dense(payload)?;
-        }
-        // Wiring rules may fall back to the last embedding for shallow
-        // backbones; make sure any slot a rule can touch is populated.
-        for (slot, original) in enclave_embeddings.iter_mut().zip(&embeddings) {
-            if slot.rows() == 0 && original.rows() != 0 {
-                *slot = DenseMatrix::zeros(original.rows(), original.cols());
-            }
-        }
+        let enclave_embeddings = Self::decode_tap_embeddings(&taps, &payloads, &embeddings)?;
 
         // 3. Rectifier inside the enclave, with transient activation
-        //    buffers accounted against the EPC.
-        let n = features.rows();
-        let mut transient = Vec::new();
-        for (in_dim, out_dim) in self
-            .rectifier
-            .input_dims()
-            .into_iter()
-            .zip(self.rectifier.channel_dims())
-        {
-            transient.push(self.enclave.alloc(
-                "layer activation",
-                n * (in_dim + out_dim) * std::mem::size_of::<f32>(),
-            )?);
-        }
-        let forward = {
+        //    buffers accounted against the EPC. The buffers are freed
+        //    whether or not the forward succeeds: a long-lived serving
+        //    enclave must not leak EPC on a failed batch.
+        let transient = self.alloc_transient_activations(features.rows())?;
+        let forward_result = {
             let rectifier = &self.rectifier;
             let real_adj = &self.real_adj;
             self.enclave
-                .run(|| rectifier.forward(real_adj, &enclave_embeddings))?
+                .run(|| rectifier.forward(real_adj, &enclave_embeddings))
         };
+        for id in transient {
+            self.enclave.free(id)?;
+        }
+        let forward = forward_result?;
 
         // 4. Label-only egress: logits stay inside.
         let labels: Vec<ClassLabel> = linalg::ops::argmax_rows(forward.logits())
             .into_iter()
             .map(ClassLabel)
             .collect();
-        for id in transient {
-            self.enclave.free(id)?;
-        }
 
         let breakdown = meter.breakdown();
         let get = |phase: Phase| breakdown.get(&phase).copied().unwrap_or_default();
@@ -250,10 +285,197 @@ impl Vault {
             transfer_ns: get(Phase::Transfer).total_ns(),
             rectifier_ns: get(Phase::Enclave).total_ns() + get(Phase::PageSwap).total_ns(),
             transferred_bytes,
-            transitions,
+            transitions: self.enclave.transitions() - transitions_before,
             peak_enclave_bytes: self.enclave.peak_usage(),
         };
         Ok((labels, report))
+    }
+
+    /// Runs one batched inference for `nodes` through an open enclave
+    /// session, amortizing one enclave transition set per *batch*
+    /// instead of one per queried node.
+    ///
+    /// The split pipeline runs exactly once for the whole batch: one
+    /// backbone forward in the untrusted world (on the shared `linalg`
+    /// pool), one tap-set transfer through the session's reusable
+    /// channel, one rectifier pass inside the enclave with its transient
+    /// activations allocated (and accounted) once, and label-only egress
+    /// for exactly the queried nodes. Because the enclave computation is
+    /// the same full-graph rectification as [`Vault::infer`], the
+    /// returned labels are bit-identical to running `infer` and reading
+    /// the queried rows — batching changes cost, never answers.
+    ///
+    /// The report's [`InferenceReport::transitions`] is the per-batch
+    /// delta, so `transitions / nodes.len()` is the per-node ECALL cost
+    /// a serving layer is trying to drive down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaultError::InvalidConfig`] on an empty batch or an
+    /// out-of-range node id; otherwise propagates the same failures as
+    /// [`Vault::infer`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
+    /// use linalg::DenseMatrix;
+    /// use nn::TrainConfig;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = DenseMatrix::from_rows(&[
+    ///     &[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0], &[0.1, 0.9],
+    /// ])?;
+    /// let labels = vec![0, 0, 1, 1];
+    /// let real = graph::Graph::from_edges(4, &[(0, 1), (2, 3)])?;
+    /// let cfg = TrainConfig { epochs: 15, dropout: 0.0, ..Default::default() };
+    /// let backbone = Backbone::train(
+    ///     &x, &labels, &[0, 1, 2, 3], SubstituteKind::Knn { k: 1 },
+    ///     &[4, 2], real.num_edges(), &cfg, 1,
+    /// )?;
+    /// let mut rectifier = Rectifier::new(
+    ///     RectifierKind::Series, &[4, 2], &backbone.channel_dims(), 2,
+    /// )?;
+    /// let real_adj = graph::normalization::gcn_normalize(&real);
+    /// let embs = backbone.embeddings(&x)?;
+    /// rectifier.fit(&real_adj, &embs, &labels, &[0, 1, 2, 3], &cfg)?;
+    /// let mut vault = Vault::deploy(
+    ///     backbone, rectifier, &real, tee::SGX_EPC_BYTES,
+    ///     tee::CostModel::default(), tee::OverBudgetPolicy::Fail, tee::SealKey(1),
+    /// )?;
+    ///
+    /// // One session, reused across batches; one transition set per batch.
+    /// let mut session = vault.open_session();
+    /// let (batch_labels, report) = vault.infer_batch(&mut session, &x, &[0, 3, 0])?;
+    /// assert_eq!(batch_labels.len(), 3);
+    /// assert_eq!(batch_labels[0], batch_labels[2], "same node, same label");
+    /// assert!(report.transitions >= 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn infer_batch(
+        &mut self,
+        session: &mut EnclaveSession,
+        features: &DenseMatrix,
+        nodes: &[usize],
+    ) -> Result<(Vec<ClassLabel>, InferenceReport), VaultError> {
+        if nodes.is_empty() {
+            return Err(VaultError::InvalidConfig {
+                reason: "empty batch: at least one query node is required".into(),
+            });
+        }
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= self.real_graph.num_nodes()) {
+            return Err(VaultError::InvalidConfig {
+                reason: format!(
+                    "query node {bad} out of range for {} nodes",
+                    self.real_graph.num_nodes()
+                ),
+            });
+        }
+        let meter = self.enclave.meter();
+        meter.reset();
+        let transitions_before = self.enclave.transitions();
+
+        // 1. One backbone forward for the whole batch.
+        let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
+
+        // 2. One tap-set transfer per batch, through the session's
+        //    long-lived channel.
+        let taps = self.rectifier.tap_indices();
+        session.begin_batch();
+        for &t in &taps {
+            session.send(&mut self.enclave, codec::encode_dense(&embeddings[t]))?;
+        }
+        let transferred_bytes = session.batch_bytes();
+        let payloads = session.drain();
+        let enclave_embeddings = Self::decode_tap_embeddings(&taps, &payloads, &embeddings)?;
+
+        // 3. One rectifier pass per batch; transient activations are
+        //    allocated (and EPC-accounted) once, not once per query, and
+        //    freed even when the forward fails so a failed batch cannot
+        //    degrade the serving enclave.
+        let transient = self.alloc_transient_activations(features.rows())?;
+        let forward_result = {
+            let rectifier = &self.rectifier;
+            let real_adj = &self.real_adj;
+            self.enclave
+                .run(|| rectifier.forward(real_adj, &enclave_embeddings))
+        };
+        for id in transient {
+            self.enclave.free(id)?;
+        }
+        let forward = forward_result?;
+
+        // 4. Label-only egress for exactly the queried nodes.
+        let all_labels = linalg::ops::argmax_rows(forward.logits());
+        let labels = nodes.iter().map(|&n| ClassLabel(all_labels[n])).collect();
+
+        let breakdown = meter.breakdown();
+        let get = |phase: Phase| breakdown.get(&phase).copied().unwrap_or_default();
+        let report = InferenceReport {
+            backbone_ns: get(Phase::Backbone).total_ns(),
+            transfer_ns: get(Phase::Transfer).total_ns(),
+            rectifier_ns: get(Phase::Enclave).total_ns() + get(Phase::PageSwap).total_ns(),
+            transferred_bytes,
+            transitions: self.enclave.transitions() - transitions_before,
+            peak_enclave_bytes: self.enclave.peak_usage(),
+        };
+        Ok((labels, report))
+    }
+
+    /// Decodes world-crossing tap payloads back into the full embedding
+    /// list the rectifier wiring expects. Non-tapped slots are never
+    /// read, so zero-row placeholders stand in; slots a shallow-backbone
+    /// fallback rule could touch are padded to full height.
+    fn decode_tap_embeddings<P: AsRef<[u8]>>(
+        taps: &[usize],
+        payloads: &[P],
+        embeddings: &[DenseMatrix],
+    ) -> Result<Vec<DenseMatrix>, VaultError> {
+        let mut enclave_embeddings: Vec<DenseMatrix> = embeddings
+            .iter()
+            .map(|e| DenseMatrix::zeros(0, e.cols()))
+            .collect();
+        for (&t, payload) in taps.iter().zip(payloads) {
+            enclave_embeddings[t] = codec::decode_dense(payload.as_ref())?;
+        }
+        for (slot, original) in enclave_embeddings.iter_mut().zip(embeddings) {
+            if slot.rows() == 0 && original.rows() != 0 {
+                *slot = DenseMatrix::zeros(original.rows(), original.cols());
+            }
+        }
+        Ok(enclave_embeddings)
+    }
+
+    /// Accounts the rectifier's transient per-layer activation buffers
+    /// for an `n`-row forward against the EPC, returning the allocation
+    /// ids to free once logits have been produced. On a mid-sequence
+    /// rejection the already-made allocations are rolled back, so a
+    /// failed inference leaves the enclave ledger exactly as it found
+    /// it.
+    fn alloc_transient_activations(&mut self, n: usize) -> Result<Vec<AllocationId>, VaultError> {
+        let mut transient = Vec::new();
+        for (in_dim, out_dim) in self
+            .rectifier
+            .input_dims()
+            .into_iter()
+            .zip(self.rectifier.channel_dims())
+        {
+            match self.enclave.alloc(
+                "layer activation",
+                n * (in_dim + out_dim) * std::mem::size_of::<f32>(),
+            ) {
+                Ok(id) => transient.push(id),
+                Err(e) => {
+                    // Fresh ids: free cannot fail here.
+                    for id in transient {
+                        let _ = self.enclave.free(id);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(transient)
     }
 
     /// Answers a single-node query (the threat model's query interface).
@@ -286,6 +508,7 @@ impl Vault {
         }
         let meter = self.enclave.meter();
         meter.reset();
+        let transitions_before = self.enclave.transitions();
 
         let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
         let taps = self.rectifier.tap_indices();
@@ -294,7 +517,6 @@ impl Vault {
             channel.send(&mut self.enclave, codec::encode_dense(&embeddings[t]))?;
         }
         let transferred_bytes = channel.total_bytes();
-        let transitions = self.enclave.transitions();
         let payloads = channel.drain();
 
         // --- enclave side: ego extraction + subgraph rectification ---
@@ -333,7 +555,7 @@ impl Vault {
                 transfer_ns: get(Phase::Transfer).total_ns(),
                 rectifier_ns: get(Phase::Enclave).total_ns() + get(Phase::PageSwap).total_ns(),
                 transferred_bytes,
-                transitions,
+                transitions: self.enclave.transitions() - transitions_before,
                 peak_enclave_bytes: peak,
             },
         ))
@@ -347,6 +569,13 @@ mod tests {
     use nn::TrainConfig;
 
     fn toy_vault(kind: RectifierKind) -> (Vault, DenseMatrix, Vec<usize>) {
+        toy_vault_with_budget(kind, tee::SGX_EPC_BYTES)
+    }
+
+    fn toy_vault_with_budget(
+        kind: RectifierKind,
+        epc_budget: usize,
+    ) -> (Vault, DenseMatrix, Vec<usize>) {
         let x = DenseMatrix::from_rows(&[
             &[1.0, 0.0],
             &[0.9, 0.1],
@@ -387,7 +616,7 @@ mod tests {
             backbone,
             rectifier,
             &real,
-            tee::SGX_EPC_BYTES,
+            epc_budget,
             CostModel::default(),
             OverBudgetPolicy::Fail,
             SealKey(7),
@@ -451,6 +680,116 @@ mod tests {
                 assert!(report.transferred_bytes > 0);
             }
         }
+    }
+
+    #[test]
+    fn infer_batch_matches_per_node_infer() {
+        for kind in RectifierKind::ALL {
+            let (mut vault, x, _) = toy_vault(kind);
+            let (full, _) = vault.infer(&x).unwrap();
+            let mut session = vault.open_session();
+            let nodes: Vec<usize> = (0..x.rows()).collect();
+            let (batched, report) = vault.infer_batch(&mut session, &x, &nodes).unwrap();
+            assert_eq!(batched, full, "{kind:?}: batch must equal full inference");
+            assert_eq!(
+                report.transitions,
+                vault.rectifier.tap_indices().len() as u64,
+                "{kind:?}: one transition per tap per batch"
+            );
+            // Duplicate and subset queries read the same logits.
+            let (dup, _) = vault.infer_batch(&mut session, &x, &[2, 2, 5]).unwrap();
+            assert_eq!(dup, vec![full[2], full[2], full[5]], "{kind:?}");
+            assert_eq!(session.batches_served(), 2);
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_transitions_over_per_node_queries() {
+        let (mut vault, x, _) = toy_vault(RectifierKind::Cascaded);
+        let mut per_node_total = 0;
+        for node in 0..x.rows() {
+            let (_, r) = vault.infer_node(&x, node).unwrap();
+            per_node_total += r.transitions;
+        }
+        let mut session = vault.open_session();
+        let nodes: Vec<usize> = (0..x.rows()).collect();
+        let (_, batch) = vault.infer_batch(&mut session, &x, &nodes).unwrap();
+        assert!(
+            batch.transitions < per_node_total,
+            "batch {} vs per-node {}",
+            batch.transitions,
+            per_node_total
+        );
+        // Per-call delta semantics: a second batch on the same session
+        // charges the same amount again, not a cumulative total.
+        let (_, second) = vault.infer_batch(&mut session, &x, &nodes).unwrap();
+        assert_eq!(second.transitions, batch.transitions);
+        assert_eq!(
+            vault.enclave_transitions(),
+            per_node_total + 2 * batch.transitions
+        );
+    }
+
+    #[test]
+    fn infer_batch_rejects_empty_and_out_of_range() {
+        let (mut vault, x, _) = toy_vault(RectifierKind::Series);
+        let mut session = vault.open_session();
+        assert!(matches!(
+            vault.infer_batch(&mut session, &x, &[]),
+            Err(VaultError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            vault.infer_batch(&mut session, &x, &[0, 99]),
+            Err(VaultError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_inference_rolls_back_transient_allocations() {
+        // Measure the resident set, then redeploy with just enough
+        // headroom for the first transient activation but not the
+        // second — the mid-sequence rejection path.
+        let (probe, x, _) = toy_vault(RectifierKind::Series);
+        let resident = probe.enclave_in_use_bytes();
+        let dims: Vec<(usize, usize)> = probe
+            .rectifier
+            .input_dims()
+            .into_iter()
+            .zip(probe.rectifier.channel_dims())
+            .collect();
+        let first_transient = x.rows() * (dims[0].0 + dims[0].1) * std::mem::size_of::<f32>();
+        drop(probe);
+
+        let (mut tight, x, _) =
+            toy_vault_with_budget(RectifierKind::Series, resident + first_transient + 16);
+        let before = tight.enclave_in_use_bytes();
+        assert_eq!(before, resident, "deployments are deterministic");
+
+        let mut session = tight.open_session();
+        for _ in 0..3 {
+            assert!(matches!(
+                tight.infer_batch(&mut session, &x, &[0]),
+                Err(VaultError::Tee(tee::TeeError::EpcExhausted { .. }))
+            ));
+            assert_eq!(
+                tight.enclave_in_use_bytes(),
+                before,
+                "failed batches must not leak enclave memory"
+            );
+        }
+        assert!(tight.infer(&x).is_err());
+        assert_eq!(tight.enclave_in_use_bytes(), before);
+    }
+
+    #[test]
+    fn epochs_and_session_ids_are_unique() {
+        let (mut v1, _, _) = toy_vault(RectifierKind::Series);
+        let (v2, _, _) = toy_vault(RectifierKind::Series);
+        assert_ne!(v1.epoch(), v2.epoch());
+        assert!(v1.epoch() > 0 && v2.epoch() > 0);
+        let s0 = v1.open_session();
+        let s1 = v1.open_session();
+        assert_ne!(s0.id(), s1.id());
     }
 
     #[test]

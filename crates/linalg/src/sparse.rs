@@ -11,8 +11,8 @@ const SPMM_PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
 /// [`crate::GemmStrategy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SpmmStrategy {
-    /// Choose by nonzero count: parallel when `nnz × n` crosses
-    /// [`SPMM_PARALLEL_FLOP_THRESHOLD`] and the pool has >1 worker.
+    /// Choose by nonzero count: parallel when `nnz × n` crosses the
+    /// crate's flop threshold (2²¹) and the pool has >1 worker.
     #[default]
     Auto,
     /// Single-threaded row loop (the reference kernel).

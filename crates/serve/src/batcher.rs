@@ -1,0 +1,450 @@
+//! Size- and deadline-bounded batch admission.
+//!
+//! Clients push node-query requests into an [`AdmissionQueue`] from any
+//! thread; the serving worker pulls *batches* out. A batch flushes when
+//! the pending node count reaches [`BatchPolicy::max_batch_nodes`]
+//! (size bound) or when the oldest pending request has waited
+//! [`BatchPolicy::max_delay`] (deadline bound — a lone request is never
+//! stranded waiting for peers). Admission control caps the queue at
+//! [`BatchPolicy::max_queue_requests`] outstanding requests so overload
+//! degrades into fast rejections instead of unbounded latency.
+
+use crate::ServeError;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tee::ClassLabel;
+
+/// Batching and admission knobs for the serving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush a batch once this many query nodes are pending. A single
+    /// request larger than the bound is admitted and forms its own
+    /// batch.
+    pub max_batch_nodes: usize,
+    /// Flush a partial batch once its oldest request has waited this
+    /// long (the serving latency bound under light load).
+    pub max_delay: Duration,
+    /// Reject new requests once this many are already queued.
+    pub max_queue_requests: usize,
+}
+
+impl Default for BatchPolicy {
+    /// 64-node batches, a 2 ms flush deadline, and a 4096-request queue.
+    fn default() -> Self {
+        Self {
+            max_batch_nodes: 64,
+            max_delay: Duration::from_millis(2),
+            max_queue_requests: 4096,
+        }
+    }
+}
+
+/// Why [`AdmissionQueue::next_batch`] released a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The size bound was reached.
+    Full,
+    /// The oldest request's deadline expired with a partial batch.
+    Deadline,
+    /// The queue was closed and remaining requests are being drained.
+    Drain,
+}
+
+/// One admitted request, as handed to the serving worker.
+///
+/// The worker answers it with [`PendingRequest::respond`]; dropping it
+/// unanswered resolves the client's [`Ticket`] to
+/// [`ServeError::Closed`].
+#[derive(Debug)]
+pub struct PendingRequest {
+    nodes: Vec<usize>,
+    enqueued_at: Instant,
+    responder: Sender<Result<Vec<ClassLabel>, ServeError>>,
+}
+
+impl PendingRequest {
+    /// The node ids this request asks about (in client order).
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// When the request was admitted.
+    pub fn enqueued_at(&self) -> Instant {
+        self.enqueued_at
+    }
+
+    /// Resolves the client's ticket. A client that dropped its ticket
+    /// is silently skipped.
+    pub fn respond(self, result: Result<Vec<ClassLabel>, ServeError>) {
+        let _ = self.responder.send(result);
+    }
+}
+
+/// The client half of one submitted request: blocks until the serving
+/// worker answers.
+#[derive(Debug)]
+pub struct Ticket {
+    receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered. Returns
+    /// [`ServeError::Closed`] if the engine shut down before answering.
+    pub fn wait(self) -> Result<Vec<ClassLabel>, ServeError> {
+        self.receiver.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`,
+    /// returning `None` when no answer arrived in time.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Vec<ClassLabel>, ServeError>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Closed)),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+        }
+    }
+}
+
+/// Queue interior: the pending requests plus aggregate node count.
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<PendingRequest>,
+    pending_nodes: usize,
+    closed: bool,
+}
+
+/// Thread-safe batch admission queue (the "batcher").
+///
+/// Any number of submitter threads call [`submit`](Self::submit); one
+/// worker loops on [`next_batch`](Self::next_batch). Closing the queue
+/// ([`close`](Self::close)) rejects new submissions while letting the
+/// worker drain what was already admitted.
+///
+/// # Examples
+///
+/// ```
+/// use serve::{AdmissionQueue, BatchPolicy, FlushReason};
+/// use std::time::Duration;
+///
+/// let queue = AdmissionQueue::new(BatchPolicy {
+///     max_batch_nodes: 4,
+///     max_delay: Duration::from_millis(1),
+///     max_queue_requests: 16,
+/// });
+/// let t1 = queue.submit(vec![0, 1]).unwrap();
+/// let t2 = queue.submit(vec![2, 3]).unwrap();
+///
+/// // 4 pending nodes hit the size bound: both requests flush together.
+/// let (batch, reason) = queue.next_batch().unwrap();
+/// assert_eq!(reason, FlushReason::Full);
+/// assert_eq!(batch.len(), 2);
+///
+/// // The worker answers each request; tickets resolve.
+/// for request in batch {
+///     let echo = request.nodes().iter().map(|&n| tee::ClassLabel(n)).collect();
+///     request.respond(Ok(echo));
+/// }
+/// assert_eq!(t1.wait().unwrap(), vec![tee::ClassLabel(0), tee::ClassLabel(1)]);
+/// assert_eq!(t2.wait().unwrap().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    policy: BatchPolicy,
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue with the given policy. Zero-valued size knobs are
+    /// clamped to 1 so the queue can always make progress.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy: BatchPolicy {
+                max_batch_nodes: policy.max_batch_nodes.max(1),
+                max_delay: policy.max_delay,
+                max_queue_requests: policy.max_queue_requests.max(1),
+            },
+            state: Mutex::new(QueueState::default()),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// The (normalized) policy this queue runs under.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Number of requests currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").pending.len()
+    }
+
+    /// Whether no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits a request for the given nodes, returning the ticket the
+    /// client blocks on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] for an empty node list or a full queue;
+    /// [`ServeError::Closed`] after [`close`](Self::close).
+    pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
+        if nodes.is_empty() {
+            return Err(ServeError::Rejected {
+                reason: "request contains no query nodes".into(),
+            });
+        }
+        let (responder, receiver) = channel();
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            if state.closed {
+                return Err(ServeError::Closed);
+            }
+            if state.pending.len() >= self.policy.max_queue_requests {
+                return Err(ServeError::Rejected {
+                    reason: format!(
+                        "queue full: {} requests pending (cap {})",
+                        state.pending.len(),
+                        self.policy.max_queue_requests
+                    ),
+                });
+            }
+            state.pending_nodes += nodes.len();
+            state.pending.push_back(PendingRequest {
+                nodes,
+                enqueued_at: Instant::now(),
+                responder,
+            });
+        }
+        self.arrived.notify_all();
+        Ok(Ticket { receiver })
+    }
+
+    /// Blocks until a batch is due and returns it, or `None` once the
+    /// queue is closed *and* drained (the worker's exit signal).
+    ///
+    /// The returned batch takes whole requests in arrival order until
+    /// the size bound is met; it always contains at least one request.
+    pub fn next_batch(&self) -> Option<(Vec<PendingRequest>, FlushReason)> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                if state.pending.is_empty() {
+                    return None;
+                }
+                return Some((
+                    Self::take_batch(&mut state, &self.policy),
+                    FlushReason::Drain,
+                ));
+            }
+            if state.pending_nodes >= self.policy.max_batch_nodes {
+                return Some((
+                    Self::take_batch(&mut state, &self.policy),
+                    FlushReason::Full,
+                ));
+            }
+            if let Some(oldest) = state.pending.front() {
+                let deadline = oldest.enqueued_at + self.policy.max_delay;
+                let now = Instant::now();
+                if now >= deadline {
+                    return Some((
+                        Self::take_batch(&mut state, &self.policy),
+                        FlushReason::Deadline,
+                    ));
+                }
+                let (next, _) = self
+                    .arrived
+                    .wait_timeout(state, deadline - now)
+                    .expect("queue wait");
+                state = next;
+            } else {
+                state = self.arrived.wait(state).expect("queue wait");
+            }
+        }
+    }
+
+    /// Pops requests (oldest first) until the size bound is satisfied or
+    /// the queue empties; at least one request is taken.
+    fn take_batch(state: &mut QueueState, policy: &BatchPolicy) -> Vec<PendingRequest> {
+        let mut batch = Vec::new();
+        let mut nodes = 0usize;
+        while let Some(front) = state.pending.front() {
+            if !batch.is_empty() && nodes + front.nodes.len() > policy.max_batch_nodes {
+                break;
+            }
+            let request = state.pending.pop_front().expect("front exists");
+            nodes += request.nodes.len();
+            state.pending_nodes -= request.nodes.len();
+            batch.push(request);
+            if nodes >= policy.max_batch_nodes {
+                break;
+            }
+        }
+        batch
+    }
+
+    /// Closes the queue: new submissions fail with
+    /// [`ServeError::Closed`], already-admitted requests remain
+    /// drainable via [`next_batch`](Self::next_batch).
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.arrived.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn policy(max_nodes: usize, delay_ms: u64, cap: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_batch_nodes: max_nodes,
+            max_delay: Duration::from_millis(delay_ms),
+            max_queue_requests: cap,
+        }
+    }
+
+    #[test]
+    fn size_bound_flushes_without_waiting_out_the_deadline() {
+        let queue = AdmissionQueue::new(policy(4, 10_000, 100));
+        let _t1 = queue.submit(vec![0, 1]).unwrap();
+        let _t2 = queue.submit(vec![2, 3]).unwrap();
+        let start = Instant::now();
+        let (batch, reason) = queue.next_batch().unwrap();
+        assert_eq!(reason, FlushReason::Full);
+        assert_eq!(batch.len(), 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "size-bound flush must not wait for the deadline"
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let queue = AdmissionQueue::new(policy(1_000, 20, 100));
+        let _t = queue.submit(vec![7]).unwrap();
+        let start = Instant::now();
+        let (batch, reason) = queue.next_batch().unwrap();
+        assert_eq!(reason, FlushReason::Deadline);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].nodes(), &[7]);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn batch_splits_at_the_node_bound() {
+        let queue = AdmissionQueue::new(policy(3, 1, 100));
+        let _a = queue.submit(vec![0, 1]).unwrap();
+        let _b = queue.submit(vec![2, 3]).unwrap();
+        // 4 pending ≥ 3: flush takes the first request, and the second
+        // would overflow the bound, so it stays queued.
+        let (batch, _) = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].nodes(), &[0, 1]);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn oversized_request_forms_its_own_batch() {
+        let queue = AdmissionQueue::new(policy(2, 1, 100));
+        let _t = queue.submit(vec![0, 1, 2, 3, 4]).unwrap();
+        let (batch, _) = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].nodes().len(), 5);
+    }
+
+    #[test]
+    fn admission_control_rejects_over_cap_and_empty() {
+        let queue = AdmissionQueue::new(policy(100, 1, 2));
+        let _a = queue.submit(vec![0]).unwrap();
+        let _b = queue.submit(vec![1]).unwrap();
+        assert!(matches!(
+            queue.submit(vec![2]),
+            Err(ServeError::Rejected { .. })
+        ));
+        assert!(matches!(
+            queue.submit(vec![]),
+            Err(ServeError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_old() {
+        let queue = AdmissionQueue::new(policy(100, 10_000, 100));
+        let _t = queue.submit(vec![0]).unwrap();
+        queue.close();
+        assert!(matches!(queue.submit(vec![1]), Err(ServeError::Closed)));
+        let (batch, reason) = queue.next_batch().unwrap();
+        assert_eq!(reason, FlushReason::Drain);
+        assert_eq!(batch.len(), 1);
+        assert!(queue.next_batch().is_none(), "drained queue signals exit");
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_poison_the_worker() {
+        let queue = AdmissionQueue::new(policy(1, 1, 100));
+        let ticket = queue.submit(vec![0]).unwrap();
+        drop(ticket);
+        let (batch, _) = queue.next_batch().unwrap();
+        for request in batch {
+            request.respond(Ok(vec![])); // must not panic
+        }
+    }
+
+    #[test]
+    fn unanswered_request_resolves_ticket_to_closed() {
+        let queue = AdmissionQueue::new(policy(1, 1, 100));
+        let ticket = queue.submit(vec![0]).unwrap();
+        let (batch, _) = queue.next_batch().unwrap();
+        drop(batch); // worker dies without responding
+        assert_eq!(ticket.wait(), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_batched() {
+        let queue = Arc::new(AdmissionQueue::new(policy(8, 5, 1_000)));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let queue = Arc::clone(&queue);
+            handles.push(std::thread::spawn(move || {
+                (0..25)
+                    .map(|i| queue.submit(vec![t * 100 + i]).unwrap())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        // Worker: echo every node id back as its "label".
+        let worker = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut served = 0usize;
+                while served < 100 {
+                    let Some((batch, _)) = queue.next_batch() else {
+                        break;
+                    };
+                    for request in batch {
+                        served += 1;
+                        let echo = request.nodes().iter().map(|&n| ClassLabel(n)).collect();
+                        request.respond(Ok(echo));
+                    }
+                }
+                served
+            })
+        };
+        for handle in handles {
+            for (i, ticket) in handle.join().unwrap().into_iter().enumerate() {
+                let labels = ticket.wait().unwrap();
+                assert_eq!(labels.len(), 1);
+                assert_eq!(labels[0].0 % 100, i);
+            }
+        }
+        assert_eq!(worker.join().unwrap(), 100);
+    }
+}

@@ -1,0 +1,278 @@
+//! A fixed-capacity least-recently-used map.
+//!
+//! The serving engine fronts the enclave with one of these, keyed by
+//! `(vault epoch, node id)`: a repeated query is answered from the
+//! cache and never re-enters the enclave, and keying by epoch means a
+//! redeployed vault can never serve a predecessor's answers. The type
+//! is a plain generic container, so tests (and future layers — e.g. an
+//! embedding cache) can reuse it for any key/value pair.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel index for "no entry" in the intrusive recency list.
+const NIL: usize = usize::MAX;
+
+/// One slot of the cache: the key/value pair plus its position in the
+/// doubly-linked recency list (indices into the slot vector).
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with O(1) amortized `get`/`insert`.
+///
+/// Recency is maintained with an intrusive doubly-linked list over a
+/// slot vector (no per-entry allocation); a `HashMap` indexes keys to
+/// slots. A capacity of `0` disables the cache entirely: every `insert`
+/// is a no-op and every `get` misses — handy for turning caching off in
+/// a config without branching at the call sites.
+///
+/// # Examples
+///
+/// ```
+/// use serve::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// cache.insert("a", 1);
+/// cache.insert("b", 2);
+/// assert_eq!(cache.get(&"a"), Some(&1)); // touches "a": "b" is now LRU
+/// cache.insert("c", 3);                  // evicts "b"
+/// assert_eq!(cache.get(&"b"), None);
+/// assert_eq!(cache.get(&"c"), Some(&3));
+/// assert_eq!(cache.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most-recently-used slot index, or [`NIL`] when empty.
+    head: usize,
+    /// Least-recently-used slot index, or [`NIL`] when empty.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.detach(slot);
+        self.push_front(slot);
+        Some(&self.slots[slot].value)
+    }
+
+    /// Looks up `key` without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&slot| &self.slots[slot].value)
+    }
+
+    /// Whether `key` is cached (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one when the cache is full. Returns the evicted pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.push_front(slot);
+            return None;
+        }
+        if self.map.len() == self.capacity {
+            // Full: recycle the LRU slot in place for the new entry.
+            let lru = self.tail;
+            self.detach(lru);
+            let old = std::mem::replace(
+                &mut self.slots[lru],
+                Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some((old.key, old.value));
+        }
+        self.slots.push(Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let slot = self.slots.len() - 1;
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        None
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            if self.head == slot {
+                self.head = next;
+            }
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == slot {
+                self.tail = prev;
+            }
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    /// Links `slot` in as most-recently-used.
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_recency_order() {
+        let mut c = LruCache::new(3);
+        for i in 0..3 {
+            assert_eq!(c.insert(i, i * 10), None);
+        }
+        assert_eq!(c.get(&0), Some(&0)); // order now 0, 2, 1
+        let evicted = c.insert(3, 30); // evicts 1
+        assert_eq!(evicted, Some((1, 10)));
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&0), Some(&0));
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("x", 1);
+        c.insert("y", 2);
+        c.insert("x", 9); // refresh: "y" becomes LRU
+        c.insert("z", 3); // evicts "y"
+        assert_eq!(c.peek(&"x"), Some(&9));
+        assert_eq!(c.peek(&"y"), None);
+        assert_eq!(c.peek(&"z"), Some(&3));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.peek(&1), Some(&"a")); // no promotion: 1 stays LRU
+        c.insert(3, "c");
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert(1, 1), None);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 4);
+        c.insert(3, 3);
+        assert_eq!(c.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_latest() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        // Exercise slot reuse: interleaved inserts/gets over a small
+        // capacity, checking the map and list never disagree.
+        let mut c = LruCache::new(8);
+        for round in 0u64..500 {
+            let key = (round * 7 + 3) % 32;
+            c.insert(key, round);
+            let probe = (round * 13 + 1) % 32;
+            if let Some(&v) = c.get(&probe) {
+                assert!(v <= round);
+            }
+            assert!(c.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! The concurrent serving engine: one enclave worker multiplexing
+//! batches from the admission queue across enclave sessions, fronted by
+//! an LRU result cache.
+//!
+//! ## Threading model
+//!
+//! The [`Vault`] (and its simulated enclave) is owned by a single
+//! worker thread — the analogue of the SGX rule that enclave state is
+//! touched only through controlled entry points. Concurrency comes from
+//! three places:
+//!
+//! - any number of client threads submit through cloned
+//!   [`ServeHandle`]s and block on their [`Ticket`]s,
+//! - inside each batch, the backbone forward and rectifier kernels fan
+//!   out over the shared `linalg` pool (`LINALG_NUM_THREADS` workers),
+//! - enclave work is multiplexed across [`tee::EnclaveSession`]s; every
+//!   batch is accounted by the enclave's meter/cost model, and the
+//!   scheduler hands the next batch to the session with the least
+//!   accumulated enclave time.
+//!
+//! Determinism: results never depend on batching. Batched labels are
+//! bit-identical to per-node [`Vault::infer`] answers because every
+//! batch runs the same full-graph rectification; caching only short-
+//! circuits *repeated* queries, keyed by `(vault epoch, node id)`.
+//!
+//! The flip side of that guarantee: per-*batch* enclave cost is flat in
+//! batch size (it is a full-graph pass), so a cold single-node batch
+//! pays the full-graph price and the engine's win comes entirely from
+//! coalescing and caching. Latency-insensitive callers should raise
+//! [`BatchPolicy::max_delay`](crate::BatchPolicy) /
+//! `max_batch_nodes` (see [`bulk_config`]) so cold traffic arrives in
+//! large batches.
+
+use crate::{AdmissionQueue, BatchPolicy, FlushReason, LruCache, ServeError, Ticket};
+use gnnvault::{InferenceReport, Vault};
+use linalg::DenseMatrix;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+use tee::ClassLabel;
+
+/// Configuration for [`ServingEngine::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Batching and admission-control knobs.
+    pub policy: BatchPolicy,
+    /// Enclave sessions to multiplex batches across (clamped to ≥ 1).
+    /// Each is a long-lived `tee` channel reused for every batch it
+    /// serves.
+    pub sessions: usize,
+    /// LRU result-cache entries, keyed `(vault epoch, node id)`; 0
+    /// disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    /// Default policy, two enclave sessions, 4096 cached results.
+    fn default() -> Self {
+        Self {
+            policy: BatchPolicy::default(),
+            sessions: 2,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Per-session accounting, aggregated from each batch's
+/// [`InferenceReport`] (itself produced by the enclave's meter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// The vault-minted session id ([`tee::SessionId`] value). Ids keep
+    /// counting across engines sharing one vault, so they need not
+    /// start at 0 — use this field, not the position in
+    /// [`ServeStats::sessions`], to identify a session.
+    pub id: u64,
+    /// Batches this session executed.
+    pub batches: u64,
+    /// Total report time (wall + simulated) charged to this session's
+    /// batches, in nanoseconds — the quantity the scheduler balances.
+    pub accounted_ns: u64,
+    /// Payload bytes this session marshalled into the enclave.
+    pub transferred_bytes: u64,
+}
+
+/// Aggregate serving statistics, returned by
+/// [`ServingEngine::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests answered (successfully or with a batch error).
+    pub requests: u64,
+    /// Node queries answered across all requests.
+    pub answered_nodes: u64,
+    /// Node queries resolved without new enclave work (LRU hit, or
+    /// duplicate of a node already in the same batch).
+    pub cache_hits: u64,
+    /// Unique node queries that entered the enclave.
+    pub cache_misses: u64,
+    /// Batches flushed from the admission queue.
+    pub batches: u64,
+    /// Batches that reached the enclave (all-hit batches don't).
+    pub enclave_batches: u64,
+    /// Batches flushed because the size bound was reached.
+    pub full_flushes: u64,
+    /// Partial batches flushed by the deadline.
+    pub deadline_flushes: u64,
+    /// Batches flushed while draining at shutdown.
+    pub drain_flushes: u64,
+    /// Batches that failed inside the vault.
+    pub failed_batches: u64,
+    /// Enclave transitions (ECALLs) across all batches.
+    pub enclave_transitions: u64,
+    /// Bytes marshalled into the enclave across all batches.
+    pub transferred_bytes: u64,
+    /// Aggregate backbone / transfer / rectifier time over all enclave
+    /// batches, in nanoseconds (wall + simulated, from the meter).
+    pub backbone_ns: u64,
+    /// See [`ServeStats::backbone_ns`].
+    pub transfer_ns: u64,
+    /// See [`ServeStats::backbone_ns`].
+    pub rectifier_ns: u64,
+    /// Per-session breakdown, in the engine's scheduling order (each
+    /// entry carries its vault-minted [`SessionStats::id`]).
+    pub sessions: Vec<SessionStats>,
+}
+
+impl ServeStats {
+    /// Fraction of node queries served without new enclave work.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Enclave transitions per answered node query — the amortization
+    /// headline (per-node [`Vault::infer`] pays the full tap count for
+    /// every single query).
+    pub fn transitions_per_node(&self) -> f64 {
+        if self.answered_nodes == 0 {
+            return 0.0;
+        }
+        self.enclave_transitions as f64 / self.answered_nodes as f64
+    }
+
+    /// Mean unique nodes per enclave batch.
+    pub fn mean_enclave_batch_nodes(&self) -> f64 {
+        if self.enclave_batches == 0 {
+            return 0.0;
+        }
+        self.cache_misses as f64 / self.enclave_batches as f64
+    }
+
+    fn absorb_report(&mut self, report: &InferenceReport, session: usize) {
+        self.enclave_batches += 1;
+        self.enclave_transitions += report.transitions;
+        self.transferred_bytes += report.transferred_bytes as u64;
+        self.backbone_ns += report.backbone_ns;
+        self.transfer_ns += report.transfer_ns;
+        self.rectifier_ns += report.rectifier_ns;
+        let slot = &mut self.sessions[session];
+        slot.batches += 1;
+        slot.accounted_ns += report.total_ns();
+        slot.transferred_bytes += report.transferred_bytes as u64;
+    }
+}
+
+/// Cloneable client handle onto a running engine.
+///
+/// Node ids are validated at admission against the deployment's corpus
+/// size, so a bad id is rejected immediately instead of failing the
+/// batch it would have ridden in.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    queue: Arc<AdmissionQueue>,
+    num_nodes: usize,
+}
+
+impl ServeHandle {
+    /// Submits a multi-node inference request; blocks nowhere. The
+    /// returned labels (via [`Ticket::wait`]) are in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] on empty/out-of-range node lists or a
+    /// full queue; [`ServeError::Closed`] after shutdown began.
+    pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= self.num_nodes) {
+            return Err(ServeError::Rejected {
+                reason: format!("query node {bad} out of range for {} nodes", self.num_nodes),
+            });
+        }
+        self.queue.submit(nodes)
+    }
+
+    /// Submits a single-node request.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeHandle::submit`].
+    pub fn submit_one(&self, node: usize) -> Result<Ticket, ServeError> {
+        self.submit(vec![node])
+    }
+
+    /// Number of nodes in the served deployment (valid ids are
+    /// `0..num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+/// A running vault-serving engine: admission queue + cache + enclave
+/// worker.
+///
+/// See the crate-level example for the full serving quickstart. End a
+/// run with [`shutdown`](Self::shutdown) to get the vault and stats
+/// back; merely dropping the engine (e.g. on an early return) closes
+/// the queue so the worker drains, answers what it can, and exits — but
+/// the vault it owns is then dropped with it.
+#[derive(Debug)]
+pub struct ServingEngine {
+    queue: Arc<AdmissionQueue>,
+    num_nodes: usize,
+    worker: Option<std::thread::JoinHandle<(Vault, ServeStats)>>,
+}
+
+impl Drop for ServingEngine {
+    /// Closes the queue so an abandoned engine's worker unblocks,
+    /// drains, and exits instead of parking forever on the condvar.
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+impl ServingEngine {
+    /// Deploys `vault` behind a serving loop over the corpus
+    /// `features` (one row per node, the same matrix the vault's
+    /// backbone was meant to serve).
+    ///
+    /// The engine takes ownership of both; [`shutdown`](Self::shutdown)
+    /// returns the vault together with the run's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has a different row count than the
+    /// vault's deployed graph — the corpus and the graph must describe
+    /// the same nodes, and catching the mismatch here keeps admission
+    /// validation aligned with what [`Vault::infer_batch`] will accept.
+    pub fn start(mut vault: Vault, features: DenseMatrix, config: ServeConfig) -> Self {
+        assert_eq!(
+            features.rows(),
+            vault.num_nodes(),
+            "serving corpus must have one feature row per deployed graph node"
+        );
+        let queue = Arc::new(AdmissionQueue::new(config.policy));
+        let num_nodes = vault.num_nodes();
+        let worker_queue = Arc::clone(&queue);
+        let session_count = config.sessions.max(1);
+        let mut sessions: Vec<tee::EnclaveSession> =
+            (0..session_count).map(|_| vault.open_session()).collect();
+        let mut cache: LruCache<(u64, usize), ClassLabel> = LruCache::new(config.cache_capacity);
+        let session_stats: Vec<SessionStats> = sessions
+            .iter()
+            .map(|s| SessionStats {
+                id: s.id().0,
+                ..Default::default()
+            })
+            .collect();
+        let worker = std::thread::Builder::new()
+            .name("vault-serve-worker".into())
+            .spawn(move || {
+                let epoch = vault.epoch();
+                let mut stats = ServeStats {
+                    sessions: session_stats,
+                    ..Default::default()
+                };
+                while let Some((batch, reason)) = worker_queue.next_batch() {
+                    stats.batches += 1;
+                    match reason {
+                        FlushReason::Full => stats.full_flushes += 1,
+                        FlushReason::Deadline => stats.deadline_flushes += 1,
+                        FlushReason::Drain => stats.drain_flushes += 1,
+                    }
+
+                    // Resolve what the cache already knows; collect the
+                    // unique remainder for the enclave.
+                    let mut resolved: HashMap<usize, ClassLabel> = HashMap::new();
+                    let mut needed: HashSet<usize> = HashSet::new();
+                    let mut need: Vec<usize> = Vec::new();
+                    let mut occurrences = 0u64;
+                    for request in &batch {
+                        for &node in request.nodes() {
+                            occurrences += 1;
+                            if resolved.contains_key(&node) || needed.contains(&node) {
+                                continue;
+                            }
+                            match cache.get(&(epoch, node)) {
+                                Some(&label) => {
+                                    resolved.insert(node, label);
+                                }
+                                None => {
+                                    needed.insert(node);
+                                    need.push(node);
+                                }
+                            }
+                        }
+                    }
+                    if !need.is_empty() {
+                        // Enclave-budget-aware scheduling: hand the batch
+                        // to the session with the least accounted time.
+                        let session = (0..session_count)
+                            .min_by_key(|&s| stats.sessions[s].accounted_ns)
+                            .expect("at least one session");
+                        let transitions_before = vault.enclave_transitions();
+                        match vault.infer_batch(&mut sessions[session], &features, &need) {
+                            Ok((labels, report)) => {
+                                for (&node, label) in need.iter().zip(labels) {
+                                    resolved.insert(node, label);
+                                    cache.insert((epoch, node), label);
+                                }
+                                stats.absorb_report(&report, session);
+                            }
+                            Err(error) => {
+                                // The batch failed, but requests whose
+                                // nodes were fully resolved from the
+                                // cache are still answerable — only the
+                                // requests that needed the enclave see
+                                // the error. Hit/miss stats count
+                                // answered queries only. ECALLs the
+                                // failed attempt already charged stay
+                                // accounted, keeping the transition
+                                // stats meter-exact.
+                                stats.failed_batches += 1;
+                                stats.enclave_transitions +=
+                                    vault.enclave_transitions() - transitions_before;
+                                for request in batch {
+                                    stats.requests += 1;
+                                    let labels: Option<Vec<ClassLabel>> = request
+                                        .nodes()
+                                        .iter()
+                                        .map(|node| resolved.get(node).copied())
+                                        .collect();
+                                    match labels {
+                                        Some(labels) => {
+                                            stats.answered_nodes += labels.len() as u64;
+                                            stats.cache_hits += labels.len() as u64;
+                                            request.respond(Ok(labels));
+                                        }
+                                        None => {
+                                            request.respond(Err(ServeError::Vault(error.clone())))
+                                        }
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                    }
+
+                    // Hit/miss accounting describes answered queries:
+                    // the unique nodes that entered the enclave are the
+                    // misses, everything else was cache- or batch-local.
+                    stats.cache_misses += need.len() as u64;
+                    stats.cache_hits += occurrences - need.len() as u64;
+                    for request in batch {
+                        let labels = request
+                            .nodes()
+                            .iter()
+                            .map(|node| resolved[node])
+                            .collect::<Vec<_>>();
+                        stats.requests += 1;
+                        stats.answered_nodes += labels.len() as u64;
+                        request.respond(Ok(labels));
+                    }
+                }
+                (vault, stats)
+            })
+            .expect("spawn vault-serve worker");
+        Self {
+            queue,
+            num_nodes,
+            worker: Some(worker),
+        }
+    }
+
+    /// A cloneable submission handle. Hand one to every client thread.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            queue: Arc::clone(&self.queue),
+            num_nodes: self.num_nodes,
+        }
+    }
+
+    /// Number of queued (not yet batched) requests right now.
+    pub fn queued_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admission, drains already-accepted requests, and joins the
+    /// worker; returns the vault and the run's aggregate statistics.
+    pub fn shutdown(mut self) -> (Vault, ServeStats) {
+        self.queue.close();
+        self.worker
+            .take()
+            .expect("shutdown consumes the engine, so the worker is present")
+            .join()
+            .expect("vault-serve worker must not panic")
+    }
+}
+
+/// Convenience: serves `requests` against a freshly started engine and
+/// shuts it down again, returning per-request results (admission
+/// rejections and vault failures land in their request's slot) plus the
+/// vault and the run's stats. The engine is always shut down and joined
+/// before returning, so no worker thread can outlive the call. Useful
+/// for tests and offline (batch-file) scoring; long-running deployments
+/// should drive [`ServingEngine`] directly.
+#[allow(clippy::type_complexity)]
+pub fn serve_once(
+    vault: Vault,
+    features: DenseMatrix,
+    config: ServeConfig,
+    requests: &[Vec<usize>],
+) -> (Vec<Result<Vec<ClassLabel>, ServeError>>, Vault, ServeStats) {
+    let engine = ServingEngine::start(vault, features, config);
+    let handle = engine.handle();
+    let tickets: Vec<Result<Ticket, ServeError>> = requests
+        .iter()
+        .map(|nodes| handle.submit(nodes.clone()))
+        .collect();
+    let results = tickets
+        .into_iter()
+        .map(|ticket| ticket.and_then(Ticket::wait))
+        .collect();
+    let (vault, stats) = engine.shutdown();
+    (results, vault, stats)
+}
+
+/// Builds a [`ServeConfig`] tuned for latency-insensitive bulk scoring:
+/// large batches, a generous deadline, and a cache sized to the corpus.
+pub fn bulk_config(corpus_nodes: usize) -> ServeConfig {
+    ServeConfig {
+        policy: BatchPolicy {
+            max_batch_nodes: 512,
+            max_delay: Duration::from_millis(20),
+            max_queue_requests: 65_536,
+        },
+        sessions: 2,
+        cache_capacity: corpus_nodes,
+    }
+}

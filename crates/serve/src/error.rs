@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control refused the request (queue full, empty node
+    /// list, out-of-range node id, …). The request never entered the
+    /// batch queue.
+    Rejected {
+        /// Why the request was refused.
+        reason: String,
+    },
+    /// The engine has shut down (or its worker died); no further
+    /// requests can be answered.
+    Closed,
+    /// The batch this request rode in failed inside the vault.
+    Vault(gnnvault::VaultError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            ServeError::Closed => write!(f, "serving engine is closed"),
+            ServeError::Vault(e) => write!(f, "batch failed in the vault: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Vault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<gnnvault::VaultError> for ServeError {
+    fn from(e: gnnvault::VaultError) -> Self {
+        ServeError::Vault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ServeError::Rejected {
+            reason: "queue full".into(),
+        };
+        assert!(e.to_string().contains("queue full"));
+        assert!(Error::source(&e).is_none());
+
+        assert!(ServeError::Closed.to_string().contains("closed"));
+
+        let e: ServeError = gnnvault::VaultError::InvalidConfig {
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("vault"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,91 @@
+//! Concurrent batched serving for deployed GNNVault instances.
+//!
+//! The `gnnvault` crate ends at a deployed [`Vault`](gnnvault::Vault)
+//! answering one call at a time; this crate turns that vault into a
+//! *service*. Incoming node queries pass through four stages:
+//!
+//! 1. **Admission** ([`AdmissionQueue`], [`BatchPolicy`]): requests are
+//!    accepted from any number of client threads, capped so overload
+//!    degrades into fast rejections,
+//! 2. **Batching**: pending queries coalesce until a size bound or the
+//!    oldest request's deadline flushes them — heavy traffic gets big
+//!    batches, a lone query gets low latency,
+//! 3. **Caching** ([`LruCache`]): results are cached by `(vault epoch,
+//!    node id)`, so repeated queries are answered without re-entering
+//!    the enclave at all,
+//! 4. **Execution** ([`ServingEngine`]): cache misses run through
+//!    [`Vault::infer_batch`](gnnvault::Vault::infer_batch) — one
+//!    backbone forward on the shared `linalg` pool and one enclave
+//!    transition set per *batch* — multiplexed across reusable
+//!    [`tee::EnclaveSession`]s, with each batch accounted by the
+//!    enclave's meter and handed to the least-loaded session.
+//!
+//! Batching and caching change cost, never answers: served labels are
+//! bit-identical to what per-node [`Vault::infer`](gnnvault::Vault::infer)
+//! would return.
+//!
+//! # Examples
+//!
+//! The serving quickstart (mirrored in the repository README and in
+//! `examples/serving_throughput.rs`):
+//!
+//! ```
+//! use datasets::{DatasetSpec, SyntheticPlanetoid};
+//! use gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
+//! use serve::{BatchPolicy, ServeConfig, ServingEngine};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train and deploy a vault (steps 1-4 of the paper's pipeline).
+//! let data = SyntheticPlanetoid::new(DatasetSpec::CORA).scale(0.03).seed(5).generate()?;
+//! let spec = pipeline::PipelineConfig {
+//!     model: ModelConfig::m1(data.num_classes),
+//!     substitute: SubstituteKind::Knn { k: 2 },
+//!     rectifier: RectifierKind::Series,
+//!     epochs: 30,
+//!     train_original: false,
+//!     ..Default::default()
+//! };
+//! let trained = pipeline::train(&data, &spec)?;
+//! let vault = pipeline::deploy(trained, &data)?;
+//!
+//! // Step 5 (this crate): serve it.
+//! let config = ServeConfig {
+//!     policy: BatchPolicy {
+//!         max_batch_nodes: 16,
+//!         max_delay: Duration::from_millis(1),
+//!         max_queue_requests: 1024,
+//!     },
+//!     sessions: 2,
+//!     cache_capacity: 1024,
+//! };
+//! let engine = ServingEngine::start(vault, data.features.clone(), config);
+//! let handle = engine.handle();
+//!
+//! // Clients submit from any thread and block on their tickets.
+//! let a = handle.submit(vec![0, 1, 2])?;
+//! let b = handle.submit_one(1)?; // repeat query: served from cache
+//! assert_eq!(a.wait()?.len(), 3);
+//! assert_eq!(b.wait()?.len(), 1);
+//!
+//! let (_vault, stats) = engine.shutdown();
+//! assert_eq!(stats.requests, 2);
+//! assert!(stats.cache_hits >= 1, "the repeat of node 1 never re-enters the enclave");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod batcher;
+mod cache;
+mod engine;
+mod error;
+
+pub use batcher::{AdmissionQueue, BatchPolicy, FlushReason, PendingRequest, Ticket};
+pub use cache::LruCache;
+pub use engine::{
+    bulk_config, serve_once, ServeConfig, ServeHandle, ServeStats, ServingEngine, SessionStats,
+};
+pub use error::ServeError;

@@ -1,0 +1,378 @@
+//! Concurrency and correctness coverage for the serving engine:
+//! batched answers must be bit-identical to sequential per-node
+//! inference, cache hits must skip the enclave entirely (asserted
+//! through the enclave meter's transition counter), and the deadline
+//! bound must flush partial batches.
+
+use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
+use graph::Graph;
+use linalg::DenseMatrix;
+use nn::TrainConfig;
+use serve::{BatchPolicy, ServeConfig, ServeError, ServingEngine};
+use std::time::Duration;
+use tee::{ClassLabel, CostModel, OverBudgetPolicy, SealKey};
+
+/// Trains and deploys a small two-cluster vault with `n` nodes
+/// (n must be even).
+fn toy_vault(n: usize, kind: RectifierKind) -> (Vault, DenseMatrix, Vec<usize>) {
+    toy_vault_with_budget(n, kind, tee::SGX_EPC_BYTES)
+}
+
+fn toy_vault_with_budget(
+    n: usize,
+    kind: RectifierKind,
+    epc_budget: usize,
+) -> (Vault, DenseMatrix, Vec<usize>) {
+    assert!(n >= 6 && n.is_multiple_of(2));
+    let half = n / 2;
+    let x = DenseMatrix::from_fn(n, 2, |r, c| {
+        let in_first = r < half;
+        let base = if (c == 0) == in_first { 1.0 } else { 0.0 };
+        base + 0.05 * ((r * 7 + c) % 5) as f32
+    });
+    let labels: Vec<usize> = (0..n).map(|r| usize::from(r >= half)).collect();
+    let train: Vec<usize> = (0..n).step_by(2).collect();
+    let mut edges = Vec::new();
+    for cluster in 0..2 {
+        let offset = cluster * half;
+        for i in 0..half {
+            edges.push((offset + i, offset + (i + 1) % half));
+        }
+    }
+    let real = Graph::from_edges(n, &edges).unwrap();
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.05,
+        weight_decay: 0.0,
+        dropout: 0.0,
+        seed: 0,
+    };
+    let backbone = Backbone::train(
+        &x,
+        &labels,
+        &train,
+        SubstituteKind::Knn { k: 2 },
+        &[8, 4, 2],
+        real.num_edges(),
+        &cfg,
+        1,
+    )
+    .unwrap();
+    let mut rectifier = Rectifier::new(kind, &[8, 4, 2], &backbone.channel_dims(), 2).unwrap();
+    let real_adj = graph::normalization::gcn_normalize(&real);
+    let embs = backbone.embeddings(&x).unwrap();
+    rectifier
+        .fit(&real_adj, &embs, &labels, &train, &cfg)
+        .unwrap();
+    let vault = Vault::deploy(
+        backbone,
+        rectifier,
+        &real,
+        epc_budget,
+        CostModel::default(),
+        OverBudgetPolicy::Fail,
+        SealKey(7),
+    )
+    .unwrap();
+    (vault, x, labels)
+}
+
+/// Baseline: labels from sequential full-graph inference.
+fn sequential_labels(vault: &mut Vault, x: &DenseMatrix) -> Vec<ClassLabel> {
+    let (labels, _) = vault.infer(x).unwrap();
+    labels
+}
+
+#[test]
+fn batched_serving_is_bit_identical_to_sequential_infer() {
+    for kind in RectifierKind::ALL {
+        let (mut vault, x, _) = toy_vault(16, kind);
+        let expected = sequential_labels(&mut vault, &x);
+
+        let engine = ServingEngine::start(
+            vault,
+            x.clone(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch_nodes: 8,
+                    max_delay: Duration::from_millis(1),
+                    max_queue_requests: 256,
+                },
+                sessions: 3,
+                cache_capacity: 64,
+            },
+        );
+        let handle = engine.handle();
+        let tickets: Vec<_> = (0..x.rows())
+            .map(|node| handle.submit_one(node).unwrap())
+            .collect();
+        for (node, ticket) in tickets.into_iter().enumerate() {
+            let labels = ticket.wait().unwrap();
+            assert_eq!(
+                labels,
+                vec![expected[node]],
+                "{kind:?}: node {node} served label must equal sequential infer"
+            );
+        }
+        let (_, stats) = engine.shutdown();
+        assert_eq!(stats.requests, 16, "{kind:?}");
+        assert_eq!(stats.answered_nodes, 16, "{kind:?}");
+        assert!(stats.enclave_batches >= 1, "{kind:?}");
+    }
+}
+
+#[test]
+fn batching_amortizes_enclave_transitions_below_per_node_cost() {
+    let (mut vault, x, _) = toy_vault(32, RectifierKind::Cascaded);
+
+    // Per-node baseline: transitions one full infer charges per query.
+    let (_, per_node_report) = vault.infer(&x).unwrap();
+    let per_node_transitions = per_node_report.transitions;
+    assert!(per_node_transitions >= 1);
+
+    // Serve the same 32 nodes as one 32-node request (batch ≥ 16).
+    let (results, _vault, stats) = serve::serve_once(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 32,
+                max_delay: Duration::from_millis(1),
+                max_queue_requests: 64,
+            },
+            sessions: 1,
+            cache_capacity: 0, // isolate batching from caching
+        },
+        &[(0..32).collect::<Vec<_>>()],
+    );
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].as_ref().unwrap().len(), 32);
+    assert_eq!(stats.enclave_batches, 1);
+    // One batch paid the tap-set once for 32 nodes: strictly lower
+    // per-node cost than sequential querying.
+    assert_eq!(stats.enclave_transitions, per_node_transitions);
+    assert!(
+        stats.transitions_per_node() < per_node_transitions as f64,
+        "batched {} per node vs sequential {}",
+        stats.transitions_per_node(),
+        per_node_transitions
+    );
+}
+
+#[test]
+fn cache_hits_skip_enclave_transitions() {
+    let (vault, x, _) = toy_vault(12, RectifierKind::Series);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 4,
+                max_delay: Duration::from_millis(1),
+                max_queue_requests: 256,
+            },
+            sessions: 2,
+            cache_capacity: 256,
+        },
+    );
+    let handle = engine.handle();
+
+    // Warm the cache, then hammer the same nodes.
+    let first: Vec<ClassLabel> = handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap();
+    for _ in 0..5 {
+        let again = handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap();
+        assert_eq!(again, first, "cache must return identical labels");
+    }
+    let (vault, stats) = engine.shutdown();
+
+    // The meter's transition counter proves repeats never re-entered
+    // the enclave: total ECALLs equal exactly one batch's worth.
+    assert_eq!(stats.enclave_batches, 1);
+    assert_eq!(vault.enclave_transitions(), stats.enclave_transitions);
+    assert_eq!(stats.cache_misses, 4);
+    assert_eq!(stats.cache_hits, 20);
+    assert!(stats.cache_hit_rate() > 0.8);
+}
+
+#[test]
+fn deadline_flush_fires_on_a_partial_batch() {
+    let (vault, x, _) = toy_vault(8, RectifierKind::Series);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                // Size bound far above anything we submit: only the
+                // deadline can flush.
+                max_batch_nodes: 10_000,
+                max_delay: Duration::from_millis(25),
+                max_queue_requests: 256,
+            },
+            sessions: 1,
+            cache_capacity: 0,
+        },
+    );
+    let handle = engine.handle();
+    let ticket = handle.submit_one(3).unwrap();
+    let answered = ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("deadline flush must answer a lone request")
+        .unwrap();
+    assert_eq!(answered.len(), 1);
+    let (_, stats) = engine.shutdown();
+    assert!(
+        stats.deadline_flushes >= 1,
+        "partial batch must have been deadline-flushed: {stats:?}"
+    );
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let (mut vault, x, _) = toy_vault(24, RectifierKind::Parallel);
+    let expected = sequential_labels(&mut vault, &x);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 16,
+                max_delay: Duration::from_millis(2),
+                max_queue_requests: 4096,
+            },
+            sessions: 4,
+            cache_capacity: 512,
+        },
+    );
+
+    let mut clients = Vec::new();
+    for t in 0..6 {
+        let handle = engine.handle();
+        let expected = expected.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..40 {
+                let node = (t * 13 + i * 7) % 24;
+                let labels = handle.submit_one(node).unwrap().wait().unwrap();
+                assert_eq!(labels, vec![expected[node]], "client {t} query {i}");
+            }
+        }));
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.requests, 240);
+    assert_eq!(stats.answered_nodes, 240);
+    // 24 distinct nodes, 240 queries: caching must have absorbed most.
+    assert_eq!(stats.cache_misses, 24);
+    assert_eq!(stats.cache_hits, 216);
+    // Multiplexing used the sessions it was given.
+    assert_eq!(stats.sessions.len(), 4);
+    assert_eq!(
+        stats.sessions.iter().map(|s| s.batches).sum::<u64>(),
+        stats.enclave_batches
+    );
+}
+
+#[test]
+fn admission_control_and_validation_reject_cleanly() {
+    let (vault, x, _) = toy_vault(6, RectifierKind::Series);
+    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default());
+    let handle = engine.handle();
+
+    assert!(matches!(
+        handle.submit(vec![999]),
+        Err(ServeError::Rejected { .. })
+    ));
+    assert!(matches!(
+        handle.submit(vec![]),
+        Err(ServeError::Rejected { .. })
+    ));
+    assert_eq!(handle.num_nodes(), 6);
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.requests, 0);
+
+    // After shutdown the handle reports closed.
+    assert!(matches!(handle.submit(vec![0]), Err(ServeError::Closed)));
+}
+
+#[test]
+fn dropping_the_engine_unparks_the_worker() {
+    let (vault, x, _) = toy_vault(6, RectifierKind::Series);
+    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default());
+    let handle = engine.handle();
+    let ticket = handle.submit_one(0).unwrap();
+    // No shutdown: Drop must close the queue so the worker drains the
+    // admitted request and exits instead of parking forever.
+    drop(engine);
+    let result = ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("dropped engine's worker must still drain the queue");
+    assert!(result.is_ok());
+    assert!(matches!(handle.submit_one(1), Err(ServeError::Closed)));
+}
+
+#[test]
+fn failed_batches_error_cleanly_and_stay_meter_exact() {
+    // Measure the resident set, then redeploy with so little headroom
+    // that the transient activations can never fit: every enclave batch
+    // fails after its taps were already charged.
+    let (probe, _, _) = toy_vault(8, RectifierKind::Series);
+    let resident = probe.enclave_in_use_bytes();
+    drop(probe);
+    let (vault, x, _) = toy_vault_with_budget(8, RectifierKind::Series, resident + 16);
+
+    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default());
+    let handle = engine.handle();
+    for _ in 0..2 {
+        let result = handle.submit_one(0).unwrap().wait();
+        assert!(
+            matches!(result, Err(ServeError::Vault(_))),
+            "EPC-starved batch must surface the vault error: {result:?}"
+        );
+    }
+    let (vault, stats) = engine.shutdown();
+    assert_eq!(stats.failed_batches, 2);
+    assert_eq!(stats.enclave_batches, 0);
+    assert_eq!(stats.answered_nodes, 0);
+    // The failed attempts' ECALLs are still accounted: engine stats and
+    // the vault's own lifetime counter agree exactly.
+    assert!(stats.enclave_transitions > 0);
+    assert_eq!(stats.enclave_transitions, vault.enclave_transitions());
+    // And the failures leaked no enclave memory.
+    assert_eq!(vault.enclave_in_use_bytes(), resident);
+}
+
+#[test]
+fn stats_account_every_batch_through_the_meter() {
+    let (vault, x, _) = toy_vault(16, RectifierKind::Series);
+    let (results, vault, stats) = serve::serve_once(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 4,
+                max_delay: Duration::from_millis(1),
+                max_queue_requests: 256,
+            },
+            sessions: 2,
+            cache_capacity: 0, // every batch enters the enclave
+        },
+        &(0..16).map(|n| vec![n]).collect::<Vec<_>>(),
+    );
+    assert!(results.iter().all(|r| r.is_ok()));
+    // With caching off, every flushed batch became an enclave batch and
+    // the engine's aggregate equals the vault's own lifetime counter.
+    assert_eq!(stats.enclave_batches, stats.batches);
+    assert_eq!(stats.enclave_transitions, vault.enclave_transitions());
+    assert!(stats.transferred_bytes > 0);
+    assert!(stats.backbone_ns > 0);
+    assert!(stats.transfer_ns > 0);
+    assert!(stats.rectifier_ns > 0);
+    // The least-loaded scheduler spread work across both sessions.
+    assert!(stats.sessions.iter().all(|s| s.batches > 0));
+    assert_eq!(
+        stats.sessions.iter().map(|s| s.accounted_ns).sum::<u64>(),
+        stats.backbone_ns + stats.transfer_ns + stats.rectifier_ns
+    );
+}

@@ -87,7 +87,19 @@ impl UntrustedToEnclave {
         &self.receipts
     }
 
-    /// Total payload bytes sent over the channel's lifetime.
+    /// Takes (and clears) the receipt log. Long-lived holders — e.g. a
+    /// serving session reusing one channel for thousands of batches —
+    /// call this at batch boundaries and fold the drained receipts into
+    /// counters, so the log stays bounded by one batch's sends.
+    pub fn take_receipts(&mut self) -> Vec<TransferReceipt> {
+        std::mem::take(&mut self.receipts)
+    }
+
+    /// Total payload bytes across the current receipt log — every send
+    /// since construction, or since the log was last cleared with
+    /// [`take_receipts`](Self::take_receipts). Holders that window the
+    /// log must carry lifetime totals themselves (as
+    /// [`EnclaveSession`](crate::EnclaveSession) does).
     pub fn total_bytes(&self) -> usize {
         self.receipts.iter().map(|r| r.bytes).sum()
     }

@@ -18,6 +18,9 @@
 //!   only ingress type and carries data *into* the enclave only; the
 //!   sole egress is [`ClassLabel`]s — the label-only output rule of
 //!   §IV-E is enforced by the type system rather than by convention,
+//! - **Sessions**: [`EnclaveSession`] is a long-lived ingress handle
+//!   whose channel is recycled batch after batch — the unit a serving
+//!   engine (the `serve` crate) schedules enclave work on,
 //! - **Sealing**: [`Sealed`] provides tamper-evident at-rest protection
 //!   for deployment artifacts (a keystream simulation, *not* real
 //!   cryptography — documented on the type).
@@ -47,6 +50,7 @@ mod enclave;
 mod error;
 mod meter;
 mod seal;
+mod session;
 
 pub use channel::{ClassLabel, TransferReceipt, UntrustedToEnclave};
 pub use cost::CostModel;
@@ -54,6 +58,7 @@ pub use enclave::{AllocationId, EnclaveSim, OverBudgetPolicy};
 pub use error::TeeError;
 pub use meter::{Meter, Phase, TimeBreakdown};
 pub use seal::{SealKey, Sealed};
+pub use session::{EnclaveSession, SessionId};
 
 /// One kibibyte.
 pub const KB: usize = 1024;

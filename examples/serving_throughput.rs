@@ -1,0 +1,147 @@
+//! Serving throughput: a deployed vault behind the batching engine,
+//! under concurrent client load.
+//!
+//! ```text
+//! cargo run --release --example serving_throughput
+//! ```
+//!
+//! Trains and deploys a GNNVault on a synthetic Cora, then compares
+//! three ways of answering the same query stream:
+//!
+//! 1. sequential per-node `Vault::infer` (the paper's single-query
+//!    deployment),
+//! 2. the serving engine with batching but **no cache**,
+//! 3. the serving engine with batching **and** the LRU result cache.
+//!
+//! The interesting columns are enclave transitions per query and wall
+//! time: batching divides the per-query ECALL cost by the batch size,
+//! and the cache removes repeat queries from the enclave entirely.
+
+use gnnvault_suite::datasets::{DatasetSpec, SyntheticPlanetoid};
+use gnnvault_suite::gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
+use gnnvault_suite::serve::{BatchPolicy, ServeConfig, ServingEngine};
+use std::time::{Duration, Instant};
+
+/// Queries per client thread.
+const QUERIES_PER_CLIENT: usize = 200;
+/// Concurrent client threads.
+const CLIENTS: usize = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.20)
+        .seed(11)
+        .generate()?;
+    println!(
+        "dataset: {} ({} nodes, {} edges)",
+        data.name,
+        data.num_nodes(),
+        data.graph.num_edges()
+    );
+
+    let spec = pipeline::PipelineConfig {
+        model: ModelConfig::m1(data.num_classes),
+        substitute: SubstituteKind::Knn { k: 2 },
+        rectifier: RectifierKind::Series,
+        epochs: 60,
+        train_original: false,
+        ..Default::default()
+    };
+    let trained = pipeline::train(&data, &spec)?;
+    let mut vault = pipeline::deploy(trained, &data)?;
+
+    // Zipf-ish skewed query stream: a few hot nodes dominate, as they
+    // would in production traffic. Same stream for every strategy.
+    let num_nodes = data.num_nodes();
+    let stream: Vec<usize> = (0..CLIENTS * QUERIES_PER_CLIENT)
+        .map(|i| {
+            let r = (i * 2_654_435_761) % 1000;
+            if r < 700 {
+                r % 16 // 70% of traffic on 16 hot nodes
+            } else {
+                (i * 48_271) % num_nodes
+            }
+        })
+        .collect();
+
+    // --- 1. sequential per-node inference -------------------------------
+    let transitions_before = vault.enclave_transitions();
+    let start = Instant::now();
+    let sample = &stream[..stream.len().min(100)]; // full run would take minutes
+    for &node in sample {
+        vault.infer_node(&data.features, node)?;
+    }
+    let sequential_elapsed = start.elapsed();
+    let sequential_transitions = vault.enclave_transitions() - transitions_before;
+    println!(
+        "\nsequential per-node infer ({} queries):\n  {:>8.1} queries/s | {:.2} transitions/query",
+        sample.len(),
+        sample.len() as f64 / sequential_elapsed.as_secs_f64(),
+        sequential_transitions as f64 / sample.len() as f64,
+    );
+
+    // --- 2 & 3. the serving engine, without and with the cache ----------
+    for (label, cache_capacity) in [("batching only", 0), ("batching + LRU cache", num_nodes)] {
+        let config = ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 64,
+                max_delay: Duration::from_millis(2),
+                max_queue_requests: 8192,
+            },
+            sessions: 2,
+            cache_capacity,
+        };
+        let engine = ServingEngine::start(vault, data.features.clone(), config);
+        let start = Instant::now();
+        let mut clients = Vec::new();
+        for c in 0..CLIENTS {
+            let handle = engine.handle();
+            let queries: Vec<usize> =
+                stream[c * QUERIES_PER_CLIENT..(c + 1) * QUERIES_PER_CLIENT].to_vec();
+            clients.push(std::thread::spawn(move || {
+                for node in queries {
+                    handle
+                        .submit_one(node)
+                        .expect("admission")
+                        .wait()
+                        .expect("inference");
+                }
+            }));
+        }
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        let elapsed = start.elapsed();
+        let (returned_vault, stats) = engine.shutdown();
+        vault = returned_vault;
+
+        println!(
+            "\nserving engine, {} ({} queries, {} clients):",
+            label, stats.requests, CLIENTS
+        );
+        println!(
+            "  {:>8.1} queries/s | {:.3} transitions/query | {:.1} nodes/enclave batch",
+            stats.requests as f64 / elapsed.as_secs_f64(),
+            stats.transitions_per_node(),
+            stats.mean_enclave_batch_nodes(),
+        );
+        println!(
+            "  batches: {} ({} full, {} deadline, {} drain) | cache hit rate {:.1}%",
+            stats.batches,
+            stats.full_flushes,
+            stats.deadline_flushes,
+            stats.drain_flushes,
+            stats.cache_hit_rate() * 100.0,
+        );
+        for session in &stats.sessions {
+            println!(
+                "  session {}: {} batches, {:.2} ms accounted, {} KiB transferred",
+                session.id,
+                session.batches,
+                session.accounted_ns as f64 / 1e6,
+                session.transferred_bytes / 1024,
+            );
+        }
+    }
+    Ok(())
+}

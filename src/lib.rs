@@ -12,4 +12,5 @@ pub use graph;
 pub use linalg;
 pub use metrics;
 pub use nn;
+pub use serve;
 pub use tee;

@@ -149,7 +149,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
     /// half-open `Range<usize>`.
     pub trait SizeRange {
         /// Draws a length.
