@@ -72,13 +72,12 @@ pub struct Rectifier {
     backbone_dims: Vec<usize>,
 }
 
-/// Forward-pass artifacts: per-layer post-activation outputs (hidden
-/// layers ReLU-ed, last raw logits) plus the caches and owned layer
-/// inputs needed for training.
+/// Forward-pass artifacts: per-layer caches (whose outputs *are* the
+/// post-activation tensors — hidden layers come out of the fused
+/// bias+ReLU forward already activated, the last layer holds raw
+/// logits) plus the owned layer inputs needed for training.
 #[derive(Debug, Clone)]
 pub struct RectifierForward {
-    /// Post-activation output of each rectifier layer.
-    pub activations: Vec<DenseMatrix>,
     caches: Vec<ConvForward>,
     /// What each layer consumed: an owned concatenation, or a borrow of
     /// a backbone tap / the previous activation (never a copy).
@@ -102,17 +101,17 @@ enum StoredInput {
 
 impl StoredInput {
     /// Resolves to the actual tensor, given the embeddings the forward
-    /// ran on and the activations produced so far.
+    /// ran on and the layer caches produced so far.
     fn resolve<'a>(
         &'a self,
         i: usize,
         backbone_embeddings: &'a [DenseMatrix],
-        activations: &'a [DenseMatrix],
+        caches: &'a [ConvForward],
     ) -> &'a DenseMatrix {
         match self {
             StoredInput::Owned(m) => m,
             StoredInput::Tap(t) => &backbone_embeddings[*t],
-            StoredInput::Prev => &activations[i - 1],
+            StoredInput::Prev => caches[i - 1].output(),
         }
     }
 }
@@ -120,18 +119,39 @@ impl StoredInput {
 impl RectifierForward {
     /// Resolves layer `i`'s input against the embeddings it was run on.
     fn input<'a>(&'a self, i: usize, backbone_embeddings: &'a [DenseMatrix]) -> &'a DenseMatrix {
-        self.inputs[i].resolve(i, backbone_embeddings, &self.activations)
+        self.inputs[i].resolve(i, backbone_embeddings, &self.caches)
     }
 }
 
 impl RectifierForward {
+    /// Number of rectifier layers this forward ran.
+    pub fn num_layers(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Post-activation output of layer `i` (hidden layers ReLU-ed, last
+    /// layer raw logits). A borrow of the layer cache — the fused
+    /// forward produces the activation directly, so no copy exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_layers()`.
+    pub fn activation(&self, i: usize) -> &DenseMatrix {
+        self.caches[i].output()
+    }
+
+    /// Iterates the per-layer post-activation outputs in order.
+    pub fn activations(&self) -> impl Iterator<Item = &DenseMatrix> {
+        self.caches.iter().map(ConvForward::output)
+    }
+
     /// Final-layer logits.
     ///
     /// # Panics
     ///
     /// Never in practice: rectifiers always have at least one layer.
     pub fn logits(&self) -> &DenseMatrix {
-        self.activations.last().expect("rectifier has layers")
+        self.caches.last().expect("rectifier has layers").output()
     }
 }
 
@@ -388,28 +408,22 @@ impl Rectifier {
             });
         }
         let last = self.layers.len() - 1;
-        let mut activations: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
-        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut caches: Vec<ConvForward> = Vec::with_capacity(self.layers.len());
         let mut inputs = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
-            let stored = self.layer_input(i, backbone_embeddings, activations.last(), ws)?;
+            let prev = caches.last().map(ConvForward::output);
+            let stored = self.layer_input(i, backbone_embeddings, prev, ws)?;
             let cache = {
-                let input = stored.resolve(i, backbone_embeddings, &activations);
-                layer.forward_ws(real_adj, input, ws)?
+                let input = stored.resolve(i, backbone_embeddings, &caches);
+                // Hidden layers fuse bias + ReLU into the layer's
+                // output epilogue, so the cached output *is* the
+                // activation — no copy, no separate ReLU pass.
+                layer.forward_fused(real_adj, input, i != last, ws)?
             };
-            let mut out = ws.take_copy(cache.output());
-            if i != last {
-                out.map_inplace(|v| v.max(0.0));
-            }
-            activations.push(out);
             caches.push(cache);
             inputs.push(stored);
         }
-        Ok(RectifierForward {
-            activations,
-            caches,
-            inputs,
-        })
+        Ok(RectifierForward { caches, inputs })
     }
 
     /// Trains the rectifier on frozen backbone embeddings with masked
@@ -444,8 +458,10 @@ impl Rectifier {
             }
             let mut d = grad;
             for i in (0..self.layers.len()).rev() {
-                let input = fwd.input(i, backbone_embeddings);
-                let d_input = self.layers[i].backward(&fwd.caches[i], input, real_adj, &d)?;
+                let d_input = {
+                    let input = fwd.input(i, backbone_embeddings);
+                    self.layers[i].backward_ws(&fwd.caches[i], input, real_adj, &d, &mut ws)?
+                };
                 if i > 0 {
                     // Keep only the slice of the gradient that flows into
                     // the previous rectifier layer; gradients w.r.t. the
@@ -470,9 +486,6 @@ impl Rectifier {
             }
 
             // Recycle this epoch's tensors.
-            for activation in fwd.activations {
-                ws.give(activation);
-            }
             for cache in fwd.caches {
                 for buf in cache.into_buffers() {
                     ws.give(buf);
@@ -580,7 +593,7 @@ mod tests {
         for kind in RectifierKind::ALL {
             let rect = Rectifier::new(kind, &[6, 4, 2], &[8, 4, 2], 1).unwrap();
             let fwd = rect.forward(&adj, &embs).unwrap();
-            assert_eq!(fwd.activations.len(), 3, "{kind:?}");
+            assert_eq!(fwd.num_layers(), 3, "{kind:?}");
             assert_eq!(fwd.logits().shape(), (n, 2), "{kind:?}");
         }
     }

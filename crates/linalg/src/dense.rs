@@ -205,11 +205,29 @@ impl DenseMatrix {
     }
 
     /// Returns the transpose as a new matrix.
+    ///
+    /// Cache-blocked: the copy walks `TB×TB` tiles so both the source
+    /// rows and the destination columns of a tile stay resident,
+    /// instead of striding the full destination once per source row.
+    /// The training hot paths no longer materialize transposes at all
+    /// (see [`crate::matmul_at_b`] / [`crate::matmul_a_bt`]); this
+    /// remains for cold paths like dataset preparation.
     pub fn transpose(&self) -> DenseMatrix {
-        let mut t = DenseMatrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+        /// Tile edge: two 64×64 f32 tiles (src + dst) are 32 KiB,
+        /// comfortably L1/L2-resident.
+        const TB: usize = 64;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut t = DenseMatrix::zeros(cols, rows);
+        for rb in (0..rows).step_by(TB) {
+            let r_end = (rb + TB).min(rows);
+            for cb in (0..cols).step_by(TB) {
+                let c_end = (cb + TB).min(cols);
+                for r in rb..r_end {
+                    let srow = &self.data[r * cols + cb..r * cols + c_end];
+                    for (c, &v) in (cb..c_end).zip(srow) {
+                        t.data[c * rows + r] = v;
+                    }
+                }
             }
         }
         t

@@ -1,40 +1,167 @@
-//! Dense matrix multiplication kernels.
+//! Packed-panel dense matrix multiplication with transpose-free
+//! operand views and fused epilogues.
 //!
-//! Three implementations are provided with identical semantics:
+//! The engine follows the BLIS discipline: both operands are packed
+//! once per call into panel-major buffers — A into [`MR`]-row panels, B
+//! into [`NR`]-column panels, both k-major and zero-padded to the panel
+//! edge — and an `MR×NR` register-tiled micro-kernel streams the panels
+//! with `KC`/`MC` cache blocking. Packing is where operand orientation
+//! is absorbed: [`GemmOp::AtB`] and [`GemmOp::ABt`] read the source in
+//! transposed order *during the O(n²) pack*, so no transpose is ever
+//! materialized for the O(n³) multiply. An [`Epilogue`] (bias add,
+//! bias + ReLU) is applied while the output tile is still
+//! register-resident, replacing separate broadcast/activation passes.
 //!
-//! - [`matmul_naive`]: triple loop, the reference implementation,
-//! - [`matmul_blocked`]: cache-blocked ikj ordering with a 4-way
-//!   unrolled inner kernel that autovectorizes,
-//! - [`matmul_threaded`]: row-partitioned across the shared
-//!   [`crate::pool`] worker pool (no per-call thread spawning).
+//! Three strategies share identical semantics:
 //!
-//! [`matmul`] picks a strategy automatically based on problem size and
-//! pool width. [`matmul_into`] writes into a caller-provided output
-//! matrix so training loops can reuse buffers through a
-//! [`crate::Workspace`]. The property-test suite cross-checks blocked
-//! and threaded kernels against the naive kernel on random inputs.
+//! - [`GemmStrategy::Naive`]: reference triple loop (property-test oracle),
+//! - [`GemmStrategy::Packed`]: the single-threaded packed-panel engine,
+//! - [`GemmStrategy::Threaded`]: the same engine with A's row panels
+//!   partitioned across the shared [`crate::pool`]. Every output element
+//!   is produced by exactly one worker with the same k-accumulation
+//!   order as the single-threaded engine, so results are **bit-identical
+//!   at any pool width**.
+//!
+//! [`GemmStrategy::Auto`] picks per call: the threaded path only when
+//! the problem is large *and* the pool actually has more than one
+//! worker — at pool width 1 it always takes the single-thread packed
+//! path, never paying dispatch overhead for no parallelism.
+//!
+//! Packing buffers are drawn from a [`Workspace`] by the `_ws` variants
+//! so training loops recycle them across calls; the plain variants
+//! allocate and free per call.
 
-use crate::{pool, DenseMatrix, LinalgError};
+use crate::{pool, DenseMatrix, LinalgError, Workspace};
 
-/// Block edge (in elements) for the cache-blocked kernel's k-dimension.
-const BLOCK: usize = 64;
+/// Rows per A panel / micro-tile (register-tile height). `6×16` is the
+/// classic Haswell-era BLIS shape: 12 accumulator vectors at 8-wide
+/// plus the two B row vectors and an A broadcast fit the architectural
+/// register file with room to spare, and the shape proved the most
+/// robust across the swept alternatives (8×8, 4×16, 8×16, 12×16 — the
+/// wider tiles fall off a register-spill cliff).
+const MR: usize = 6;
 
-/// FLOP threshold (`m·k·n` multiply-adds) above which [`matmul`]
-/// switches to the threaded kernel when the pool has >1 worker.
+/// Columns per B panel / micro-tile (register-tile width): two 8-wide
+/// vectors per accumulator row.
+const NR: usize = 16;
+
+/// k-dimension block: one `KC×NR` B panel slice (16 KiB) stays
+/// L1-resident across a row block of micro-tiles.
+const KC: usize = 256;
+
+/// Row block: `MC×KC` of packed A (~128 KiB) stays L2-resident while
+/// the inner loops sweep every B panel.
+const MC: usize = 126;
+
+/// FLOP threshold (`m·k·n` multiply-adds) above which [`GemmStrategy::Auto`]
+/// switches to the threaded engine when the pool has more than 1 worker.
 const THREADED_FLOP_THRESHOLD: usize = 1 << 22;
 
-/// Strategy selector for [`matmul`].
+/// Strategy selector for [`matmul_with`] and [`gemm_into_ws`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum GemmStrategy {
     /// Let the library choose based on problem size and pool width.
+    ///
+    /// Picks [`GemmStrategy::Threaded`] only when the problem exceeds
+    /// the flop threshold **and** the pool has more than one worker;
+    /// with a 1-worker pool it always resolves to
+    /// [`GemmStrategy::Packed`] (the threaded path would be pure
+    /// dispatch overhead).
     #[default]
     Auto,
-    /// Reference triple-loop kernel.
+    /// Reference triple-loop kernel (no packing, no fusion benefits —
+    /// the epilogue runs as a separate pass).
     Naive,
-    /// Cache-blocked single-threaded kernel.
-    Blocked,
-    /// Multi-threaded kernel (row-partitioned over the shared pool).
+    /// Single-threaded packed-panel engine.
+    Packed,
+    /// Packed-panel engine, A row panels partitioned over the shared
+    /// pool. Bit-identical to [`GemmStrategy::Packed`] at any width.
     Threaded,
+}
+
+/// Operand orientation for [`gemm_into_ws`]: which transpose view the
+/// packing stage reads.
+///
+/// The transposed views cost nothing beyond a different read order
+/// during packing — the multiply itself always streams packed panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GemmOp {
+    /// `C = A · B`.
+    #[default]
+    AB,
+    /// `C = Aᵀ · B` (gradient-of-weights shape, `Hᵀ · dZ`).
+    AtB,
+    /// `C = A · Bᵀ` (gradient-of-input shape, `dZ · Wᵀ`).
+    ABt,
+}
+
+/// A fused output transform applied while the `MR×NR` tile is still in
+/// registers, before it is stored.
+///
+/// Replaces the separate `add_row_broadcast` + ReLU passes a layer
+/// forward would otherwise run over the whole output matrix.
+///
+/// Results are **bit-identical** to running the same strategy unfused
+/// and then applying the broadcast/ReLU passes afterwards: the epilogue
+/// performs the same `+ bias[j]` / `max(0, ·)` operations on the same
+/// fully-accumulated sums, just without a round trip through memory.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{matmul_fused, DenseMatrix, Epilogue};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1.0, -1.0]])?;
+/// let i = DenseMatrix::identity(2);
+/// let z = matmul_fused(&a, &i, Epilogue::BiasRelu(&[0.5, 0.5]))?;
+/// assert_eq!(z.row(0), &[1.5, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Epilogue<'a> {
+    /// Store the product unchanged.
+    #[default]
+    None,
+    /// Add `bias[j]` to every element of output column `j`.
+    Bias(&'a [f32]),
+    /// Add `bias[j]`, then clamp at zero (fused bias + ReLU).
+    BiasRelu(&'a [f32]),
+}
+
+impl Epilogue<'_> {
+    /// The bias slice, if any.
+    fn bias(&self) -> Option<&[f32]> {
+        match self {
+            Epilogue::None => None,
+            Epilogue::Bias(b) | Epilogue::BiasRelu(b) => Some(b),
+        }
+    }
+
+    /// Applies the epilogue to one output row slice starting at output
+    /// column `col_offset`.
+    ///
+    /// The single definition every fused path shares — the GEMM
+    /// micro-kernel's store phase, the whole-buffer unfused pass, and
+    /// SpMM's per-row epilogue — so the "bit-identical to unfused"
+    /// contract cannot drift between the dense and sparse engines.
+    #[inline(always)]
+    pub(crate) fn apply_to_row(&self, row: &mut [f32], col_offset: usize) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::Bias(bias) => {
+                for (o, b) in row.iter_mut().zip(&bias[col_offset..]) {
+                    *o += b;
+                }
+            }
+            Epilogue::BiasRelu(bias) => {
+                for (o, b) in row.iter_mut().zip(&bias[col_offset..]) {
+                    *o = (*o + b).max(0.0);
+                }
+            }
+        }
+    }
 }
 
 /// Multiplies `a × b` choosing a kernel by [`GemmStrategy::Auto`] rules.
@@ -69,9 +196,16 @@ pub fn matmul_with(
     b: &DenseMatrix,
     strategy: GemmStrategy,
 ) -> Result<DenseMatrix, LinalgError> {
-    check_shapes(a, b)?;
     let mut out = DenseMatrix::zeros(a.rows(), b.cols());
-    dispatch(a, b, &mut out, strategy);
+    gemm_into_ws(
+        GemmOp::AB,
+        a,
+        b,
+        &mut out,
+        Epilogue::None,
+        strategy,
+        &mut Workspace::new(),
+    )?;
     Ok(out)
 }
 
@@ -89,17 +223,194 @@ pub fn matmul_into(
     b: &DenseMatrix,
     out: &mut DenseMatrix,
 ) -> Result<(), LinalgError> {
-    check_shapes(a, b)?;
-    if out.shape() != (a.rows(), b.cols()) {
-        return Err(LinalgError::ShapeMismatch {
-            op: "matmul_into",
-            lhs: (a.rows(), b.cols()),
-            rhs: out.shape(),
-        });
-    }
-    out.as_mut_slice().fill(0.0);
-    dispatch(a, b, out, GemmStrategy::Auto);
-    Ok(())
+    gemm_into_ws(
+        GemmOp::AB,
+        a,
+        b,
+        out,
+        Epilogue::None,
+        GemmStrategy::Auto,
+        &mut Workspace::new(),
+    )
+}
+
+/// Multiplies `a × b` with a fused [`Epilogue`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()` or
+/// the epilogue bias length differs from `b.cols()`.
+pub fn matmul_fused(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    epilogue: Epilogue<'_>,
+) -> Result<DenseMatrix, LinalgError> {
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    gemm_into_ws(
+        GemmOp::AB,
+        a,
+        b,
+        &mut out,
+        epilogue,
+        GemmStrategy::Auto,
+        &mut Workspace::new(),
+    )?;
+    Ok(out)
+}
+
+/// Multiplies `a × b` into `out` with a fused [`Epilogue`], drawing
+/// packing buffers from `ws` — the layer-forward hot path.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on inner-dimension, output
+/// shape, or bias-length mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{matmul_fused_into_ws, DenseMatrix, Epilogue, Workspace};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let mut ws = Workspace::new();
+/// let h = DenseMatrix::from_rows(&[&[2.0, 0.0]])?;
+/// let w = DenseMatrix::identity(2);
+/// let mut z = ws.take_for_overwrite(1, 2);
+/// matmul_fused_into_ws(&h, &w, &mut z, Epilogue::Bias(&[1.0, -1.0]), &mut ws)?;
+/// assert_eq!(z.row(0), &[3.0, -1.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_fused_into_ws(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+    ws: &mut Workspace,
+) -> Result<(), LinalgError> {
+    gemm_into_ws(GemmOp::AB, a, b, out, epilogue, GemmStrategy::Auto, ws)
+}
+
+/// Computes `aᵀ × b` without materializing the transpose — the packing
+/// stage reads `a` column-wise instead.
+///
+/// This is the gradient-of-weights shape `∂L/∂W = Hᵀ · ∂L/∂Z`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.rows() != b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{matmul_at_b, matmul_naive, DenseMatrix};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])?;
+/// let b = DenseMatrix::from_rows(&[&[1.0], &[0.0], &[1.0]])?;
+/// let fast = matmul_at_b(&a, &b)?;
+/// let reference = matmul_naive(&a.transpose(), &b)?;
+/// assert!(fast.approx_eq(&reference, 1e-5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_at_b(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    let mut out = DenseMatrix::zeros(a.cols(), b.cols());
+    gemm_into_ws(
+        GemmOp::AtB,
+        a,
+        b,
+        &mut out,
+        Epilogue::None,
+        GemmStrategy::Auto,
+        &mut Workspace::new(),
+    )?;
+    Ok(out)
+}
+
+/// [`matmul_at_b`] into a caller-provided output, drawing packing
+/// buffers from `ws` — the backward-pass hot path.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.rows() != b.rows()` or
+/// `out` is not `(a.cols(), b.cols())`.
+pub fn matmul_at_b_into_ws(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    ws: &mut Workspace,
+) -> Result<(), LinalgError> {
+    gemm_into_ws(
+        GemmOp::AtB,
+        a,
+        b,
+        out,
+        Epilogue::None,
+        GemmStrategy::Auto,
+        ws,
+    )
+}
+
+/// Computes `a × bᵀ` without materializing the transpose — the packing
+/// stage reads `b` column-wise instead.
+///
+/// This is the gradient-of-input shape `∂L/∂H = ∂L/∂Z · Wᵀ`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.cols()`.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{matmul_a_bt, matmul_naive, DenseMatrix};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0]])?;
+/// let b = DenseMatrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]])?;
+/// let fast = matmul_a_bt(&a, &b)?;
+/// let reference = matmul_naive(&a, &b.transpose())?;
+/// assert!(fast.approx_eq(&reference, 1e-5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_a_bt(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    let mut out = DenseMatrix::zeros(a.rows(), b.rows());
+    gemm_into_ws(
+        GemmOp::ABt,
+        a,
+        b,
+        &mut out,
+        Epilogue::None,
+        GemmStrategy::Auto,
+        &mut Workspace::new(),
+    )?;
+    Ok(out)
+}
+
+/// [`matmul_a_bt`] into a caller-provided output, drawing packing
+/// buffers from `ws` — the backward-pass hot path.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.cols()` or
+/// `out` is not `(a.rows(), b.rows())`.
+pub fn matmul_a_bt_into_ws(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    ws: &mut Workspace,
+) -> Result<(), LinalgError> {
+    gemm_into_ws(
+        GemmOp::ABt,
+        a,
+        b,
+        out,
+        Epilogue::None,
+        GemmStrategy::Auto,
+        ws,
+    )
 }
 
 /// Reference triple-loop multiplication.
@@ -111,16 +422,17 @@ pub fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, Lin
     matmul_with(a, b, GemmStrategy::Naive)
 }
 
-/// Cache-blocked multiplication.
+/// Single-threaded packed-panel multiplication.
 ///
 /// # Errors
 ///
 /// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
-pub fn matmul_blocked(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
-    matmul_with(a, b, GemmStrategy::Blocked)
+pub fn matmul_packed(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    matmul_with(a, b, GemmStrategy::Packed)
 }
 
-/// Multi-threaded multiplication over row partitions of the shared pool.
+/// Packed-panel multiplication with A's row panels partitioned over the
+/// shared pool (bit-identical to [`matmul_packed`] at any pool width).
 ///
 /// # Errors
 ///
@@ -129,141 +441,395 @@ pub fn matmul_threaded(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, 
     matmul_with(a, b, GemmStrategy::Threaded)
 }
 
-fn check_shapes(a: &DenseMatrix, b: &DenseMatrix) -> Result<(), LinalgError> {
-    if a.cols() != b.rows() {
+/// The full-control entry point: `out = epilogue(op(a, b))` with an
+/// explicit strategy and Workspace-recycled packing buffers.
+///
+/// `out` is overwritten (it need not be zeroed). All the `matmul_*`
+/// functions are thin wrappers over this.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when the operand shapes are
+/// inconsistent under `op`, when `out` has the wrong shape, or when the
+/// epilogue bias length differs from the output column count.
+pub fn gemm_into_ws(
+    op: GemmOp,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+    strategy: GemmStrategy,
+    ws: &mut Workspace,
+) -> Result<(), LinalgError> {
+    let (m, k, n) = check_shapes(op, a, b)?;
+    if out.shape() != (m, n) {
         return Err(LinalgError::ShapeMismatch {
-            op: "matmul",
-            lhs: a.shape(),
-            rhs: b.shape(),
+            op: "gemm_into",
+            lhs: (m, n),
+            rhs: out.shape(),
         });
+    }
+    if let Some(bias) = epilogue.bias() {
+        if bias.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gemm_epilogue",
+                lhs: (m, n),
+                rhs: (1, bias.len()),
+            });
+        }
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if k == 0 {
+        // Empty inner dimension: the product is all zeros, but the
+        // epilogue still applies.
+        out.as_mut_slice().fill(0.0);
+        apply_epilogue_rows(out.as_mut_slice(), n, epilogue);
+        return Ok(());
+    }
+    match resolve(strategy, m, k, n) {
+        Kernel::Naive => naive(op, a, b, out, epilogue),
+        Kernel::Packed => packed(op, a, b, out, epilogue, false, ws),
+        Kernel::Threaded => packed(op, a, b, out, epilogue, true, ws),
     }
     Ok(())
 }
 
-/// Runs the chosen kernel, accumulating into `out` (assumed zeroed).
-fn dispatch(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, strategy: GemmStrategy) {
-    let flops = a.rows() * a.cols() * b.cols();
+/// Validates operand shapes under `op`, returning `(m, k, n)`.
+fn check_shapes(
+    op: GemmOp,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+) -> Result<(usize, usize, usize), LinalgError> {
+    let (m, k, bk, n, name) = match op {
+        GemmOp::AB => (a.rows(), a.cols(), b.rows(), b.cols(), "matmul"),
+        GemmOp::AtB => (a.cols(), a.rows(), b.rows(), b.cols(), "matmul_at_b"),
+        GemmOp::ABt => (a.rows(), a.cols(), b.cols(), b.rows(), "matmul_a_bt"),
+    };
+    if k != bk {
+        return Err(LinalgError::ShapeMismatch {
+            op: name,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// The concrete kernel a strategy resolves to for a given problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Naive,
+    Packed,
+    Threaded,
+}
+
+/// Resolves a strategy against problem size and the *actual* pool
+/// width. With a 1-worker pool, `Auto` (and even an explicit
+/// `Threaded`) resolves to the single-thread packed engine: the
+/// threaded path with one worker runs the same code plus dispatch
+/// overhead, which the `gemm_256` bench showed to be pure loss.
+fn resolve(strategy: GemmStrategy, m: usize, k: usize, n: usize) -> Kernel {
+    resolve_for_pool(strategy, m, k, n, pool::num_threads())
+}
+
+fn resolve_for_pool(
+    strategy: GemmStrategy,
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) -> Kernel {
+    let can_thread = workers > 1 && m > MR;
     match strategy {
-        GemmStrategy::Naive => naive(a, b, out),
-        GemmStrategy::Blocked => blocked(a, b, out),
-        GemmStrategy::Threaded => threaded(a, b, out),
-        GemmStrategy::Auto => {
-            if flops >= THREADED_FLOP_THRESHOLD && pool::num_threads() > 1 {
-                threaded(a, b, out)
+        GemmStrategy::Naive => Kernel::Naive,
+        GemmStrategy::Packed => Kernel::Packed,
+        GemmStrategy::Threaded => {
+            if can_thread {
+                Kernel::Threaded
             } else {
-                blocked(a, b, out)
+                Kernel::Packed
+            }
+        }
+        GemmStrategy::Auto => {
+            if can_thread && m * k * n >= THREADED_FLOP_THRESHOLD {
+                Kernel::Threaded
+            } else {
+                Kernel::Packed
             }
         }
     }
 }
 
-fn naive(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) {
-    let (m, k) = a.shape();
-    let n = b.cols();
+/// Applies an epilogue to a whole row-major buffer (the unfused path,
+/// used by the naive reference and the `k == 0` edge case).
+fn apply_epilogue_rows(data: &mut [f32], n: usize, epilogue: Epilogue<'_>) {
+    if matches!(epilogue, Epilogue::None) {
+        return;
+    }
+    for row in data.chunks_exact_mut(n) {
+        epilogue.apply_to_row(row, 0);
+    }
+}
+
+/// Reference kernel: triple loop over the logical (possibly transposed)
+/// views, then an unfused epilogue pass. The property-test oracle.
+fn naive(op: GemmOp, a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, epi: Epilogue<'_>) {
+    let (m, k, n) = check_shapes(op, a, b).expect("caller validated shapes");
+    let (ad, asc) = (a.as_slice(), a.cols());
+    let (bd, bsc) = (b.as_slice(), b.cols());
+    let at = |i: usize, p: usize| match op {
+        GemmOp::AB | GemmOp::ABt => ad[i * asc + p],
+        GemmOp::AtB => ad[p * asc + i],
+    };
+    let bt = |p: usize, j: usize| match op {
+        GemmOp::AB | GemmOp::AtB => bd[p * bsc + j],
+        GemmOp::ABt => bd[j * bsc + p],
+    };
+    let od = out.as_mut_slice();
+    od.fill(0.0);
     for i in 0..m {
         for p in 0..k {
-            let av = a.get(i, p);
+            let av = at(i, p);
             if av == 0.0 {
                 continue;
             }
-            let brow = b.row(p);
-            let orow = out.row_mut(i);
-            for j in 0..n {
-                orow[j] += av * brow[j];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += av * bt(p, j);
+            }
+        }
+    }
+    apply_epilogue_rows(od, n, epi);
+}
+
+/// The packed-panel engine. Packs both operands (absorbing `op`'s
+/// transposes), then runs the blocked micro-kernel sweep — on the
+/// caller's thread, or with A's row panels partitioned over the pool.
+fn packed(
+    op: GemmOp,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    epi: Epilogue<'_>,
+    threaded: bool,
+    ws: &mut Workspace,
+) {
+    let (m, k, n) = check_shapes(op, a, b).expect("caller validated shapes");
+    let a_panels = m.div_ceil(MR);
+    let b_panels = n.div_ceil(NR);
+
+    let mut ap = ws.take_for_overwrite(1, a_panels * MR * k);
+    let mut bp = ws.take_for_overwrite(1, b_panels * NR * k);
+    pack_a(a, matches!(op, GemmOp::AtB), m, k, ap.as_mut_slice());
+    pack_b(b, matches!(op, GemmOp::ABt), k, n, bp.as_mut_slice());
+
+    let (apd, bpd) = (ap.as_slice(), bp.as_slice());
+    let out_data = out.as_mut_slice();
+    let workers = if threaded {
+        pool::num_threads().min(a_panels)
+    } else {
+        1
+    };
+    if workers <= 1 {
+        gemm_panels(apd, bpd, out_data, 0, a_panels, m, k, n, epi);
+    } else {
+        // Partition A's row panels; each worker owns a disjoint slice
+        // of output rows, so no synchronization and no accumulation
+        // reordering — results are bit-identical at any pool width.
+        let panel_bounds: Vec<usize> = (0..=workers).map(|w| a_panels * w / workers).collect();
+        let elem_bounds: Vec<usize> = panel_bounds.iter().map(|&p| (p * MR).min(m) * n).collect();
+        pool::global().run_on_partitions(out_data, &elem_bounds, |index, chunk| {
+            gemm_panels(
+                apd,
+                bpd,
+                chunk,
+                panel_bounds[index],
+                panel_bounds[index + 1],
+                m,
+                k,
+                n,
+                epi,
+            );
+        });
+    }
+    ws.give(bp);
+    ws.give(ap);
+}
+
+/// Fused multiply-add `a·b + c` when the build target has hardware FMA
+/// (one instruction, one rounding); plain multiply-then-add otherwise.
+///
+/// Rust never contracts `c + a * b` into an FMA on its own (contraction
+/// changes rounding), so the micro-kernel opts in explicitly where the
+/// hardware makes it free — `f32::mul_add` without hardware FMA would
+/// fall back to a libm call and be ruinously slow, hence the gate.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        c + a * b
+    }
+}
+
+/// Packs logical `m×k` A (reading `src` transposed when `trans`) into
+/// `MR`-row panels, k-major: panel `pi` holds, for each `p`, the `MR`
+/// values `A[pi·MR .. pi·MR+MR, p]`, zero-padded past row `m`.
+fn pack_a(src: &DenseMatrix, trans: bool, m: usize, k: usize, ap: &mut [f32]) {
+    let data = src.as_slice();
+    let sc = src.cols();
+    for (pi, panel) in ap.chunks_exact_mut(MR * k).enumerate() {
+        let i0 = pi * MR;
+        let rows = MR.min(m - i0);
+        if rows < MR {
+            panel.fill(0.0);
+        }
+        if trans {
+            // Stored (k×m): logical A[i][p] = data[p·m + i]; each packed
+            // k-slot copies a contiguous run of the stored row p.
+            for (p, slot) in panel.chunks_exact_mut(MR).enumerate() {
+                let srow = &data[p * sc + i0..p * sc + i0 + rows];
+                slot[..rows].copy_from_slice(srow);
+            }
+        } else {
+            // Stored (m×k): read each source row contiguously, scatter
+            // into stride-MR slots.
+            for (r, srow) in data[i0 * sc..(i0 + rows) * sc].chunks_exact(sc).enumerate() {
+                for (p, &v) in srow.iter().enumerate() {
+                    panel[p * MR + r] = v;
+                }
             }
         }
     }
 }
 
-fn blocked(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) {
-    let k = a.cols();
-    let n = b.cols();
-    let rows = a.rows();
-    gemm_rows_into(
-        a.as_slice(),
-        b.as_slice(),
-        out.as_mut_slice(),
-        0,
-        rows,
-        k,
-        n,
-    );
+/// Packs logical `k×n` B (reading `src` transposed when `trans`) into
+/// `NR`-column panels, k-major: panel `pj` holds, for each `p`, the `NR`
+/// values `B[p, pj·NR .. pj·NR+NR]`, zero-padded past column `n`.
+fn pack_b(src: &DenseMatrix, trans: bool, k: usize, n: usize, bp: &mut [f32]) {
+    let data = src.as_slice();
+    let sc = src.cols();
+    for (pj, panel) in bp.chunks_exact_mut(NR * k).enumerate() {
+        let j0 = pj * NR;
+        let cols = NR.min(n - j0);
+        if cols < NR {
+            panel.fill(0.0);
+        }
+        if trans {
+            // Stored (n×k): logical B[p][j] = data[j·k + p]; read each
+            // stored row contiguously, scatter into stride-NR slots.
+            for c in 0..cols {
+                let srow = &data[(j0 + c) * sc..(j0 + c) * sc + k];
+                for (p, &v) in srow.iter().enumerate() {
+                    panel[p * NR + c] = v;
+                }
+            }
+        } else {
+            // Stored (k×n): each packed k-slot copies a contiguous run
+            // of the stored row p.
+            for (p, slot) in panel.chunks_exact_mut(NR).enumerate() {
+                let srow = &data[p * sc + j0..p * sc + j0 + cols];
+                slot[..cols].copy_from_slice(srow);
+            }
+        }
+    }
 }
 
-fn threaded(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) {
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let workers = pool::num_threads().min(m.max(1));
-    if workers <= 1 || m < 2 || n == 0 {
-        blocked(a, b, out);
-        return;
-    }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    // Even row split; GEMM cost is uniform per row.
-    let mut bounds = Vec::with_capacity(workers + 1);
-    for w in 0..=workers {
-        bounds.push((m * w / workers) * n);
-    }
-    let out_data = out.as_mut_slice();
-    pool::global().run_on_partitions(out_data, &bounds, |index, chunk| {
-        let row_start = m * index / workers;
-        let rows_here = chunk.len() / n;
-        gemm_rows_into(a_data, b_data, chunk, row_start, rows_here, k, n);
-    });
-}
-
-/// Accumulates `rows` output rows starting at global row `row_offset`
-/// into `out` (`rows × n`, pre-zeroed), reading all of `a` and `b`.
-///
-/// k is blocked to keep the touched rows of `b` cache-resident, and the
-/// p-loop is unrolled 4× so the j-loop reads four `b` rows per pass —
-/// quartering the write traffic on `out` and giving LLVM a clean
-/// vectorizable inner loop (no bounds checks: every slice is exactly
-/// `n` long).
-fn gemm_rows_into(
-    a: &[f32],
-    b: &[f32],
+/// Runs the blocked micro-kernel sweep for A panels `[p_lo, p_hi)`,
+/// writing into `out`, whose first element is global row `p_lo·MR`,
+/// column 0. The k loop is outermost in `KC` blocks (partial sums are
+/// accumulated into `out` between blocks, in fixed block order), with
+/// `MC`-row blocks inside so one packed A block stays L2-resident while
+/// the inner loops sweep every B panel.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
+fn gemm_panels(
+    ap: &[f32],
+    bp: &[f32],
     out: &mut [f32],
-    row_offset: usize,
-    rows: usize,
+    p_lo: usize,
+    p_hi: usize,
+    m: usize,
     k: usize,
     n: usize,
+    epi: Epilogue<'_>,
 ) {
-    if n == 0 {
-        return;
+    let b_panels = n.div_ceil(NR);
+    let panels_per_block = MC / MR;
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let first = pc == 0;
+        let last = pc + kc == k;
+        let mut ic = p_lo;
+        while ic < p_hi {
+            let ic_end = (ic + panels_per_block).min(p_hi);
+            for pj in 0..b_panels {
+                let bpan = &bp[pj * NR * k + pc * NR..pj * NR * k + (pc + kc) * NR];
+                let j0 = pj * NR;
+                let cols = NR.min(n - j0);
+                for pi in ic..ic_end {
+                    let apan = &ap[pi * MR * k + pc * MR..pi * MR * k + (pc + kc) * MR];
+                    let row0 = (pi - p_lo) * MR;
+                    let rows = MR.min(m - pi * MR);
+                    micro_tile(apan, bpan, out, n, row0, j0, rows, cols, first, last, epi);
+                }
+            }
+            ic = ic_end;
+        }
+        pc += kc;
     }
-    for pp in (0..k).step_by(BLOCK) {
-        let p_end = (pp + BLOCK).min(k);
-        for local_i in 0..rows {
-            let arow = &a[(row_offset + local_i) * k..(row_offset + local_i) * k + k];
-            let orow = &mut out[local_i * n..(local_i + 1) * n];
-            let mut p = pp;
-            while p + 4 <= p_end {
-                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
-                    let b0 = &b[p * n..p * n + n];
-                    let b1 = &b[(p + 1) * n..(p + 1) * n + n];
-                    let b2 = &b[(p + 2) * n..(p + 2) * n + n];
-                    let b3 = &b[(p + 3) * n..(p + 3) * n + n];
-                    for ((((o, &v0), &v1), &v2), &v3) in
-                        orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                    {
-                        *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-                    }
-                }
-                p += 4;
+}
+
+/// The register-tiled micro-kernel: accumulates an `MR×NR` tile over
+/// `kc` packed k-steps entirely in registers, then stores it —
+/// overwriting on the first k block, accumulating on later ones, and
+/// applying the epilogue on the last, while the tile is still hot.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
+#[inline(always)]
+fn micro_tile(
+    apan: &[f32],
+    bpan: &[f32],
+    out: &mut [f32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+    first: bool,
+    last: bool,
+    epi: Epilogue<'_>,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a, b) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
+        // Fixed-size array views: no bounds checks, and LLVM sees the
+        // static MR×NR shape, keeping the whole accumulator tile in
+        // vector registers across the k loop.
+        let a: &[f32; MR] = a.try_into().expect("chunk is exactly MR");
+        let b: &[f32; NR] = b.try_into().expect("chunk is exactly NR");
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] = fmadd(ai, b[j], acc[i][j]);
             }
-            while p < p_end {
-                let av = arow[p];
-                if av != 0.0 {
-                    let brow = &b[p * n..p * n + n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-                p += 1;
+        }
+    }
+    for (i, accrow) in acc.iter().enumerate().take(rows) {
+        let base = (row0 + i) * n + j0;
+        let orow = &mut out[base..base + cols];
+        if !first {
+            for (o, &v) in orow.iter_mut().zip(accrow.iter()) {
+                *o += v;
             }
+        } else {
+            orow.copy_from_slice(&accrow[..cols]);
+        }
+        if last {
+            epi.apply_to_row(orow, j0);
         }
     }
 }
@@ -282,6 +848,10 @@ mod tests {
             state ^= state << 17;
             ((state % 2000) as f32 - 1000.0) / 500.0
         })
+    }
+
+    fn bias_vec(n: usize, seed: u64) -> Vec<f32> {
+        small(1, n.max(1), seed).as_slice()[..n].to_vec()
     }
 
     #[test]
@@ -307,12 +877,14 @@ mod tests {
         let b = DenseMatrix::zeros(2, 2);
         for strat in [
             GemmStrategy::Naive,
-            GemmStrategy::Blocked,
+            GemmStrategy::Packed,
             GemmStrategy::Threaded,
             GemmStrategy::Auto,
         ] {
             assert!(matmul_with(&a, &b, strat).is_err());
         }
+        assert!(matmul_at_b(&DenseMatrix::zeros(3, 2), &b).is_err());
+        assert!(matmul_a_bt(&a, &DenseMatrix::zeros(2, 2)).is_err());
     }
 
     #[test]
@@ -320,8 +892,99 @@ mod tests {
         let a = small(33, 71, 1);
         let b = small(71, 17, 2);
         let reference = matmul_naive(&a, &b).unwrap();
-        assert!(matmul_blocked(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+        assert!(matmul_packed(&a, &b).unwrap().approx_eq(&reference, 1e-3));
         assert!(matmul_threaded(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+    }
+
+    #[test]
+    fn threaded_is_bit_identical_to_packed() {
+        // Panel partitioning must not change any element's accumulation
+        // order, so this holds exactly, not just within tolerance.
+        let a = small(67, 130, 5);
+        let b = small(130, 29, 6);
+        assert_eq!(
+            matmul_packed(&a, &b).unwrap(),
+            matmul_threaded(&a, &b).unwrap()
+        );
+        // The fused epilogue and the transposed views share the same
+        // guarantee (run under LINALG_NUM_THREADS=4 in CI, this is a
+        // real cross-thread assertion; at width 1 it pins the inline
+        // fallback).
+        let bias = bias_vec(29, 7);
+        let mut ws = Workspace::new();
+        let mut fused_p = DenseMatrix::zeros(67, 29);
+        let mut fused_t = DenseMatrix::zeros(67, 29);
+        gemm_into_ws(
+            GemmOp::AB,
+            &a,
+            &b,
+            &mut fused_p,
+            Epilogue::BiasRelu(&bias),
+            GemmStrategy::Packed,
+            &mut ws,
+        )
+        .unwrap();
+        gemm_into_ws(
+            GemmOp::AB,
+            &a,
+            &b,
+            &mut fused_t,
+            Epilogue::BiasRelu(&bias),
+            GemmStrategy::Threaded,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(fused_p, fused_t);
+        let mut at_b_p = DenseMatrix::zeros(130, 29);
+        let mut at_b_t = DenseMatrix::zeros(130, 29);
+        let b_short = small(67, 29, 8);
+        gemm_into_ws(
+            GemmOp::AtB,
+            &a,
+            &b_short,
+            &mut at_b_p,
+            Epilogue::None,
+            GemmStrategy::Packed,
+            &mut ws,
+        )
+        .unwrap();
+        gemm_into_ws(
+            GemmOp::AtB,
+            &a,
+            &b_short,
+            &mut at_b_t,
+            Epilogue::None,
+            GemmStrategy::Threaded,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(at_b_p, at_b_t);
+    }
+
+    #[test]
+    fn auto_never_picks_threaded_on_a_one_worker_pool() {
+        // The regression this guards: Auto used to dispatch the threaded
+        // kernel purely on problem size; with a 1-worker pool that runs
+        // the same code plus dispatch overhead for zero parallelism.
+        let huge = 1 << 12;
+        assert_eq!(
+            resolve_for_pool(GemmStrategy::Auto, huge, huge, huge, 1),
+            Kernel::Packed
+        );
+        // Even an explicit Threaded request degrades gracefully.
+        assert_eq!(
+            resolve_for_pool(GemmStrategy::Threaded, huge, huge, huge, 1),
+            Kernel::Packed
+        );
+        // With workers available, Auto threads large problems only.
+        assert_eq!(
+            resolve_for_pool(GemmStrategy::Auto, huge, huge, huge, 4),
+            Kernel::Threaded
+        );
+        assert_eq!(
+            resolve_for_pool(GemmStrategy::Auto, 8, 8, 8, 4),
+            Kernel::Packed
+        );
     }
 
     #[test]
@@ -345,6 +1008,29 @@ mod tests {
         let a = DenseMatrix::zeros(3, 2);
         let b = DenseMatrix::zeros(2, 0);
         assert_eq!(matmul_threaded(&a, &b).unwrap().shape(), (3, 0));
+        // Transposed views on empty shapes.
+        assert_eq!(
+            matmul_at_b(&DenseMatrix::zeros(0, 3), &DenseMatrix::zeros(0, 2))
+                .unwrap()
+                .shape(),
+            (3, 2)
+        );
+        assert_eq!(
+            matmul_a_bt(&DenseMatrix::zeros(2, 0), &DenseMatrix::zeros(3, 0))
+                .unwrap()
+                .shape(),
+            (2, 3)
+        );
+    }
+
+    #[test]
+    fn zero_inner_dimension_still_applies_epilogue() {
+        let a = DenseMatrix::zeros(2, 0);
+        let b = DenseMatrix::zeros(0, 3);
+        let bias = [1.0, 2.0, 3.0];
+        let z = matmul_fused(&a, &b, Epilogue::Bias(&bias)).unwrap();
+        assert_eq!(z.row(0), &bias);
+        assert_eq!(z.row(1), &bias);
     }
 
     #[test]
@@ -361,18 +1047,110 @@ mod tests {
         assert!(matmul_into(&a, &b, &mut bad).is_err());
     }
 
+    #[test]
+    fn fused_epilogue_matches_unfused_bit_exactly() {
+        // The epilogue performs identical float operations on identical
+        // sums, so fused output equals unfused-same-strategy output
+        // exactly — not merely within tolerance.
+        let a = small(21, 34, 8);
+        let b = small(34, 19, 9);
+        let bias = bias_vec(19, 10);
+        let unfused = matmul_packed(&a, &b)
+            .unwrap()
+            .add_row_broadcast(&bias)
+            .unwrap();
+        let fused = matmul_fused(&a, &b, Epilogue::Bias(&bias)).unwrap();
+        assert_eq!(fused, unfused);
+        let fused_relu = matmul_fused(&a, &b, Epilogue::BiasRelu(&bias)).unwrap();
+        let mut unfused_relu = unfused;
+        unfused_relu.map_inplace(|v| v.max(0.0));
+        assert_eq!(fused_relu, unfused_relu);
+    }
+
+    #[test]
+    fn epilogue_bias_length_is_checked() {
+        let a = small(3, 4, 11);
+        let b = small(4, 5, 12);
+        assert!(matmul_fused(&a, &b, Epilogue::Bias(&[1.0, 2.0])).is_err());
+        assert!(matmul_fused(&a, &b, Epilogue::BiasRelu(&[0.0; 6])).is_err());
+    }
+
+    #[test]
+    fn ws_variants_recycle_packing_buffers() {
+        let mut ws = Workspace::new();
+        let a = small(17, 23, 13);
+        let b = small(23, 11, 14);
+        let mut out = ws.take_for_overwrite(17, 11);
+        matmul_fused_into_ws(&a, &b, &mut out, Epilogue::None, &mut ws).unwrap();
+        assert!(out.approx_eq(&matmul_naive(&a, &b).unwrap(), 1e-3));
+        // Packing buffers were given back for the next call.
+        assert!(ws.cached() >= 2);
+        let cached_before = ws.cached_elements();
+        let b2 = small(17, 11, 15);
+        let mut out2 = ws.take_for_overwrite(23, 11);
+        matmul_at_b_into_ws(&a, &b2, &mut out2, &mut ws).unwrap();
+        // Steady state: no new allocations beyond the first call's.
+        assert!(ws.cached_elements() <= cached_before.max(1));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
         #[test]
-        fn blocked_and_threaded_match_naive(
+        fn packed_and_threaded_match_naive(
             m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
         ) {
             let a = small(m, k, seed);
             let b = small(k, n, seed.wrapping_add(1));
             let reference = matmul_naive(&a, &b).unwrap();
-            prop_assert!(matmul_blocked(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+            prop_assert!(matmul_packed(&a, &b).unwrap().approx_eq(&reference, 1e-3));
             prop_assert!(matmul_threaded(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+        }
+
+        /// `matmul_at_b`/`matmul_a_bt` against the materialized
+        /// `transpose() + matmul_naive` reference, over random
+        /// non-square shapes including empty and single-row operands.
+        /// Agreement is to 1e-3 absolute (the packed engine's k-block
+        /// summation tree differs from the naive left-to-right order).
+        #[test]
+        fn transposed_views_match_materialized_transpose(
+            m in 0usize..24, k in 0usize..24, n in 0usize..24, seed in 0u64..1000
+        ) {
+            let a = small(k, m, seed); // stored (k×m): logical Aᵀ is (m×k)
+            let b = small(k, n, seed.wrapping_add(1));
+            let reference = matmul_naive(&a.transpose(), &b).unwrap();
+            prop_assert!(matmul_at_b(&a, &b).unwrap().approx_eq(&reference, 1e-3));
+
+            let a2 = small(m, k, seed.wrapping_add(2));
+            let b2 = small(n, k, seed.wrapping_add(3)); // stored (n×k): logical Bᵀ is (k×n)
+            let reference = matmul_naive(&a2, &b2.transpose()).unwrap();
+            prop_assert!(matmul_a_bt(&a2, &b2).unwrap().approx_eq(&reference, 1e-3));
+        }
+
+        /// Every epilogue variant against the unfused
+        /// matmul + broadcast + ReLU reference: bit-exact against the
+        /// same packed strategy, 1e-3 against the naive kernel.
+        #[test]
+        fn epilogues_match_unfused_reference(
+            m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+        ) {
+            let a = small(m, k, seed);
+            let b = small(k, n, seed.wrapping_add(1));
+            let bias = bias_vec(n, seed.wrapping_add(2));
+            let packed_plain = matmul_packed(&a, &b).unwrap();
+            let naive_plain = matmul_naive(&a, &b).unwrap();
+
+            let fused_none = matmul_fused(&a, &b, Epilogue::None).unwrap();
+            prop_assert_eq!(&fused_none, &packed_plain);
+
+            let fused_bias = matmul_fused(&a, &b, Epilogue::Bias(&bias)).unwrap();
+            prop_assert_eq!(&fused_bias, &packed_plain.add_row_broadcast(&bias).unwrap());
+            prop_assert!(fused_bias.approx_eq(&naive_plain.add_row_broadcast(&bias).unwrap(), 1e-3));
+
+            let fused_relu = matmul_fused(&a, &b, Epilogue::BiasRelu(&bias)).unwrap();
+            let mut unfused_relu = packed_plain.add_row_broadcast(&bias).unwrap();
+            unfused_relu.map_inplace(|v| v.max(0.0));
+            prop_assert_eq!(&fused_relu, &unfused_relu);
         }
 
         #[test]

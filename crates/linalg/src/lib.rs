@@ -5,8 +5,10 @@
 //!
 //! - [`DenseMatrix`]: a row-major `f32` matrix with elementwise and
 //!   reduction operations,
-//! - [`matmul`]: naive, cache-blocked, and multi-threaded matrix
-//!   multiplication kernels,
+//! - [`matmul`]: a packed-panel GEMM engine (BLIS-style register-tiled
+//!   micro-kernel over packed operand panels) with transpose-free
+//!   variants ([`matmul_at_b`], [`matmul_a_bt`]) and fused output
+//!   epilogues ([`Epilogue`]: bias, bias + ReLU),
 //! - [`CsrMatrix`]: compressed sparse row matrices with sparse × dense
 //!   multiplication ([`CsrMatrix::spmm`]) — the message-passing kernel of
 //!   every GCN layer (`Â · H`),
@@ -50,7 +52,9 @@ mod workspace;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use gemm::{
-    matmul, matmul_blocked, matmul_into, matmul_naive, matmul_threaded, matmul_with, GemmStrategy,
+    gemm_into_ws, matmul, matmul_a_bt, matmul_a_bt_into_ws, matmul_at_b, matmul_at_b_into_ws,
+    matmul_fused, matmul_fused_into_ws, matmul_into, matmul_naive, matmul_packed, matmul_threaded,
+    matmul_with, Epilogue, GemmOp, GemmStrategy,
 };
 pub use sparse::{CsrMatrix, SpmmStrategy};
 pub use workspace::Workspace;

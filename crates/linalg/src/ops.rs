@@ -20,7 +20,11 @@ pub fn relu(x: &DenseMatrix) -> DenseMatrix {
 
 /// Gradient mask of ReLU: `grad * (x > 0)` elementwise.
 ///
-/// `x` is the *pre-activation* input that was fed to [`relu`].
+/// `x` may be either the pre-activation input that was fed to [`relu`]
+/// or the post-activation output: `relu(z) > 0 ⇔ z > 0`, so both
+/// tensors produce the same mask. Training loops that use fused
+/// bias + ReLU forwards (see [`crate::Epilogue::BiasRelu`]) pass the
+/// post-activation output they cached.
 ///
 /// # Panics
 ///

@@ -1,4 +1,4 @@
-use crate::{pool, DenseMatrix, LinalgError};
+use crate::{pool, DenseMatrix, Epilogue, LinalgError};
 use serde::{Deserialize, Serialize};
 
 /// FLOP threshold (`nnz × rhs.cols()` multiply-adds) above which
@@ -243,7 +243,7 @@ impl CsrMatrix {
         strategy: SpmmStrategy,
     ) -> Result<DenseMatrix, LinalgError> {
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
-        self.spmm_dispatch(rhs, &mut out, strategy)?;
+        self.spmm_dispatch(rhs, &mut out, strategy, Epilogue::None)?;
         Ok(out)
     }
 
@@ -273,7 +273,69 @@ impl CsrMatrix {
             });
         }
         out.as_mut_slice().fill(0.0);
-        self.spmm_dispatch(rhs, out, SpmmStrategy::Auto)
+        self.spmm_dispatch(rhs, out, SpmmStrategy::Auto, Epilogue::None)
+    }
+
+    /// Sparse × dense multiplication with a fused [`Epilogue`] applied
+    /// to each output row right after its accumulation, while the row
+    /// is still cache-hot — the GCN layer forward `Â (H W) + b` in one
+    /// pass, without a separate broadcast/ReLU sweep.
+    ///
+    /// Bit-identical to [`CsrMatrix::spmm`] followed by the unfused
+    /// broadcast (and ReLU) passes: the epilogue performs the same
+    /// float operations on the same accumulated sums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`
+    /// or the epilogue bias length differs from `rhs.cols()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use linalg::{CsrMatrix, DenseMatrix, Epilogue};
+    ///
+    /// # fn main() -> Result<(), linalg::LinalgError> {
+    /// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)])?;
+    /// let h = DenseMatrix::from_rows(&[&[1.0, -3.0], &[2.0, -1.0]])?;
+    /// let z = a.spmm_fused(&h, Epilogue::BiasRelu(&[0.0, 2.0]))?;
+    /// assert_eq!(z.row(0), &[1.0, 0.0]);
+    /// assert_eq!(z.row(1), &[2.0, 1.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn spmm_fused(
+        &self,
+        rhs: &DenseMatrix,
+        epilogue: Epilogue<'_>,
+    ) -> Result<DenseMatrix, LinalgError> {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        self.spmm_dispatch(rhs, &mut out, SpmmStrategy::Auto, epilogue)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::spmm_fused`] into a caller-provided output,
+    /// overwriting it — the buffer-recycling layer-forward hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsrMatrix::spmm_fused`], plus
+    /// [`LinalgError::ShapeMismatch`] when `out` has the wrong shape.
+    pub fn spmm_fused_into(
+        &self,
+        rhs: &DenseMatrix,
+        out: &mut DenseMatrix,
+        epilogue: Epilogue<'_>,
+    ) -> Result<(), LinalgError> {
+        if out.shape() != (self.rows, rhs.cols()) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm_into",
+                lhs: (self.rows, rhs.cols()),
+                rhs: out.shape(),
+            });
+        }
+        out.as_mut_slice().fill(0.0);
+        self.spmm_dispatch(rhs, out, SpmmStrategy::Auto, epilogue)
     }
 
     fn spmm_dispatch(
@@ -281,6 +343,7 @@ impl CsrMatrix {
         rhs: &DenseMatrix,
         out: &mut DenseMatrix,
         strategy: SpmmStrategy,
+        epilogue: Epilogue<'_>,
     ) -> Result<(), LinalgError> {
         if self.cols != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
@@ -290,6 +353,15 @@ impl CsrMatrix {
             });
         }
         let n = rhs.cols();
+        if let Epilogue::Bias(bias) | Epilogue::BiasRelu(bias) = epilogue {
+            if bias.len() != n {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "spmm_epilogue",
+                    lhs: (self.rows, n),
+                    rhs: (1, bias.len()),
+                });
+            }
+        }
         let parallel = match strategy {
             SpmmStrategy::Sequential => false,
             SpmmStrategy::Parallel => pool::num_threads() > 1 && self.rows > 1 && n > 0,
@@ -301,7 +373,7 @@ impl CsrMatrix {
             }
         };
         if !parallel {
-            self.spmm_rows_into(rhs, out.as_mut_slice(), 0, self.rows);
+            self.spmm_rows_into(rhs, out.as_mut_slice(), 0, self.rows, epilogue);
             return Ok(());
         }
         let workers = pool::num_threads().min(self.rows);
@@ -311,14 +383,24 @@ impl CsrMatrix {
         pool::global().run_on_partitions(out_data, &elem_bounds, |index, chunk| {
             let row_start = row_bounds[index];
             let rows_here = chunk.len() / n;
-            self.spmm_rows_into(rhs, chunk, row_start, rows_here);
+            self.spmm_rows_into(rhs, chunk, row_start, rows_here, epilogue);
         });
         Ok(())
     }
 
     /// Accumulates output rows `[row_start, row_start + rows)` into the
-    /// pre-zeroed chunk `out` (`rows × rhs.cols()` elements).
-    fn spmm_rows_into(&self, rhs: &DenseMatrix, out: &mut [f32], row_start: usize, rows: usize) {
+    /// pre-zeroed chunk `out` (`rows × rhs.cols()` elements), applying
+    /// the epilogue to each row right after its accumulation while it
+    /// is still cache-hot. Rows are never split across workers, so the
+    /// fused epilogue cannot change parallel/sequential agreement.
+    fn spmm_rows_into(
+        &self,
+        rhs: &DenseMatrix,
+        out: &mut [f32],
+        row_start: usize,
+        rows: usize,
+        epilogue: Epilogue<'_>,
+    ) {
         let n = rhs.cols();
         for local_r in 0..rows {
             let r = row_start + local_r;
@@ -331,6 +413,7 @@ impl CsrMatrix {
                     *o += v * bv;
                 }
             }
+            epilogue.apply_to_row(orow, 0);
         }
     }
 
@@ -558,6 +641,26 @@ mod tests {
         let a = path3();
         let x = DenseMatrix::zeros(4, 2);
         assert!(a.spmm(&x).is_err());
+    }
+
+    #[test]
+    fn spmm_fused_matches_unfused_bit_exactly() {
+        let a = path3();
+        let x = DenseMatrix::from_rows(&[&[1.0, -2.0], &[3.0, -4.0], &[5.0, -6.0]]).unwrap();
+        let bias = [0.25, -0.5];
+        let unfused = a.spmm(&x).unwrap().add_row_broadcast(&bias).unwrap();
+        let fused = a.spmm_fused(&x, Epilogue::Bias(&bias)).unwrap();
+        assert_eq!(fused, unfused);
+        let mut unfused_relu = unfused;
+        unfused_relu.map_inplace(|v| v.max(0.0));
+        let fused_relu = a.spmm_fused(&x, Epilogue::BiasRelu(&bias)).unwrap();
+        assert_eq!(fused_relu, unfused_relu);
+        // Into-variant on a dirty buffer, and bias-length validation.
+        let mut out = DenseMatrix::filled(3, 2, 9.0);
+        a.spmm_fused_into(&x, &mut out, Epilogue::BiasRelu(&bias))
+            .unwrap();
+        assert_eq!(out, fused_relu);
+        assert!(a.spmm_fused(&x, Epilogue::Bias(&[1.0])).is_err());
     }
 
     #[test]

@@ -166,10 +166,27 @@ impl ConvLayer {
         input: &DenseMatrix,
         ws: &mut Workspace,
     ) -> Result<ConvForward, NnError> {
+        self.forward_fused(adj, input, false, ws)
+    }
+
+    /// Forward pass with the bias — and, when `fuse_relu` is set, the
+    /// ReLU — fused into the layer's output epilogue instead of running
+    /// as separate passes (see [`crate::GcnLayer::forward_fused`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<ConvForward, NnError> {
         Ok(match self {
-            ConvLayer::Gcn(l) => ConvForward::Gcn(l.forward_ws(adj, input, ws)?),
-            ConvLayer::Sage(l) => ConvForward::Sage(l.forward_ws(adj, input, ws)?),
-            ConvLayer::Gat(l) => ConvForward::Gat(l.forward_ws(adj, input, ws)?),
+            ConvLayer::Gcn(l) => ConvForward::Gcn(l.forward_fused(adj, input, fuse_relu, ws)?),
+            ConvLayer::Sage(l) => ConvForward::Sage(l.forward_fused(adj, input, fuse_relu, ws)?),
+            ConvLayer::Gat(l) => ConvForward::Gat(l.forward_fused(adj, input, fuse_relu, ws)?),
         })
     }
 
@@ -188,10 +205,27 @@ impl ConvLayer {
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
+        self.backward_ws(cache, input, adj, d_output, &mut Workspace::new())
+    }
+
+    /// [`ConvLayer::backward`] drawing gradient scratch and GEMM
+    /// packing buffers from `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvLayer::backward`].
+    pub fn backward_ws(
+        &mut self,
+        cache: &ConvForward,
+        input: &DenseMatrix,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix, NnError> {
         match (self, cache) {
-            (ConvLayer::Gcn(l), ConvForward::Gcn(_)) => l.backward(input, adj, d_output),
-            (ConvLayer::Sage(l), ConvForward::Sage(c)) => l.backward(c, adj, d_output),
-            (ConvLayer::Gat(l), ConvForward::Gat(c)) => l.backward(c, input, adj, d_output),
+            (ConvLayer::Gcn(l), ConvForward::Gcn(_)) => l.backward_ws(input, adj, d_output, ws),
+            (ConvLayer::Sage(l), ConvForward::Sage(c)) => l.backward_ws(c, adj, d_output, ws),
+            (ConvLayer::Gat(l), ConvForward::Gat(c)) => l.backward_ws(c, input, adj, d_output, ws),
             _ => Err(NnError::InvalidArchitecture {
                 reason: "forward cache does not match this layer's architecture".into(),
             }),

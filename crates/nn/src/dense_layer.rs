@@ -1,5 +1,8 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, matmul_into, DenseMatrix, Workspace};
+use linalg::{
+    matmul_a_bt_into_ws, matmul_at_b_into_ws, matmul_fused_into_ws, DenseMatrix, Epilogue,
+    Workspace,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -89,13 +92,11 @@ impl DenseLayer {
     ///
     /// Returns [`NnError::Linalg`] if `input.cols() != in_dim`.
     pub fn forward(&self, input: &DenseMatrix) -> Result<DenseForward, NnError> {
-        let mut output = matmul(input, &self.weight.value)?;
-        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
-        Ok(DenseForward { output })
+        self.forward_fused(input, false, &mut Workspace::new())
     }
 
-    /// Forward pass drawing the output buffer from `ws` (see
-    /// [`crate::GcnLayer::forward_ws`]).
+    /// Forward pass drawing the output buffer and the GEMM packing
+    /// buffers from `ws` (see [`crate::GcnLayer::forward_ws`]).
     ///
     /// # Errors
     ///
@@ -105,14 +106,37 @@ impl DenseLayer {
         input: &DenseMatrix,
         ws: &mut Workspace,
     ) -> Result<DenseForward, NnError> {
+        self.forward_fused(input, false, ws)
+    }
+
+    /// Forward pass with the bias — and, when `fuse_relu` is set, the
+    /// ReLU — fused into the GEMM epilogue, applied while each output
+    /// tile is still register-resident (see
+    /// [`crate::GcnLayer::forward_fused`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseLayer::forward`].
+    pub fn forward_fused(
+        &self,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<DenseForward, NnError> {
+        let bias = self.bias.value.row(0);
+        let epilogue = if fuse_relu {
+            Epilogue::BiasRelu(bias)
+        } else {
+            Epilogue::Bias(bias)
+        };
         let mut output = ws.take_for_overwrite(input.rows(), self.out_dim);
-        matmul_into(input, &self.weight.value, &mut output)?;
-        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
+        matmul_fused_into_ws(input, &self.weight.value, &mut output, epilogue, ws)?;
         Ok(DenseForward { output })
     }
 
     /// Backward pass; given the layer's forward `input`, accumulates
-    /// parameter gradients and returns `∂L/∂H = ∂L/∂Z · Wᵀ`.
+    /// parameter gradients and returns `∂L/∂H = ∂L/∂Z · Wᵀ`. Both
+    /// products use the packed engine's transpose-free views.
     ///
     /// # Errors
     ///
@@ -122,12 +146,30 @@ impl DenseLayer {
         input: &DenseMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
-        let d_w = matmul(&input.transpose(), d_output)?;
+        self.backward_ws(input, d_output, &mut Workspace::new())
+    }
+
+    /// [`DenseLayer::backward`] drawing gradient scratch and GEMM
+    /// packing buffers from `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseLayer::backward`].
+    pub fn backward_ws(
+        &mut self,
+        input: &DenseMatrix,
+        d_output: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix, NnError> {
+        let mut d_w = ws.take_for_overwrite(self.in_dim, self.out_dim);
+        matmul_at_b_into_ws(input, d_output, &mut d_w, ws)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
+        ws.give(d_w);
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
         self.bias.grad.add_scaled(&d_b, 1.0)?;
-        let d_input = matmul(d_output, &self.weight.value.transpose())?;
+        let mut d_input = ws.take_for_overwrite(input.rows(), self.in_dim);
+        matmul_a_bt_into_ws(d_output, &self.weight.value, &mut d_input, ws)?;
         Ok(d_input)
     }
 }

@@ -1,5 +1,8 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, matmul_into, CsrMatrix, DenseMatrix, Workspace};
+use linalg::{
+    matmul_a_bt_into_ws, matmul_at_b_into_ws, matmul_fused_into_ws, CsrMatrix, DenseMatrix,
+    Epilogue, Workspace,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -164,6 +167,24 @@ impl GatLayer {
         input: &DenseMatrix,
         ws: &mut Workspace,
     ) -> Result<GatForward, NnError> {
+        self.forward_fused(adj, input, false, ws)
+    }
+
+    /// Forward pass applying bias — and, when `fuse_relu` is set, the
+    /// ReLU — inside the per-node aggregation loop while the output row
+    /// is hot (the attention analogue of
+    /// [`crate::GcnLayer::forward_fused`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GatLayer::forward`].
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<GatForward, NnError> {
         if adj.rows() != input.rows() || adj.cols() != input.rows() {
             return Err(NnError::Linalg(linalg::LinalgError::ShapeMismatch {
                 op: "gat_forward",
@@ -173,7 +194,7 @@ impl GatLayer {
         }
         let n = input.rows();
         let mut wh = ws.take_for_overwrite(n, self.out_dim);
-        matmul_into(input, &self.weight.value, &mut wh)?;
+        matmul_fused_into_ws(input, &self.weight.value, &mut wh, Epilogue::None, ws)?;
         // s_i = a_src · wh_i, t_j = a_dst · wh_j.
         let a_src = self.attn_src.value.row(0);
         let a_dst = self.attn_dst.value.row(0);
@@ -221,6 +242,9 @@ impl GatLayer {
             }
             for (o, b) in orow.iter_mut().zip(self.bias.value.row(0)) {
                 *o += b;
+                if fuse_relu {
+                    *o = o.max(0.0);
+                }
             }
         }
         Ok(GatForward {
@@ -233,7 +257,8 @@ impl GatLayer {
 
     /// Backward pass through attention, softmax, and projection; given
     /// the layer's forward `input`, accumulates all four parameter
-    /// gradients and returns `∂L/∂H`.
+    /// gradients and returns `∂L/∂H`. The projection gradients use the
+    /// packed engine's transpose-free views.
     ///
     /// # Errors
     ///
@@ -245,9 +270,26 @@ impl GatLayer {
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
+        self.backward_ws(cache, input, adj, d_output, &mut Workspace::new())
+    }
+
+    /// [`GatLayer::backward`] drawing gradient scratch and GEMM packing
+    /// buffers from `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GatLayer::backward`].
+    pub fn backward_ws(
+        &mut self,
+        cache: &GatForward,
+        input: &DenseMatrix,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix, NnError> {
         let n = input.rows();
         let out_dim = self.out_dim;
-        let mut d_wh = DenseMatrix::zeros(n, out_dim);
+        let mut d_wh = ws.take(n, out_dim);
         let mut d_s = vec![0.0f32; n];
         let mut d_t = vec![0.0f32; n];
         let flat_alpha = cache.alpha.as_slice();
@@ -308,12 +350,16 @@ impl GatLayer {
             .grad
             .add_scaled(&DenseMatrix::from_vec(1, out_dim, d_a_dst)?, 1.0)?;
 
-        let d_w = matmul(&input.transpose(), &d_wh)?;
+        let mut d_w = ws.take_for_overwrite(self.in_dim, out_dim);
+        matmul_at_b_into_ws(input, &d_wh, &mut d_w, ws)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
+        ws.give(d_w);
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
         self.bias.grad.add_scaled(&d_b, 1.0)?;
-        let d_input = matmul(&d_wh, &self.weight.value.transpose())?;
+        let mut d_input = ws.take_for_overwrite(n, self.in_dim);
+        matmul_a_bt_into_ws(&d_wh, &self.weight.value, &mut d_input, ws)?;
+        ws.give(d_wh);
         Ok(d_input)
     }
 }

@@ -1,5 +1,8 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul, matmul_into, CsrMatrix, DenseMatrix, Workspace};
+use linalg::{
+    matmul_a_bt_into_ws, matmul_at_b_into_ws, matmul_fused_into_ws, CsrMatrix, DenseMatrix,
+    Epilogue, Workspace,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -112,15 +115,13 @@ impl GcnLayer {
     /// Returns [`NnError::Linalg`] if `adj`, `input`, and the layer
     /// dimensions are inconsistent.
     pub fn forward(&self, adj: &CsrMatrix, input: &DenseMatrix) -> Result<GcnForward, NnError> {
-        let xw = matmul(input, &self.weight.value)?;
-        let mut output = adj.spmm(&xw)?;
-        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
-        Ok(GcnForward { output })
+        self.forward_fused(adj, input, false, &mut Workspace::new())
     }
 
-    /// Forward pass drawing the projection scratch (`H W`) and the
-    /// output from `ws`, so a training loop that gives buffers back
-    /// each epoch runs allocation-free in steady state.
+    /// Forward pass drawing the projection scratch (`H W`), the output,
+    /// and the GEMM packing buffers from `ws`, so a training loop that
+    /// gives buffers back each epoch runs allocation-free in steady
+    /// state.
     ///
     /// # Errors
     ///
@@ -131,12 +132,38 @@ impl GcnLayer {
         input: &DenseMatrix,
         ws: &mut Workspace,
     ) -> Result<GcnForward, NnError> {
+        self.forward_fused(adj, input, false, ws)
+    }
+
+    /// Forward pass with the bias — and, when `fuse_relu` is set, the
+    /// ReLU activation — fused into the sparse aggregation's epilogue,
+    /// so no separate broadcast or activation pass touches the output.
+    ///
+    /// With `fuse_relu` the returned output is *post-activation*; the
+    /// network containers feed it to the next layer directly instead of
+    /// copying and ReLU-ing it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnLayer::forward`].
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<GcnForward, NnError> {
         let mut xw = ws.take_for_overwrite(input.rows(), self.out_dim);
-        matmul_into(input, &self.weight.value, &mut xw)?;
+        matmul_fused_into_ws(input, &self.weight.value, &mut xw, Epilogue::None, ws)?;
+        let bias = self.bias.value.row(0);
+        let epilogue = if fuse_relu {
+            Epilogue::BiasRelu(bias)
+        } else {
+            Epilogue::Bias(bias)
+        };
         let mut output = ws.take_for_overwrite(adj.rows(), self.out_dim);
-        adj.spmm_into(&xw, &mut output)?;
+        adj.spmm_fused_into(&xw, &mut output, epilogue)?;
         ws.give(xw);
-        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
         Ok(GcnForward { output })
     }
 
@@ -148,6 +175,10 @@ impl GcnLayer {
     /// `∂L/∂(HW) = Âᵀ ∂L/∂Z`, `∂L/∂W = Hᵀ Âᵀ ∂L/∂Z`,
     /// `∂L/∂H = (Âᵀ ∂L/∂Z) Wᵀ`, `∂L/∂b = Σ_rows ∂L/∂Z`.
     ///
+    /// Both transposed products run through the packed engine's
+    /// transpose-free views ([`linalg::matmul_at_b`] /
+    /// [`linalg::matmul_a_bt`]) — no transpose is materialized.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::Linalg`] on shape inconsistencies between
@@ -158,14 +189,35 @@ impl GcnLayer {
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
+        self.backward_ws(input, adj, d_output, &mut Workspace::new())
+    }
+
+    /// [`GcnLayer::backward`] drawing every gradient scratch buffer and
+    /// the GEMM packing buffers from `ws` (the returned `∂L/∂H` is also
+    /// workspace-backed; give it back when consumed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnLayer::backward`].
+    pub fn backward_ws(
+        &mut self,
+        input: &DenseMatrix,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix, NnError> {
         // Âᵀ dZ (Â is symmetric for GCN but we use the general form).
         let d_xw = adj.spmm_transposed(d_output)?;
-        let d_w = matmul(&input.transpose(), &d_xw)?;
+        let mut d_w = ws.take_for_overwrite(self.in_dim, self.out_dim);
+        matmul_at_b_into_ws(input, &d_xw, &mut d_w, ws)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
+        ws.give(d_w);
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
         self.bias.grad.add_scaled(&d_b, 1.0)?;
-        let d_input = matmul(&d_xw, &self.weight.value.transpose())?;
+        let mut d_input = ws.take_for_overwrite(input.rows(), self.in_dim);
+        matmul_a_bt_into_ws(&d_xw, &self.weight.value, &mut d_input, ws)?;
+        ws.give(d_xw);
         Ok(d_input)
     }
 }

@@ -3,7 +3,38 @@ use linalg::{ops, CsrMatrix, DenseMatrix, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
+
+/// What a layer consumed during a fit epoch's forward pass.
+///
+/// With fused ReLU, a hidden layer's output already *is* the next
+/// layer's input, so dropout-free epochs borrow it directly instead of
+/// copying; only dropout-masked inputs are owned copies. The slot is
+/// resolved against the feature matrix and the previous layer's cache
+/// at use time, which sidesteps holding borrows into the cache vector
+/// while it is still being grown.
+enum FitInput {
+    /// The caller's feature matrix `X` (layer 0, no dropout).
+    Features,
+    /// The previous layer's (post-activation) output, borrowed.
+    PrevOutput,
+    /// An owned, dropout-masked copy.
+    Owned(DenseMatrix),
+}
+
+impl FitInput {
+    /// Resolves to the tensor the layer consumed.
+    fn resolve<'a>(
+        &'a self,
+        x: &'a DenseMatrix,
+        prev_output: Option<&'a DenseMatrix>,
+    ) -> &'a DenseMatrix {
+        match self {
+            FitInput::Features => x,
+            FitInput::PrevOutput => prev_output.expect("layer > 0 has a previous output"),
+            FitInput::Owned(m) => m,
+        }
+    }
+}
 
 /// Training hyperparameters shared by [`GcnNetwork`] and [`MlpNetwork`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,15 +152,18 @@ impl GcnNetwork {
         adj: &CsrMatrix,
         x: &DenseMatrix,
     ) -> Result<Vec<DenseMatrix>, NnError> {
+        // Hidden activations come out of the fused forward already
+        // ReLU-ed (applied in the aggregation epilogue) — no separate
+        // activation pass, no copies. The workspace recycles GEMM
+        // packing and projection scratch across layers.
+        let mut ws = Workspace::new();
         let mut embeddings: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let input = embeddings.last().unwrap_or(x);
-            let mut out = layer.forward(adj, input)?.output;
-            if i != last {
-                // Hidden activations are ReLU-ed in place; no copies.
-                out.map_inplace(|v| v.max(0.0));
-            }
+            let out = {
+                let input = embeddings.last().unwrap_or(x);
+                layer.forward_fused(adj, input, i != last, &mut ws)?.output
+            };
             embeddings.push(out);
         }
         Ok(embeddings)
@@ -173,39 +207,46 @@ impl GcnNetwork {
         let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut final_loss = f32::NAN;
-        // One workspace for the whole run: epoch N's activations and
-        // gradients are recycled as epoch N+1's buffers, so the steady
-        // state allocates nothing per step.
+        let last = self.layers.len() - 1;
+        // One workspace for the whole run: epoch N's activations,
+        // gradients, and GEMM packing buffers are recycled as epoch
+        // N+1's, so the steady state allocates nothing per step.
         let mut ws = Workspace::new();
         for _ in 0..cfg.epochs {
-            // Forward, keeping ownership of every layer's actual input
-            // (the backward pass consumes them by reference — layers
-            // never copy their inputs).
-            let mut inputs: Vec<Cow<'_, DenseMatrix>> = Vec::with_capacity(self.layers.len());
+            // Forward. Hidden layers fuse bias + ReLU into their output
+            // epilogue, so with dropout off each layer borrows its
+            // predecessor's output directly — no activation pass and no
+            // input copies at all. Dropout epochs copy (the mask must
+            // not corrupt the cached activation the backward reads).
+            let mut inputs: Vec<FitInput> = Vec::with_capacity(self.layers.len());
             let mut caches: Vec<crate::GcnForward> = Vec::with_capacity(self.layers.len());
             let mut dropout_masks: Vec<Option<DenseMatrix>> = Vec::with_capacity(self.layers.len());
-            for (i, layer) in self.layers.iter().enumerate() {
-                let mut input: Cow<'_, DenseMatrix> = if i == 0 {
-                    if cfg.dropout > 0.0 {
-                        Cow::Owned(ws.take_copy(x))
+            for i in 0..self.layers.len() {
+                let mut input = if cfg.dropout > 0.0 {
+                    FitInput::Owned(if i == 0 {
+                        ws.take_copy(x)
                     } else {
-                        Cow::Borrowed(x)
-                    }
+                        ws.take_copy(&caches[i - 1].output)
+                    })
+                } else if i == 0 {
+                    FitInput::Features
                 } else {
-                    let mut h = ws.take_copy(&caches[i - 1].output);
-                    h.map_inplace(|v| v.max(0.0));
-                    Cow::Owned(h)
+                    FitInput::PrevOutput
                 };
                 let mask = match &mut input {
-                    Cow::Owned(h) => apply_dropout(h, cfg.dropout, &mut rng, &mut ws),
-                    Cow::Borrowed(_) => None, // dropout disabled
+                    FitInput::Owned(h) => apply_dropout(h, cfg.dropout, &mut rng, &mut ws),
+                    _ => None, // dropout disabled
                 };
                 dropout_masks.push(mask);
-                let cache = layer.forward_ws(adj, input.as_ref(), &mut ws)?;
+                let cache = {
+                    let prev = caches.last().map(|c: &crate::GcnForward| &c.output);
+                    let h = input.resolve(x, prev);
+                    self.layers[i].forward_fused(adj, h, i != last, &mut ws)?
+                };
                 inputs.push(input);
                 caches.push(cache);
             }
-            let logits = &caches[self.layers.len() - 1].output;
+            let logits = &caches[last].output;
             let (loss_value, grad) = loss::masked_cross_entropy(logits, labels, train_mask)?;
             final_loss = loss_value;
 
@@ -216,10 +257,19 @@ impl GcnNetwork {
             }
             let mut d = grad;
             for i in (0..self.layers.len()).rev() {
-                let d_input = self.layers[i].backward(&inputs[i], adj, &d)?;
+                let d_input = {
+                    let prev = if i > 0 {
+                        Some(&caches[i - 1].output)
+                    } else {
+                        None
+                    };
+                    let h = inputs[i].resolve(x, prev);
+                    self.layers[i].backward_ws(h, adj, &d, &mut ws)?
+                };
                 if i > 0 {
                     // Undo this layer's input dropout, then the previous
-                    // layer's ReLU.
+                    // layer's ReLU (the post-activation output masks
+                    // identically to the pre-activation tensor).
                     let mut d_masked = d_input;
                     if let Some(mask) = &dropout_masks[i] {
                         d_masked.hadamard_inplace(mask)?;
@@ -245,7 +295,7 @@ impl GcnNetwork {
                 ws.give(cache.output);
             }
             for input in inputs {
-                if let Cow::Owned(h) = input {
+                if let FitInput::Owned(h) = input {
                     ws.give(h);
                 }
             }
@@ -313,14 +363,15 @@ impl MlpNetwork {
     ///
     /// Returns [`NnError::Linalg`] on shape inconsistencies.
     pub fn forward_embeddings(&self, x: &DenseMatrix) -> Result<Vec<DenseMatrix>, NnError> {
+        // Fused bias + ReLU epilogues; see GcnNetwork::forward_embeddings.
+        let mut ws = Workspace::new();
         let mut embeddings: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let input = embeddings.last().unwrap_or(x);
-            let mut out = layer.forward(input)?.output;
-            if i != last {
-                out.map_inplace(|v| v.max(0.0));
-            }
+            let out = {
+                let input = embeddings.last().unwrap_or(x);
+                layer.forward_fused(input, i != last, &mut ws)?.output
+            };
             embeddings.push(out);
         }
         Ok(embeddings)
@@ -363,33 +414,40 @@ impl MlpNetwork {
         let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut final_loss = f32::NAN;
+        let last = self.layers.len() - 1;
         let mut ws = Workspace::new();
         for _ in 0..cfg.epochs {
-            let mut inputs: Vec<Cow<'_, DenseMatrix>> = Vec::with_capacity(self.layers.len());
+            // Same discipline as GcnNetwork::fit: fused epilogues, and
+            // input copies only when a dropout mask needs one.
+            let mut inputs: Vec<FitInput> = Vec::with_capacity(self.layers.len());
             let mut caches: Vec<crate::DenseForward> = Vec::with_capacity(self.layers.len());
             let mut dropout_masks: Vec<Option<DenseMatrix>> = Vec::with_capacity(self.layers.len());
-            for (i, layer) in self.layers.iter().enumerate() {
-                let mut input: Cow<'_, DenseMatrix> = if i == 0 {
-                    if cfg.dropout > 0.0 {
-                        Cow::Owned(ws.take_copy(x))
+            for i in 0..self.layers.len() {
+                let mut input = if cfg.dropout > 0.0 {
+                    FitInput::Owned(if i == 0 {
+                        ws.take_copy(x)
                     } else {
-                        Cow::Borrowed(x)
-                    }
+                        ws.take_copy(&caches[i - 1].output)
+                    })
+                } else if i == 0 {
+                    FitInput::Features
                 } else {
-                    let mut h = ws.take_copy(&caches[i - 1].output);
-                    h.map_inplace(|v| v.max(0.0));
-                    Cow::Owned(h)
+                    FitInput::PrevOutput
                 };
                 let mask = match &mut input {
-                    Cow::Owned(h) => apply_dropout(h, cfg.dropout, &mut rng, &mut ws),
-                    Cow::Borrowed(_) => None, // dropout disabled
+                    FitInput::Owned(h) => apply_dropout(h, cfg.dropout, &mut rng, &mut ws),
+                    _ => None, // dropout disabled
                 };
                 dropout_masks.push(mask);
-                let cache = layer.forward_ws(input.as_ref(), &mut ws)?;
+                let cache = {
+                    let prev = caches.last().map(|c: &crate::DenseForward| &c.output);
+                    let h = input.resolve(x, prev);
+                    self.layers[i].forward_fused(h, i != last, &mut ws)?
+                };
                 inputs.push(input);
                 caches.push(cache);
             }
-            let logits = &caches[self.layers.len() - 1].output;
+            let logits = &caches[last].output;
             let (loss_value, grad) = loss::masked_cross_entropy(logits, labels, train_mask)?;
             final_loss = loss_value;
 
@@ -399,7 +457,15 @@ impl MlpNetwork {
             }
             let mut d = grad;
             for i in (0..self.layers.len()).rev() {
-                let d_input = self.layers[i].backward(&inputs[i], &d)?;
+                let d_input = {
+                    let prev = if i > 0 {
+                        Some(&caches[i - 1].output)
+                    } else {
+                        None
+                    };
+                    let h = inputs[i].resolve(x, prev);
+                    self.layers[i].backward_ws(h, &d, &mut ws)?
+                };
                 if i > 0 {
                     let mut d_masked = d_input;
                     if let Some(mask) = &dropout_masks[i] {
@@ -424,7 +490,7 @@ impl MlpNetwork {
                 ws.give(cache.output);
             }
             for input in inputs {
-                if let Cow::Owned(h) = input {
+                if let FitInput::Owned(h) = input {
                     ws.give(h);
                 }
             }

@@ -1,5 +1,8 @@
 use crate::{glorot_uniform, NnError, Param};
-use linalg::{matmul_into, CsrMatrix, DenseMatrix, Workspace};
+use linalg::{
+    matmul_a_bt_into_ws, matmul_at_b_into_ws, matmul_fused_into_ws, CsrMatrix, DenseMatrix,
+    Epilogue, Workspace,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -97,7 +100,7 @@ impl SageLayer {
     }
 
     /// Forward pass drawing the aggregation scratch, the concatenated
-    /// input, and the output from `ws` (see
+    /// input, the output, and the GEMM packing buffers from `ws` (see
     /// [`crate::GcnLayer::forward_ws`]).
     ///
     /// # Errors
@@ -109,14 +112,36 @@ impl SageLayer {
         input: &DenseMatrix,
         ws: &mut Workspace,
     ) -> Result<SageForward, NnError> {
+        self.forward_fused(adj, input, false, ws)
+    }
+
+    /// Forward pass with the bias — and, when `fuse_relu` is set, the
+    /// ReLU — fused into the GEMM epilogue (see
+    /// [`crate::GcnLayer::forward_fused`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SageLayer::forward`].
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<SageForward, NnError> {
         let mut aggregated = ws.take_for_overwrite(adj.rows(), input.cols());
         adj.spmm_into(input, &mut aggregated)?;
         let mut concat = ws.take_for_overwrite(input.rows(), 2 * input.cols());
         DenseMatrix::hconcat_into(&[input, &aggregated], &mut concat)?;
         ws.give(aggregated);
+        let bias = self.bias.value.row(0);
+        let epilogue = if fuse_relu {
+            Epilogue::BiasRelu(bias)
+        } else {
+            Epilogue::Bias(bias)
+        };
         let mut output = ws.take_for_overwrite(input.rows(), self.out_dim);
-        matmul_into(&concat, &self.weight.value, &mut output)?;
-        output.add_row_broadcast_inplace(self.bias.value.row(0))?;
+        matmul_fused_into_ws(&concat, &self.weight.value, &mut output, epilogue, ws)?;
         Ok(SageForward {
             output,
             cached_concat: concat,
@@ -125,6 +150,8 @@ impl SageLayer {
 
     /// Backward pass; accumulates parameter gradients and returns
     /// `∂L/∂H = (∂L/∂C)_self + Āᵀ (∂L/∂C)_agg` where `C = [H ‖ Ā H]`.
+    /// Both transposed products use the packed engine's transpose-free
+    /// views.
     ///
     /// # Errors
     ///
@@ -135,17 +162,38 @@ impl SageLayer {
         adj: &CsrMatrix,
         d_output: &DenseMatrix,
     ) -> Result<DenseMatrix, NnError> {
-        let d_w = linalg::matmul(&cache.cached_concat.transpose(), d_output)?;
+        self.backward_ws(cache, adj, d_output, &mut Workspace::new())
+    }
+
+    /// [`SageLayer::backward`] drawing gradient scratch and GEMM
+    /// packing buffers from `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SageLayer::backward`].
+    pub fn backward_ws(
+        &mut self,
+        cache: &SageForward,
+        adj: &CsrMatrix,
+        d_output: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix, NnError> {
+        let mut d_w = ws.take_for_overwrite(2 * self.in_dim, self.out_dim);
+        matmul_at_b_into_ws(&cache.cached_concat, d_output, &mut d_w, ws)?;
         self.weight.grad.add_scaled(&d_w, 1.0)?;
+        ws.give(d_w);
         let col_sums = d_output.column_sums();
         let d_b = DenseMatrix::from_vec(1, col_sums.len(), col_sums)?;
         self.bias.grad.add_scaled(&d_b, 1.0)?;
 
-        let d_concat = linalg::matmul(d_output, &self.weight.value.transpose())?;
+        let mut d_concat = ws.take_for_overwrite(d_output.rows(), 2 * self.in_dim);
+        matmul_a_bt_into_ws(d_output, &self.weight.value, &mut d_concat, ws)?;
         let d_self = d_concat.slice_cols(0, self.in_dim)?;
         let d_agg = d_concat.slice_cols(self.in_dim, 2 * self.in_dim)?;
+        ws.give(d_concat);
         let mut d_input = d_self;
         d_input.add_scaled(&adj.spmm_transposed(&d_agg)?, 1.0)?;
+        ws.give(d_agg);
         Ok(d_input)
     }
 }

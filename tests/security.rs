@@ -73,9 +73,8 @@ fn rectifier_activations_would_leak_if_exposed() {
             &surface::gnnvault_surface(&trained.backbone, &data.features).expect("Mgv"),
         )
         .expect("attack");
-    let auc_rectifier = attack
-        .run(&data.graph, &rect_fwd.activations)
-        .expect("attack");
+    let rect_activations: Vec<_> = rect_fwd.activations().cloned().collect();
+    let auc_rectifier = attack.run(&data.graph, &rect_activations).expect("attack");
     assert!(
         auc_rectifier > auc_backbone + 0.05,
         "rectifier activations ({auc_rectifier:.3}) carry more edge signal than the \
