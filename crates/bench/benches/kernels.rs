@@ -28,6 +28,7 @@ use linalg::{
     DenseMatrix, Epilogue, SpmmStrategy,
 };
 use nn::{GcnNetwork, TrainConfig};
+use serve::{BatchPolicy, ServeConfig, ServingEngine};
 
 /// Bytes moved by one `m×k · k×n` GEMM call (read A and B, write C).
 fn gemm_bytes(m: usize, k: usize, n: usize) -> u64 {
@@ -314,6 +315,54 @@ fn bench_serving_batch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serving_sharded(c: &mut Criterion) {
+    // End-to-end sharded-runtime throughput: one iteration pushes a
+    // fixed 256-query stream (single-node requests over the 512-node
+    // corpus) through a running engine and waits for every ticket.
+    // Caching is off so every batch does real enclave work; the rows
+    // compare identical streams at 1/2/4 shards. Per-iteration payload:
+    // one u64 node id in and one u64 label out per query.
+    const QUERIES: usize = 256;
+    let (vault, x) = serving_vault(512);
+    let mut group = c.benchmark_group("serving_sharded");
+    group.throughput(Throughput::Bytes(
+        (QUERIES * 2 * std::mem::size_of::<u64>()) as u64,
+    ));
+    for &shards in &[1usize, 2, 4] {
+        let engine = ServingEngine::start(
+            vault.spawn_replica().expect("replica"),
+            x.clone(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch_nodes: 64,
+                    max_delay: std::time::Duration::from_millis(1),
+                    max_queue_requests: 8192,
+                },
+                sessions: 2,
+                cache_capacity: 0,
+                shards,
+            },
+        );
+        let handle = engine.handle();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let tickets: Vec<_> = (0..QUERIES)
+                        .map(|i| handle.submit_one((i * 97) % 512).expect("admission"))
+                        .collect();
+                    for ticket in tickets {
+                        ticket.wait().expect("inference");
+                    }
+                })
+            },
+        );
+        engine.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -325,6 +374,7 @@ criterion_group!(
     bench_substitute_generation,
     bench_substitute_generation_4096,
     bench_pairwise_gram,
-    bench_serving_batch
+    bench_serving_batch,
+    bench_serving_sharded
 );
 criterion_main!(benches);

@@ -15,6 +15,12 @@ pub enum VaultError {
         /// Description of the problem.
         reason: String,
     },
+    /// A vault snapshot could not be decoded (truncated, corrupt, or
+    /// internally inconsistent payload).
+    Snapshot {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VaultError {
@@ -24,6 +30,7 @@ impl fmt::Display for VaultError {
             VaultError::Graph(e) => write!(f, "graph failure: {e}"),
             VaultError::Tee(e) => write!(f, "enclave failure: {e}"),
             VaultError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            VaultError::Snapshot { reason } => write!(f, "invalid vault snapshot: {reason}"),
         }
     }
 }
@@ -34,7 +41,7 @@ impl Error for VaultError {
             VaultError::Nn(e) => Some(e),
             VaultError::Graph(e) => Some(e),
             VaultError::Tee(e) => Some(e),
-            VaultError::InvalidConfig { .. } => None,
+            VaultError::InvalidConfig { .. } | VaultError::Snapshot { .. } => None,
         }
     }
 }

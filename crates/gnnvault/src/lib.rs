@@ -62,6 +62,7 @@ mod model;
 mod original;
 pub mod pipeline;
 mod rectifier;
+mod snapshot;
 mod substitute;
 mod vault;
 
@@ -70,5 +71,6 @@ pub use error::VaultError;
 pub use model::ModelConfig;
 pub use original::OriginalGnn;
 pub use rectifier::{Rectifier, RectifierKind};
+pub use snapshot::VaultSnapshot;
 pub use substitute::SubstituteKind;
 pub use vault::{InferenceReport, Vault};

@@ -222,9 +222,15 @@ pub fn deploy(trained: TrainedGnnVault, data: &CitationDataset) -> Result<Vault,
         tee::SGX_EPC_BYTES,
         CostModel::default(),
         OverBudgetPolicy::Fail,
-        SealKey(0x006E_6E76_6175_6C74_u128),
+        DEPLOY_SEAL_KEY,
     )
 }
+
+/// The fixed sealing key [`deploy`] uses (a real platform would derive
+/// it from hardware fuses). Exposed so harness code can unseal what the
+/// pipeline sealed — e.g. restore a [`VaultSnapshot`](crate::VaultSnapshot)
+/// taken from a pipeline-deployed vault.
+pub const DEPLOY_SEAL_KEY: SealKey = SealKey(0x006E_6E76_6175_6C74_u128);
 
 #[cfg(test)]
 mod tests {

@@ -280,6 +280,23 @@ impl Rectifier {
         self.kind
     }
 
+    /// Backbone layer widths this rectifier was wired against
+    /// (crate-internal: snapshot encoding).
+    pub(crate) fn backbone_dims(&self) -> &[usize] {
+        &self.backbone_dims
+    }
+
+    /// Borrow of the layer stack (crate-internal: snapshot encoding).
+    pub(crate) fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Mutable borrow of the layer stack (crate-internal: snapshot
+    /// decoding restores parameter values through it).
+    pub(crate) fn layers_mut(&mut self) -> &mut [ConvLayer] {
+        &mut self.layers
+    }
+
     /// Number of layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()

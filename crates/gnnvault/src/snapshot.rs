@@ -1,0 +1,845 @@
+//! Sealed vault snapshots: a deterministic byte serialization of a
+//! trained, deployed [`Vault`](crate::Vault).
+//!
+//! A snapshot captures everything a replica needs to answer queries
+//! bit-identically to the source vault — backbone weights (and the
+//! public substitute graph), rectifier weights, the tap-set wiring, the
+//! private real graph, and the deployment's enclave configuration
+//! (EPC budget, cost model, over-budget policy) — but *not* the public
+//! feature corpus, which lives in the untrusted world and is supplied
+//! at serving time.
+//!
+//! The payload is sealed with [`tee::Sealed`] under a key derived from
+//! the deployment's [`SealKey`](tee::SealKey) (purpose
+//! `"vault-snapshot"`), mirroring SGX sealing-for-migration: the bytes
+//! can sit on untrusted storage or cross to another worker, and only a
+//! holder of the deployment key can rehydrate them
+//! ([`Vault::restore`](crate::Vault::restore)). Encoding is
+//! deterministic — same vault, same bytes — and restoration preserves
+//! the source vault's epoch, so replicas of one snapshot share a cache
+//! identity: `(epoch, node)` keys mean the same answer on every
+//! replica.
+//!
+//! Layout (versionless little-endian, like [`tee::codec`]; both sides
+//! are always built from the same binary):
+//!
+//! ```text
+//! magic u64 | epoch u64 | num_nodes u64
+//! epc_budget u64 | cost{transition,per_byte,page_swap,slowdown} u64×4
+//! policy u8
+//! backbone: tag u8 (0 GCN, 1 MLP)
+//!   GCN: substitute kind (tag u8 + payload) | substitute graph | network
+//!   MLP: network
+//! rectifier: kind u8 | conv u8 | backbone_dims | channels | taps
+//!   | per-layer params (count u64, matrices)
+//! real graph: num_edges u64 | (u,v) u64 pairs
+//! ```
+//!
+//! where `network` is `input_dim u64 | layers u64 | per layer (in u64,
+//! out u64, weight matrix, bias matrix)`, a matrix is `rows u64 | cols
+//! u64 | f32-LE data`, and a graph is `num_nodes u64 | num_edges u64 |
+//! (u,v) u64 pairs`.
+
+use crate::{Backbone, Rectifier, RectifierKind, SubstituteKind, VaultError};
+use graph::Graph;
+use linalg::DenseMatrix;
+use nn::{ConvKind, GcnNetwork, MlpNetwork};
+use tee::{CostModel, OverBudgetPolicy, Sealed};
+
+/// Format marker at offset 0 of every snapshot payload.
+const MAGIC: u64 = 0x4756_5F53_4E41_5031; // "GV_SNAP1"
+
+/// A sealed, deployable image of a trained vault.
+///
+/// Produced by [`Vault::snapshot`](crate::Vault::snapshot); consumed by
+/// [`Vault::restore`](crate::Vault::restore). The epoch and corpus size
+/// are exposed in the clear (they are serving-layer routing metadata,
+/// not secrets — the untrusted world already knows both); everything
+/// else, including the private real graph and rectifier weights, lives
+/// only inside the sealed payload.
+///
+/// # Examples
+///
+/// See [`Vault::snapshot`](crate::Vault::snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VaultSnapshot {
+    epoch: u64,
+    num_nodes: usize,
+    sealed: Sealed,
+}
+
+impl VaultSnapshot {
+    /// Deployment epoch of the source vault. Restored replicas keep it,
+    /// so caches keyed `(epoch, node)` stay coherent across replicas of
+    /// the same snapshot and miss across different models.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes in the snapshotted deployment's real graph (and
+    /// therefore the row count the serving corpus must have).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Size of the sealed payload in bytes.
+    pub fn sealed_nbytes(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Wraps an already-sealed payload (crate-internal; use
+    /// [`Vault::snapshot`](crate::Vault::snapshot)).
+    pub(crate) fn from_parts(epoch: u64, num_nodes: usize, sealed: Sealed) -> Self {
+        Self {
+            epoch,
+            num_nodes,
+            sealed,
+        }
+    }
+
+    /// The sealed payload (crate-internal; `Vault::restore` unseals it).
+    pub(crate) fn sealed(&self) -> &Sealed {
+        &self.sealed
+    }
+}
+
+/// Everything [`Vault::restore`](crate::Vault::restore) needs to rebuild
+/// a deployment from a decoded payload.
+pub(crate) struct DecodedVault {
+    pub epoch: u64,
+    pub epc_budget: usize,
+    pub cost: CostModel,
+    pub policy: OverBudgetPolicy,
+    pub backbone: Backbone,
+    pub rectifier: Rectifier,
+    pub real_graph: Graph,
+}
+
+/// Shorthand for decode failures.
+fn bad(reason: impl Into<String>) -> VaultError {
+    VaultError::Snapshot {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte writer / reader
+// ---------------------------------------------------------------------
+
+/// Append-only little-endian payload writer.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_usizes(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+
+    fn put_matrix(&mut self, m: &DenseMatrix) {
+        self.put_usize(m.rows());
+        self.put_usize(m.cols());
+        for &v in m.as_slice() {
+            self.put_f32(v);
+        }
+    }
+
+    fn put_graph(&mut self, g: &Graph) {
+        self.put_usize(g.num_nodes());
+        self.put_usize(g.num_edges());
+        for &(u, v) in g.edges() {
+            self.put_usize(u);
+            self.put_usize(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], VaultError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| bad("payload truncated"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), VaultError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    fn get_u8(&mut self) -> Result<u8, VaultError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u64(&mut self) -> Result<u64, VaultError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn get_usize(&mut self) -> Result<usize, VaultError> {
+        usize::try_from(self.get_u64()?).map_err(|_| bad("length overflows usize"))
+    }
+
+    fn get_f32(&mut self) -> Result<f32, VaultError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, VaultError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn get_usizes(&mut self) -> Result<Vec<usize>, VaultError> {
+        let len = self.get_usize()?;
+        // Cheap sanity bound: each element needs 8 payload bytes.
+        if len > self.buf.len() / 8 + 1 {
+            return Err(bad(format!("implausible list length {len}")));
+        }
+        (0..len).map(|_| self.get_usize()).collect()
+    }
+
+    fn get_matrix(&mut self) -> Result<DenseMatrix, VaultError> {
+        let rows = self.get_usize()?;
+        let cols = self.get_usize()?;
+        let n = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= self.buf.len() / 4 + 1)
+            .ok_or_else(|| bad("implausible matrix dimensions"))?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.get_f32()?);
+        }
+        DenseMatrix::from_vec(rows, cols, data).map_err(|e| bad(e.to_string()))
+    }
+
+    fn get_graph(&mut self) -> Result<Graph, VaultError> {
+        let num_nodes = self.get_usize()?;
+        let num_edges = self.get_usize()?;
+        if num_edges > self.buf.len() / 16 + 1 {
+            return Err(bad(format!("implausible edge count {num_edges}")));
+        }
+        let mut pairs = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            pairs.push((self.get_usize()?, self.get_usize()?));
+        }
+        Graph::from_edges(num_nodes, &pairs).map_err(|e| bad(e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Encodes a deployment into the deterministic snapshot payload
+/// (pre-sealing).
+pub(crate) fn encode(
+    epoch: u64,
+    epc_budget: usize,
+    cost: &CostModel,
+    policy: OverBudgetPolicy,
+    backbone: &Backbone,
+    rectifier: &Rectifier,
+    real_graph: &Graph,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(MAGIC);
+    w.put_u64(epoch);
+    w.put_usize(real_graph.num_nodes());
+    w.put_usize(epc_budget);
+    w.put_u64(cost.transition_ns);
+    w.put_u64(cost.per_byte_ns);
+    w.put_u64(cost.page_swap_ns);
+    w.put_u64(cost.compute_slowdown_pct as u64);
+    w.put_u8(match policy {
+        OverBudgetPolicy::Swap => 0,
+        OverBudgetPolicy::Fail => 1,
+    });
+
+    match backbone {
+        Backbone::Gcn {
+            network,
+            substitute_graph,
+            kind,
+            ..
+        } => {
+            w.put_u8(0);
+            encode_substitute_kind(&mut w, kind);
+            w.put_graph(substitute_graph);
+            w.put_usize(network.input_dim());
+            w.put_usize(network.num_layers());
+            for layer in network.layers() {
+                w.put_usize(layer.in_dim());
+                w.put_usize(layer.out_dim());
+                w.put_matrix(&layer.weight().value);
+                w.put_matrix(&layer.bias().value);
+            }
+        }
+        Backbone::Mlp { network } => {
+            w.put_u8(1);
+            w.put_usize(network.input_dim());
+            w.put_usize(network.num_layers());
+            for layer in network.layers() {
+                w.put_usize(layer.in_dim());
+                w.put_usize(layer.out_dim());
+                w.put_matrix(&layer.weight().value);
+                w.put_matrix(&layer.bias().value);
+            }
+        }
+    }
+
+    w.put_u8(match rectifier.kind() {
+        RectifierKind::Parallel => 0,
+        RectifierKind::Cascaded => 1,
+        RectifierKind::Series => 2,
+    });
+    w.put_u8(match rectifier.layers()[0].kind() {
+        ConvKind::Gcn => 0,
+        ConvKind::Sage => 1,
+        ConvKind::Gat => 2,
+    });
+    w.put_usizes(rectifier.backbone_dims());
+    w.put_usizes(&rectifier.channel_dims());
+    w.put_usizes(&rectifier.tap_indices());
+    for layer in rectifier.layers() {
+        let params = layer.params();
+        w.put_usize(params.len());
+        for p in params {
+            w.put_matrix(&p.value);
+        }
+    }
+
+    w.put_usize(real_graph.num_edges());
+    for &(u, v) in real_graph.edges() {
+        w.put_usize(u);
+        w.put_usize(v);
+    }
+    w.buf
+}
+
+fn encode_substitute_kind(w: &mut Writer, kind: &SubstituteKind) {
+    match *kind {
+        SubstituteKind::Dnn => w.put_u8(0),
+        SubstituteKind::Knn { k } => {
+            w.put_u8(1);
+            w.put_usize(k);
+        }
+        SubstituteKind::CosineThreshold { tau } => {
+            w.put_u8(2);
+            w.put_f32(tau);
+        }
+        SubstituteKind::CosineBudget => w.put_u8(3),
+        SubstituteKind::Random { ratio } => {
+            w.put_u8(4);
+            w.put_f64(ratio);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Decodes a snapshot payload back into deployment parts, validating
+/// every shape against the reconstructed architecture.
+pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
+    let mut r = Reader::new(payload);
+    if r.get_u64()? != MAGIC {
+        return Err(bad("bad magic: not a vault snapshot"));
+    }
+    let epoch = r.get_u64()?;
+    let num_nodes = r.get_usize()?;
+    let epc_budget = r.get_usize()?;
+    let cost = CostModel {
+        transition_ns: r.get_u64()?,
+        per_byte_ns: r.get_u64()?,
+        page_swap_ns: r.get_u64()?,
+        compute_slowdown_pct: u32::try_from(r.get_u64()?)
+            .map_err(|_| bad("compute slowdown overflows u32"))?,
+    };
+    let policy = match r.get_u8()? {
+        0 => OverBudgetPolicy::Swap,
+        1 => OverBudgetPolicy::Fail,
+        t => return Err(bad(format!("unknown over-budget policy tag {t}"))),
+    };
+
+    let backbone = match r.get_u8()? {
+        0 => {
+            let kind = decode_substitute_kind(&mut r)?;
+            let substitute_graph = r.get_graph()?;
+            let (input_dim, channels, weights) = decode_network_params(&mut r)?;
+            let mut network = GcnNetwork::new(input_dim, &channels, 0)?;
+            for (layer, (weight, bias)) in network.layers_mut().iter_mut().zip(weights) {
+                restore_value(layer.weight_mut(), weight, "backbone weight")?;
+                restore_value(layer.bias_mut(), bias, "backbone bias")?;
+            }
+            let substitute_adj = graph::normalization::gcn_normalize(&substitute_graph);
+            Backbone::Gcn {
+                network,
+                substitute_graph,
+                substitute_adj,
+                kind,
+            }
+        }
+        1 => {
+            let (input_dim, channels, weights) = decode_network_params(&mut r)?;
+            let mut network = MlpNetwork::new(input_dim, &channels, 0)?;
+            for (layer, (weight, bias)) in network.layers_mut().iter_mut().zip(weights) {
+                restore_value(layer.weight_mut(), weight, "backbone weight")?;
+                restore_value(layer.bias_mut(), bias, "backbone bias")?;
+            }
+            Backbone::Mlp { network }
+        }
+        t => return Err(bad(format!("unknown backbone tag {t}"))),
+    };
+
+    let kind = match r.get_u8()? {
+        0 => RectifierKind::Parallel,
+        1 => RectifierKind::Cascaded,
+        2 => RectifierKind::Series,
+        t => return Err(bad(format!("unknown rectifier kind tag {t}"))),
+    };
+    let conv = match r.get_u8()? {
+        0 => ConvKind::Gcn,
+        1 => ConvKind::Sage,
+        2 => ConvKind::Gat,
+        t => return Err(bad(format!("unknown convolution tag {t}"))),
+    };
+    let backbone_dims = r.get_usizes()?;
+    if backbone_dims != backbone.channel_dims() {
+        return Err(bad(
+            "rectifier wiring disagrees with the decoded backbone's layer widths",
+        ));
+    }
+    let channels = r.get_usizes()?;
+    let taps = r.get_usizes()?;
+    let mut rectifier = Rectifier::new_with_conv(kind, conv, &channels, &backbone_dims, 0)?;
+    if rectifier.tap_indices() != taps {
+        return Err(bad(
+            "encoded tap-set disagrees with the reconstructed wiring",
+        ));
+    }
+    for layer in rectifier.layers_mut() {
+        let count = r.get_usize()?;
+        let mut params = layer.params_mut();
+        if count != params.len() {
+            return Err(bad(format!(
+                "rectifier layer has {} parameters, payload carries {count}",
+                params.len()
+            )));
+        }
+        for p in params.iter_mut() {
+            let value = r.get_matrix()?;
+            restore_value(p, value, "rectifier parameter")?;
+        }
+    }
+
+    let num_edges = r.get_usize()?;
+    if num_edges > payload.len() / 16 + 1 {
+        return Err(bad(format!("implausible edge count {num_edges}")));
+    }
+    let mut pairs = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        pairs.push((r.get_usize()?, r.get_usize()?));
+    }
+    let real_graph = Graph::from_edges(num_nodes, &pairs).map_err(|e| bad(e.to_string()))?;
+    r.finish()?;
+
+    Ok(DecodedVault {
+        epoch,
+        epc_budget,
+        cost,
+        policy,
+        backbone,
+        rectifier,
+        real_graph,
+    })
+}
+
+fn decode_substitute_kind(r: &mut Reader<'_>) -> Result<SubstituteKind, VaultError> {
+    Ok(match r.get_u8()? {
+        0 => SubstituteKind::Dnn,
+        1 => SubstituteKind::Knn { k: r.get_usize()? },
+        2 => SubstituteKind::CosineThreshold { tau: r.get_f32()? },
+        3 => SubstituteKind::CosineBudget,
+        4 => SubstituteKind::Random {
+            ratio: r.get_f64()?,
+        },
+        t => return Err(bad(format!("unknown substitute kind tag {t}"))),
+    })
+}
+
+/// Decodes one network's `input_dim`, per-layer output widths, and
+/// per-layer `(weight, bias)` value matrices.
+#[allow(clippy::type_complexity)]
+fn decode_network_params(
+    r: &mut Reader<'_>,
+) -> Result<(usize, Vec<usize>, Vec<(DenseMatrix, DenseMatrix)>), VaultError> {
+    let input_dim = r.get_usize()?;
+    let num_layers = r.get_usize()?;
+    if num_layers > r.buf.len() / 8 + 1 {
+        return Err(bad(format!("implausible layer count {num_layers}")));
+    }
+    let mut channels = Vec::with_capacity(num_layers);
+    let mut weights = Vec::with_capacity(num_layers);
+    let mut prev = input_dim;
+    for _ in 0..num_layers {
+        let in_dim = r.get_usize()?;
+        let out_dim = r.get_usize()?;
+        if in_dim != prev {
+            return Err(bad(format!(
+                "layer input width {in_dim} does not chain from previous width {prev}"
+            )));
+        }
+        channels.push(out_dim);
+        weights.push((r.get_matrix()?, r.get_matrix()?));
+        prev = out_dim;
+    }
+    Ok((input_dim, channels, weights))
+}
+
+/// Overwrites a freshly initialized parameter's value with a decoded
+/// matrix, rejecting shape mismatches (gradient and optimizer moments
+/// stay zeroed — they are training state, not deployment state).
+fn restore_value(param: &mut nn::Param, value: DenseMatrix, what: &str) -> Result<(), VaultError> {
+    if param.value.shape() != value.shape() {
+        return Err(bad(format!(
+            "{what} shape {:?} does not match architecture shape {:?}",
+            value.shape(),
+            param.value.shape()
+        )));
+    }
+    param.value = value;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vault;
+    use nn::TrainConfig;
+    use proptest::prelude::*;
+    use tee::{SealKey, TeeError};
+
+    /// Deterministic pseudo-random feature matrix.
+    fn features(n: usize, dim: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        DenseMatrix::from_fn(n, dim, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f32 / 500.0 - 1.0
+        })
+    }
+
+    /// Deterministic pseudo-random graph over `n` nodes: every pair is
+    /// an edge when its hash clears `density` per mille.
+    fn random_graph(n: usize, density: u64, seed: u64) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let mut h = seed ^ ((u as u64) << 32) ^ v as u64;
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                if h % 1000 < density {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    /// Trains and deploys a small vault for round-trip testing.
+    fn trained_vault(
+        n: usize,
+        kind: RectifierKind,
+        conv: ConvKind,
+        substitute: SubstituteKind,
+        graph: &Graph,
+        seed: u64,
+        key: SealKey,
+    ) -> (Vault, DenseMatrix) {
+        let x = features(n, 3, seed);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let train: Vec<usize> = (0..n).collect();
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 0.05,
+            weight_decay: 0.0,
+            dropout: 0.0,
+            seed,
+        };
+        let backbone = crate::Backbone::train(
+            &x,
+            &labels,
+            &train,
+            substitute,
+            &[4, 2],
+            graph.num_edges(),
+            &cfg,
+            seed,
+        )
+        .unwrap();
+        let mut rectifier =
+            Rectifier::new_with_conv(kind, conv, &[4, 2], &backbone.channel_dims(), seed).unwrap();
+        let real_adj = graph::normalization::gcn_normalize(graph);
+        let embs = backbone.embeddings(&x).unwrap();
+        rectifier
+            .fit(&real_adj, &embs, &labels, &train, &cfg)
+            .unwrap();
+        let vault = Vault::deploy(
+            backbone,
+            rectifier,
+            graph,
+            tee::SGX_EPC_BYTES,
+            tee::CostModel::default(),
+            tee::OverBudgetPolicy::Fail,
+            key,
+        )
+        .unwrap();
+        (vault, x)
+    }
+
+    /// Round-trips a vault through snapshot/restore and asserts
+    /// bit-identical labels and transition counts on both the
+    /// full-graph and the batched inference paths.
+    fn assert_roundtrip(mut vault: Vault, x: &DenseMatrix, key: SealKey) {
+        let snapshot = vault.snapshot();
+        assert_eq!(snapshot.epoch(), vault.epoch());
+        assert_eq!(snapshot.num_nodes(), vault.num_nodes());
+        assert!(snapshot.sealed_nbytes() > 0);
+        // Encoding is deterministic: same vault, same sealed payload.
+        assert_eq!(vault.snapshot(), snapshot);
+
+        let mut restored = Vault::restore(&snapshot, key).unwrap();
+        assert_eq!(restored.epoch(), vault.epoch(), "epoch is preserved");
+        assert_eq!(restored.rectifier_kind(), vault.rectifier_kind());
+        assert_eq!(
+            restored.rectifier_param_count(),
+            vault.rectifier_param_count()
+        );
+
+        let (labels, report) = vault.infer(x).unwrap();
+        let (restored_labels, restored_report) = restored.infer(x).unwrap();
+        assert_eq!(restored_labels, labels, "labels must be bit-identical");
+        assert_eq!(
+            restored_report.transitions, report.transitions,
+            "transition counts must match"
+        );
+        assert_eq!(restored_report.transferred_bytes, report.transferred_bytes);
+
+        let nodes: Vec<usize> = (0..x.rows()).collect();
+        if !nodes.is_empty() {
+            let mut s0 = vault.open_session();
+            let mut s1 = restored.open_session();
+            let (batch_a, rep_a) = vault.infer_batch(&mut s0, x, &nodes).unwrap();
+            let (batch_b, rep_b) = restored.infer_batch(&mut s1, x, &nodes).unwrap();
+            assert_eq!(batch_a, batch_b, "batched labels must be bit-identical");
+            assert_eq!(rep_a.transitions, rep_b.transitions);
+        }
+
+        // Wrong key: sealing rejects, nothing leaks.
+        assert!(matches!(
+            Vault::restore(&snapshot, SealKey(key.0 ^ 1)),
+            Err(VaultError::Tee(TeeError::SealTampered))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn snapshot_roundtrip_is_bit_identical(
+            n in 2usize..8,
+            kind_idx in 0usize..3,
+            density in 100u64..900,
+            seed in 0u64..1000,
+        ) {
+            let kind = RectifierKind::ALL[kind_idx];
+            let graph = random_graph(n, density, seed);
+            let key = SealKey(seed as u128 + 11);
+            let (vault, x) = trained_vault(
+                n, kind, ConvKind::Gcn, SubstituteKind::Knn { k: 1 }, &graph, seed, key,
+            );
+            assert_roundtrip(vault, &x, key);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_edge_cases() {
+        // Single-node graph with no edges (MLP backbone: a 1-node KNN
+        // graph has no neighbours to connect).
+        let single = Graph::from_edges(1, &[]).unwrap();
+        let key = SealKey(5);
+        let (vault, x) = trained_vault(
+            1,
+            RectifierKind::Series,
+            ConvKind::Gcn,
+            SubstituteKind::Dnn,
+            &single,
+            3,
+            key,
+        );
+        assert_roundtrip(vault, &x, key);
+
+        // Edge-free ("empty") graph with several nodes, empty random
+        // substitute — exercises zero-edge encode/decode on both the
+        // substitute and the real graph.
+        let empty = Graph::from_edges(4, &[]).unwrap();
+        let (vault, x) = trained_vault(
+            4,
+            RectifierKind::Cascaded,
+            ConvKind::Gcn,
+            SubstituteKind::Random { ratio: 0.0 },
+            &empty,
+            4,
+            key,
+        );
+        assert_roundtrip(vault, &x, key);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_sage_and_gat_rectifiers() {
+        for conv in [ConvKind::Sage, ConvKind::Gat] {
+            let graph = random_graph(6, 500, 7);
+            let key = SealKey(21);
+            let (vault, x) = trained_vault(
+                6,
+                RectifierKind::Series,
+                conv,
+                SubstituteKind::Knn { k: 2 },
+                &graph,
+                9,
+                key,
+            );
+            assert_roundtrip(vault, &x, key);
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_and_garbage_are_rejected() {
+        let graph = random_graph(5, 600, 1);
+        let key = SealKey(77);
+        let (vault, _) = trained_vault(
+            5,
+            RectifierKind::Parallel,
+            ConvKind::Gcn,
+            SubstituteKind::Knn { k: 1 },
+            &graph,
+            2,
+            key,
+        );
+        let snapshot = vault.snapshot();
+
+        // Metadata that disagrees with the sealed payload is caught.
+        let forged = VaultSnapshot::from_parts(
+            snapshot.epoch() + 1,
+            snapshot.num_nodes(),
+            snapshot.sealed().clone(),
+        );
+        assert!(matches!(
+            Vault::restore(&forged, key),
+            Err(VaultError::Snapshot { .. })
+        ));
+
+        // A sealed blob that is not a snapshot payload fails to decode
+        // (bad magic), not panic.
+        let garbage = VaultSnapshot::from_parts(
+            snapshot.epoch(),
+            snapshot.num_nodes(),
+            Sealed::seal(key.derive("vault-snapshot"), &[1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        );
+        assert!(matches!(
+            Vault::restore(&garbage, key),
+            Err(VaultError::Snapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_prefix() {
+        let graph = random_graph(4, 500, 3);
+        let key = SealKey(13);
+        let (vault, _) = trained_vault(
+            4,
+            RectifierKind::Series,
+            ConvKind::Gcn,
+            SubstituteKind::Knn { k: 1 },
+            &graph,
+            6,
+            key,
+        );
+        let payload = encode(
+            vault.epoch(),
+            tee::SGX_EPC_BYTES,
+            &tee::CostModel::default(),
+            OverBudgetPolicy::Fail,
+            vault.backbone(),
+            // Round-trip decode to regain rectifier/graph access.
+            &decode(&payload_of(&vault)).unwrap().rectifier,
+            &decode(&payload_of(&vault)).unwrap().real_graph,
+        );
+        assert!(decode(&payload).is_ok());
+        // Any strict prefix must fail cleanly.
+        for len in (0..payload.len()).step_by(41) {
+            assert!(
+                decode(&payload[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+    }
+
+    /// Unsealed payload of a vault's own snapshot (test helper).
+    fn payload_of(vault: &Vault) -> Vec<u8> {
+        vault
+            .snapshot()
+            .sealed()
+            .unseal(SealKey(13).derive("vault-snapshot"))
+            .unwrap()
+            .to_vec()
+    }
+}

@@ -1,4 +1,4 @@
-use crate::{Backbone, Rectifier, VaultError};
+use crate::{snapshot, Backbone, Rectifier, VaultError, VaultSnapshot};
 use graph::{normalization, Graph};
 use linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
@@ -68,12 +68,15 @@ pub struct Vault {
     backbone: Backbone,
     epoch: u64,
     next_session: u64,
+    epc_budget: usize,
+    policy: OverBudgetPolicy,
     // --- enclave-private state (never exposed by any accessor) ---
     rectifier: Rectifier,
     real_graph: Graph,
     real_adj: linalg::CsrMatrix,
     enclave: EnclaveSim,
     sealed_artifacts: Vec<(String, Sealed)>,
+    seal_key: SealKey,
 }
 
 impl Vault {
@@ -96,6 +99,26 @@ impl Vault {
         cost: CostModel,
         policy: OverBudgetPolicy,
         seal_key: SealKey,
+    ) -> Result<Vault, VaultError> {
+        let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
+        Self::deploy_with_epoch(
+            backbone, rectifier, real_graph, epc_budget, cost, policy, seal_key, epoch,
+        )
+    }
+
+    /// Deployment body shared by [`Vault::deploy`] (fresh epoch) and
+    /// [`Vault::restore`] (the snapshot's epoch, so replicas of one
+    /// snapshot share a cache identity).
+    #[allow(clippy::too_many_arguments)]
+    fn deploy_with_epoch(
+        backbone: Backbone,
+        rectifier: Rectifier,
+        real_graph: &Graph,
+        epc_budget: usize,
+        cost: CostModel,
+        policy: OverBudgetPolicy,
+        seal_key: SealKey,
+        epoch: u64,
     ) -> Result<Vault, VaultError> {
         let mut enclave = EnclaveSim::new(epc_budget, cost, policy);
 
@@ -132,14 +155,132 @@ impl Vault {
 
         Ok(Vault {
             backbone,
-            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            epoch,
             next_session: 0,
+            epc_budget,
+            policy,
             rectifier,
             real_graph: real_graph.clone(),
             real_adj,
             enclave,
             sealed_artifacts,
+            seal_key,
         })
+    }
+
+    /// Serializes this deployment into a sealed [`VaultSnapshot`]: the
+    /// backbone (weights plus substitute graph), the rectifier weights
+    /// and tap-set, the private real graph, and the enclave
+    /// configuration, sealed under this deployment's seal key (purpose
+    /// `"vault-snapshot"`).
+    ///
+    /// Encoding is deterministic — snapshotting the same vault twice
+    /// yields identical bytes — and [`Vault::restore`] rebuilds a
+    /// replica whose inference labels and per-call transition counts
+    /// are bit-identical to this vault's, under the *same epoch*, so
+    /// serving caches keyed `(epoch, node)` remain valid across
+    /// replicas. The feature corpus is not captured: it is public,
+    /// untrusted-world data supplied at serving time.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// # fn demo(vault: gnnvault::Vault, key: tee::SealKey) -> Result<(), gnnvault::VaultError> {
+    /// let snapshot = vault.snapshot();
+    /// // ... ship the snapshot to another worker ...
+    /// let mut replica = gnnvault::Vault::restore(&snapshot, key)?;
+    /// assert_eq!(replica.epoch(), snapshot.epoch());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn snapshot(&self) -> VaultSnapshot {
+        let payload = snapshot::encode(
+            self.epoch,
+            self.epc_budget,
+            self.enclave.cost_model(),
+            self.policy,
+            &self.backbone,
+            &self.rectifier,
+            &self.real_graph,
+        );
+        let sealed = Sealed::seal(self.seal_key.derive("vault-snapshot"), &payload);
+        VaultSnapshot::from_parts(self.epoch, self.real_graph.num_nodes(), sealed)
+    }
+
+    /// Rehydrates a replica from a sealed snapshot.
+    ///
+    /// `seal_key` must be the deployment key the snapshotted vault was
+    /// deployed (and therefore sealed) under — the SGX analogue of the
+    /// platform sealing key an enclave re-derives after migration. The
+    /// replica keeps the snapshot's epoch and is deployed with the
+    /// snapshot's recorded EPC budget, cost model, and over-budget
+    /// policy; its inference answers are bit-identical to the source
+    /// vault's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaultError::Tee`] ([`tee::TeeError::SealTampered`])
+    /// for a wrong key or corrupted payload, [`VaultError::Snapshot`]
+    /// for a payload that unseals but does not decode, and the usual
+    /// deployment failures (e.g. an EPC budget the resident set no
+    /// longer fits) from the rebuild.
+    pub fn restore(snapshot: &VaultSnapshot, seal_key: SealKey) -> Result<Vault, VaultError> {
+        let payload = snapshot
+            .sealed()
+            .unseal(seal_key.derive("vault-snapshot"))?;
+        let decoded = snapshot::decode(&payload)?;
+        if decoded.epoch != snapshot.epoch()
+            || decoded.real_graph.num_nodes() != snapshot.num_nodes()
+        {
+            return Err(VaultError::Snapshot {
+                reason: "snapshot metadata disagrees with its sealed payload".into(),
+            });
+        }
+        Self::deploy_with_epoch(
+            decoded.backbone,
+            decoded.rectifier,
+            &decoded.real_graph,
+            decoded.epc_budget,
+            decoded.cost,
+            decoded.policy,
+            seal_key,
+            decoded.epoch,
+        )
+    }
+
+    /// Spawns an independent replica of this deployment by round-
+    /// tripping through [`Vault::snapshot`] / [`Vault::restore`] with
+    /// this vault's own seal key — the path a sharded serving runtime
+    /// uses to fan one trained vault out across worker shards. The
+    /// replica shares this vault's epoch (same model, same answers) but
+    /// owns its own enclave, meter, and session-id space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Vault::restore`] failures; with a self-produced
+    /// snapshot these only occur when the deployment cannot be rebuilt
+    /// (e.g. the EPC budget race-changed — impossible here — or an
+    /// internal encoding bug).
+    pub fn spawn_replica(&self) -> Result<Vault, VaultError> {
+        Self::restore(&self.snapshot(), self.seal_key)
+    }
+
+    /// Spawns `count` independent replicas from a *single* snapshot —
+    /// the encode/seal pass runs once, not once per replica, so fanning
+    /// a large model out across many shards costs one serialization
+    /// plus `count` restores.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vault::spawn_replica`].
+    pub fn spawn_replicas(&self, count: usize) -> Result<Vec<Vault>, VaultError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let snapshot = self.snapshot();
+        (0..count)
+            .map(|_| Self::restore(&snapshot, self.seal_key))
+            .collect()
     }
 
     /// Deployment epoch of this vault: unique within the current
@@ -779,6 +920,20 @@ mod tests {
         }
         assert!(tight.infer(&x).is_err());
         assert_eq!(tight.enclave_in_use_bytes(), before);
+    }
+
+    #[test]
+    fn spawn_replicas_shares_one_snapshot_and_answers_identically() {
+        let (mut vault, x, _) = toy_vault(RectifierKind::Series);
+        let (labels, _) = vault.infer(&x).unwrap();
+        let replicas = vault.spawn_replicas(2).unwrap();
+        assert_eq!(replicas.len(), 2);
+        for mut replica in replicas {
+            assert_eq!(replica.epoch(), vault.epoch(), "same model, same epoch");
+            let (replica_labels, _) = replica.infer(&x).unwrap();
+            assert_eq!(replica_labels, labels);
+        }
+        assert!(vault.spawn_replicas(0).unwrap().is_empty());
     }
 
     #[test]

@@ -232,6 +232,17 @@ impl ConvLayer {
         }
     }
 
+    /// Read access to every parameter, in the same order as
+    /// [`ConvLayer::params_mut`] — the order a serializer must write and
+    /// a deserializer must read back.
+    pub fn params(&self) -> Vec<&crate::Param> {
+        match self {
+            ConvLayer::Gcn(l) => vec![l.weight(), l.bias()],
+            ConvLayer::Sage(l) => vec![l.weight(), l.bias()],
+            ConvLayer::Gat(l) => vec![l.weight(), l.attn_src(), l.attn_dst(), l.bias()],
+        }
+    }
+
     /// Mutable access to every parameter, for optimizer updates.
     pub fn params_mut(&mut self) -> Vec<&mut crate::Param> {
         match self {

@@ -146,6 +146,21 @@ impl GatLayer {
         &self.weight
     }
 
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Read access to the source-attention vector.
+    pub fn attn_src(&self) -> &Param {
+        &self.attn_src
+    }
+
+    /// Read access to the destination-attention vector.
+    pub fn attn_dst(&self) -> &Param {
+        &self.attn_dst
+    }
+
     /// Forward pass (see the type-level equation).
     ///
     /// # Errors

@@ -126,6 +126,13 @@ impl GcnNetwork {
         &self.layers
     }
 
+    /// Mutable borrow of the layer stack, for weight restoration (e.g.
+    /// rebuilding a network from a serialized snapshot). Layer *shapes*
+    /// must not be changed through this borrow — only parameter values.
+    pub fn layers_mut(&mut self) -> &mut [GcnLayer] {
+        &mut self.layers
+    }
+
     /// Total trainable parameter count (the `θ` columns of Table II).
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(GcnLayer::param_count).sum()
@@ -345,9 +352,25 @@ impl MlpNetwork {
         self.layers.len()
     }
 
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
     /// Output dimensions of each layer in order.
     pub fn channel_dims(&self) -> Vec<usize> {
         self.layers.iter().map(|l| l.out_dim()).collect()
+    }
+
+    /// Borrow of the layer stack.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable borrow of the layer stack, for weight restoration (see
+    /// [`GcnNetwork::layers_mut`]).
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
     }
 
     /// Total trainable parameter count.

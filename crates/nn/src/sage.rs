@@ -85,6 +85,11 @@ impl SageLayer {
         [&mut self.weight, &mut self.bias]
     }
 
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
     /// Read access to the weight parameter.
     pub fn weight(&self) -> &Param {
         &self.weight

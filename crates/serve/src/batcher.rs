@@ -52,6 +52,19 @@ pub enum FlushReason {
     Drain,
 }
 
+/// Outcome of one [`AdmissionQueue::poll_batch`] call.
+#[derive(Debug)]
+pub enum BatchPoll {
+    /// A batch became due within the poll window.
+    Batch(Vec<PendingRequest>, FlushReason),
+    /// The wait expired (or the queue was [`notify`](AdmissionQueue::notify)-ed)
+    /// with no batch due; the worker should service its control channel
+    /// and poll again.
+    Idle,
+    /// The queue is closed and fully drained: the worker's exit signal.
+    Drained,
+}
+
 /// One admitted request, as handed to the serving worker.
 ///
 /// The worker answers it with [`PendingRequest::respond`]; dropping it
@@ -82,28 +95,103 @@ impl PendingRequest {
     }
 }
 
+/// One partial answer channel of a [`Ticket`]: the labels a single
+/// shard queue will deliver, plus where they land in the client's
+/// request order (`None` = the part covers the whole request).
+#[derive(Debug)]
+struct TicketPart {
+    receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>,
+    positions: Option<Vec<usize>>,
+}
+
 /// The client half of one submitted request: blocks until the serving
-/// worker answers.
+/// worker(s) answer.
+///
+/// A ticket from a single queue carries one part; a ticket from a
+/// sharded router carries one part per shard the request's nodes hash
+/// to, and [`Ticket::wait`] reassembles the labels back into the
+/// client's request order.
 #[derive(Debug)]
 pub struct Ticket {
-    receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>,
+    parts: Vec<TicketPart>,
+    total: usize,
 }
 
 impl Ticket {
+    /// Wraps a single answer channel covering the whole request.
+    pub(crate) fn from_receiver(receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>) -> Ticket {
+        Ticket {
+            parts: vec![TicketPart {
+                receiver,
+                positions: None,
+            }],
+            total: 0,
+        }
+    }
+
+    /// Combines per-shard sub-tickets into one routed ticket. Each
+    /// entry pairs a (single-part) sub-ticket with the request-order
+    /// positions its labels fill; `total` is the client's node count.
+    pub(crate) fn from_routed_parts(parts: Vec<(Ticket, Vec<usize>)>, total: usize) -> Ticket {
+        Ticket {
+            parts: parts
+                .into_iter()
+                .map(|(ticket, positions)| {
+                    let mut sub = ticket.parts;
+                    debug_assert_eq!(sub.len(), 1, "sub-tickets are single-part");
+                    let mut part = sub.pop().expect("sub-ticket has one part");
+                    part.positions = Some(positions);
+                    part
+                })
+                .collect(),
+            total,
+        }
+    }
+
     /// Blocks until the request is answered. Returns
-    /// [`ServeError::Closed`] if the engine shut down before answering.
+    /// [`ServeError::Closed`] if the engine shut down before answering,
+    /// or the first per-shard error when any part of a routed request
+    /// failed.
     pub fn wait(self) -> Result<Vec<ClassLabel>, ServeError> {
-        self.receiver.recv().unwrap_or(Err(ServeError::Closed))
+        self.wait_until(None).expect("no deadline given")
     }
 
     /// Like [`wait`](Self::wait) but gives up after `timeout`,
     /// returning `None` when no answer arrived in time.
     pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Vec<ClassLabel>, ServeError>> {
-        match self.receiver.recv_timeout(timeout) {
-            Ok(result) => Some(result),
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Closed)),
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+        self.wait_until(Some(Instant::now() + timeout))
+    }
+
+    fn wait_until(self, deadline: Option<Instant>) -> Option<Result<Vec<ClassLabel>, ServeError>> {
+        let mut assembled = vec![ClassLabel(0); self.total];
+        for part in self.parts {
+            let result = match deadline {
+                None => part.receiver.recv().unwrap_or(Err(ServeError::Closed)),
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    match part.receiver.recv_timeout(timeout) {
+                        Ok(result) => result,
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                            Err(ServeError::Closed)
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => return None,
+                    }
+                }
+            };
+            match result {
+                Ok(labels) => match &part.positions {
+                    // Unrouted ticket: the part is the whole answer.
+                    None => return Some(Ok(labels)),
+                    Some(positions) => {
+                        for (&pos, label) in positions.iter().zip(labels) {
+                            assembled[pos] = label;
+                        }
+                    }
+                },
+                Err(e) => return Some(Err(e)),
+            }
         }
+        Some(Ok(assembled))
     }
 }
 
@@ -222,7 +310,7 @@ impl AdmissionQueue {
             });
         }
         self.arrived.notify_all();
-        Ok(Ticket { receiver })
+        Ok(Ticket::from_receiver(receiver))
     }
 
     /// Blocks until a batch is due and returns it, or `None` once the
@@ -231,41 +319,74 @@ impl AdmissionQueue {
     /// The returned batch takes whole requests in arrival order until
     /// the size bound is met; it always contains at least one request.
     pub fn next_batch(&self) -> Option<(Vec<PendingRequest>, FlushReason)> {
+        loop {
+            match self.poll_batch(Duration::from_secs(3600)) {
+                BatchPoll::Batch(batch, reason) => return Some((batch, reason)),
+                BatchPoll::Idle => continue,
+                BatchPoll::Drained => return None,
+            }
+        }
+    }
+
+    /// Like [`next_batch`](Self::next_batch), but bounded: waits at
+    /// most `max_wait` (and at most one condvar wake) before reporting
+    /// [`BatchPoll::Idle`]. A worker that interleaves queue work with a
+    /// control channel loops on this instead of `next_batch`, calling
+    /// [`notify`](Self::notify) from the control side to cut the wait
+    /// short.
+    pub fn poll_batch(&self, max_wait: Duration) -> BatchPoll {
+        let give_up = Instant::now() + max_wait;
         let mut state = self.state.lock().expect("queue lock");
+        let mut waited = false;
         loop {
             if state.closed {
                 if state.pending.is_empty() {
-                    return None;
+                    return BatchPoll::Drained;
                 }
-                return Some((
+                return BatchPoll::Batch(
                     Self::take_batch(&mut state, &self.policy),
                     FlushReason::Drain,
-                ));
+                );
             }
             if state.pending_nodes >= self.policy.max_batch_nodes {
-                return Some((
+                return BatchPoll::Batch(
                     Self::take_batch(&mut state, &self.policy),
                     FlushReason::Full,
-                ));
+                );
             }
+            let now = Instant::now();
+            let mut wake_at = give_up;
             if let Some(oldest) = state.pending.front() {
                 let deadline = oldest.enqueued_at + self.policy.max_delay;
-                let now = Instant::now();
                 if now >= deadline {
-                    return Some((
+                    return BatchPoll::Batch(
                         Self::take_batch(&mut state, &self.policy),
                         FlushReason::Deadline,
-                    ));
+                    );
                 }
-                let (next, _) = self
-                    .arrived
-                    .wait_timeout(state, deadline - now)
-                    .expect("queue wait");
-                state = next;
-            } else {
-                state = self.arrived.wait(state).expect("queue wait");
+                wake_at = wake_at.min(deadline);
             }
+            if waited || now >= give_up {
+                return BatchPoll::Idle;
+            }
+            let (next, _) = self
+                .arrived
+                .wait_timeout(state, wake_at - now)
+                .expect("queue wait");
+            state = next;
+            waited = true;
         }
+    }
+
+    /// Wakes a worker blocked in [`poll_batch`](Self::poll_batch) so it
+    /// returns promptly (with a due batch if one exists, otherwise
+    /// [`BatchPoll::Idle`]). Used to make out-of-band control messages
+    /// — e.g. a hot-swap deploy — visible without waiting out the poll.
+    pub fn notify(&self) {
+        // Take the lock so the wake cannot slip between a waiter's
+        // predicate check and its wait.
+        let _guard = self.state.lock().expect("queue lock");
+        self.arrived.notify_all();
     }
 
     /// Pops requests (oldest first) until the size bound is satisfied or

@@ -1,66 +1,148 @@
-//! The concurrent serving engine: one enclave worker multiplexing
-//! batches from the admission queue across enclave sessions, fronted by
-//! an LRU result cache.
+//! The sharded serving runtime: N worker shards, each owning a vault
+//! replica restored from one sealed snapshot, fronted by a
+//! deterministic node-hash router, with zero-downtime model hot-swap.
+//!
+//! ## Topology
+//!
+//! [`ServingEngine::start`] spawns [`ServeConfig::shards`] worker
+//! threads. Shard 0 owns the vault it was given; every other shard owns
+//! a replica restored from one shared sealed snapshot
+//! ([`Vault::spawn_replicas`]), so all shards answer from bit-identical
+//! weights under the *same epoch*. Each shard runs the full single-vault
+//! stack — its own [`AdmissionQueue`], its own epoch-keyed [`LruCache`],
+//! and its own set of [`tee::EnclaveSession`]s — and a [`Router`] in
+//! every [`ServeHandle`] assigns each queried node to a shard by a
+//! deterministic hash of its id, so repeat queries for a node always
+//! land on the same shard and that shard's cache stays effective.
 //!
 //! ## Threading model
 //!
-//! The [`Vault`] (and its simulated enclave) is owned by a single
-//! worker thread — the analogue of the SGX rule that enclave state is
-//! touched only through controlled entry points. Concurrency comes from
-//! three places:
+//! Each [`Vault`] replica (and its simulated enclave) is owned by a
+//! single shard worker thread — the analogue of the SGX rule that
+//! enclave state is touched only through controlled entry points.
+//! Concurrency comes from four places: any number of client threads
+//! submit through cloned [`ServeHandle`]s; shards execute batches
+//! independently; inside each batch the backbone forward fans out over
+//! the shared `linalg` pool; and each shard multiplexes its batches
+//! across enclave sessions, picking the least meter-accounted one.
 //!
-//! - any number of client threads submit through cloned
-//!   [`ServeHandle`]s and block on their [`Ticket`]s,
-//! - inside each batch, the backbone forward and rectifier kernels fan
-//!   out over the shared `linalg` pool (`LINALG_NUM_THREADS` workers),
-//! - enclave work is multiplexed across [`tee::EnclaveSession`]s; every
-//!   batch is accounted by the enclave's meter/cost model, and the
-//!   scheduler hands the next batch to the session with the least
-//!   accumulated enclave time.
+//! ## Determinism
 //!
-//! Determinism: results never depend on batching. Batched labels are
-//! bit-identical to per-node [`Vault::infer`] answers because every
-//! batch runs the same full-graph rectification; caching only short-
-//! circuits *repeated* queries, keyed by `(vault epoch, node id)`.
+//! Results never depend on batching, caching, routing, or shard count.
+//! Every replica runs the same full-graph rectification with the same
+//! weights, so an N-shard engine's labels are bit-identical to a
+//! single-shard engine's — and to sequential [`Vault::infer`] — for any
+//! request stream (asserted in `tests/engine.rs`).
 //!
-//! The flip side of that guarantee: per-*batch* enclave cost is flat in
-//! batch size (it is a full-graph pass), so a cold single-node batch
-//! pays the full-graph price and the engine's win comes entirely from
-//! coalescing and caching. Latency-insensitive callers should raise
-//! [`BatchPolicy::max_delay`](crate::BatchPolicy) /
-//! `max_batch_nodes` (see [`bulk_config`]) so cold traffic arrives in
-//! large batches.
+//! ## Hot swap
+//!
+//! [`ServingEngine::deploy`] installs a new model epoch from a sealed
+//! [`VaultSnapshot`] across all shards with zero downtime: admission
+//! never pauses, each shard finishes (drains) its in-flight batch on
+//! the old epoch, installs the replica between batches, and answers
+//! everything after that from the new epoch. Each shard's result cache
+//! is dropped at install (epoch numbers are process-local, so keying
+//! alone could not rule out a collision with a foreign snapshot), so a
+//! stale entry can never be served. `deploy` returns once
+//! every shard has installed the new epoch: responses to requests
+//! submitted after it returns are answered exclusively by the new
+//! model.
 
-use crate::{AdmissionQueue, BatchPolicy, FlushReason, LruCache, ServeError, Ticket};
-use gnnvault::{InferenceReport, Vault};
+use crate::{
+    AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, LruCache, PendingRequest, ServeError,
+    Ticket,
+};
+use gnnvault::{InferenceReport, Vault, VaultSnapshot};
 use linalg::DenseMatrix;
 use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
-use tee::ClassLabel;
+use tee::{ClassLabel, SealKey};
+
+/// How long a shard worker waits in one queue poll before re-checking
+/// its control channel. [`AdmissionQueue::notify`] cuts the wait short,
+/// so this is a liveness backstop, not a latency bound.
+const CONTROL_POLL: Duration = Duration::from_millis(50);
 
 /// Configuration for [`ServingEngine::start`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Batching and admission-control knobs.
+    /// Batching and admission-control knobs, applied per shard.
     pub policy: BatchPolicy,
-    /// Enclave sessions to multiplex batches across (clamped to ≥ 1).
-    /// Each is a long-lived `tee` channel reused for every batch it
-    /// serves.
+    /// Enclave sessions *per shard* to multiplex batches across
+    /// (clamped to ≥ 1). Each is a long-lived `tee` channel reused for
+    /// every batch it serves.
     pub sessions: usize,
-    /// LRU result-cache entries, keyed `(vault epoch, node id)`; 0
-    /// disables caching.
+    /// LRU result-cache entries *per shard*, keyed
+    /// `(vault epoch, node id)`; 0 disables caching.
     pub cache_capacity: usize,
+    /// Worker shards, each owning a full vault replica (clamped to
+    /// ≥ 1). Node ids are hash-routed to shards, so raising this scales
+    /// enclave throughput without changing any answer.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
-    /// Default policy, two enclave sessions, 4096 cached results.
+    /// Default policy, one shard, two enclave sessions, 4096 cached
+    /// results.
     fn default() -> Self {
         Self {
             policy: BatchPolicy::default(),
             sessions: 2,
             cache_capacity: 4096,
+            shards: 1,
         }
+    }
+}
+
+/// Deterministic node-id → shard router.
+///
+/// Uses the SplitMix64 finalizer over the node id, so the mapping is a
+/// pure function of `(node, shard count)`: every handle routes the same
+/// node to the same shard, which keeps that shard's `(epoch, node)`
+/// result cache effective and makes routing reproducible across runs.
+///
+/// # Examples
+///
+/// ```
+/// use serve::Router;
+///
+/// let router = Router::new(4);
+/// assert_eq!(router.num_shards(), 4);
+/// let shard = router.shard_of(17);
+/// assert_eq!(shard, router.shard_of(17), "routing is deterministic");
+/// assert!(shard < 4);
+/// assert_eq!(Router::new(1).shard_of(17), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router {
+    shards: usize,
+}
+
+impl Router {
+    /// A router over `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards this router spreads nodes across.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `node`'s queries.
+    pub fn shard_of(&self, node: usize) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let mut z = (node as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.shards as u64) as usize
     }
 }
 
@@ -82,22 +164,23 @@ pub struct SessionStats {
     pub transferred_bytes: u64,
 }
 
-/// Aggregate serving statistics, returned by
-/// [`ServingEngine::shutdown`].
+/// Per-shard serving statistics: the [`FlushReason`] balance, batch and
+/// failure counts, hot-swap installs, and this shard's session
+/// breakdown. One entry per shard lands in [`ServeStats::shards`], so
+/// operators can see deadline-vs-size flush balance (and load skew)
+/// per worker instead of only in aggregate.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct ServeStats {
-    /// Requests answered (successfully or with a batch error).
+pub struct ShardStats {
+    /// Shard index (also the routing target of
+    /// [`Router::shard_of`]).
+    pub shard: usize,
+    /// Sub-requests this shard answered.
     pub requests: u64,
-    /// Node queries answered across all requests.
+    /// Node queries this shard answered.
     pub answered_nodes: u64,
-    /// Node queries resolved without new enclave work (LRU hit, or
-    /// duplicate of a node already in the same batch).
-    pub cache_hits: u64,
-    /// Unique node queries that entered the enclave.
-    pub cache_misses: u64,
-    /// Batches flushed from the admission queue.
+    /// Batches flushed from this shard's admission queue.
     pub batches: u64,
-    /// Batches that reached the enclave (all-hit batches don't).
+    /// Batches that reached this shard's enclave.
     pub enclave_batches: u64,
     /// Batches flushed because the size bound was reached.
     pub full_flushes: u64,
@@ -105,22 +188,62 @@ pub struct ServeStats {
     pub deadline_flushes: u64,
     /// Batches flushed while draining at shutdown.
     pub drain_flushes: u64,
-    /// Batches that failed inside the vault.
+    /// Batches that failed inside this shard's vault.
     pub failed_batches: u64,
-    /// Enclave transitions (ECALLs) across all batches.
+    /// Model epochs hot-swapped in via [`ServingEngine::deploy`].
+    pub deploys: u64,
+    /// This shard's enclave sessions (sessions opened by a hot-swapped
+    /// replica are appended after the original vault's).
+    pub sessions: Vec<SessionStats>,
+}
+
+/// Aggregate serving statistics, returned by
+/// [`ServingEngine::shutdown`].
+///
+/// Aggregates are summed across shards; [`ServeStats::shards`] holds
+/// the per-shard breakdown. With more than one shard, a multi-node
+/// client request is split into one sub-request per shard its nodes
+/// hash to, and [`ServeStats::requests`] counts those *sub-requests* —
+/// for single-node request streams the two notions coincide.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Sub-requests answered (successfully or with a batch error).
+    pub requests: u64,
+    /// Node queries answered across all requests.
+    pub answered_nodes: u64,
+    /// Node queries resolved without new enclave work (LRU hit, or
+    /// duplicate of a node already in the same batch).
+    pub cache_hits: u64,
+    /// Unique node queries that entered an enclave.
+    pub cache_misses: u64,
+    /// Batches flushed from the admission queues.
+    pub batches: u64,
+    /// Batches that reached an enclave (all-hit batches don't).
+    pub enclave_batches: u64,
+    /// Batches flushed because the size bound was reached.
+    pub full_flushes: u64,
+    /// Partial batches flushed by the deadline.
+    pub deadline_flushes: u64,
+    /// Batches flushed while draining at shutdown.
+    pub drain_flushes: u64,
+    /// Batches that failed inside a vault.
+    pub failed_batches: u64,
+    /// Enclave transitions (ECALLs) across all batches and shards.
     pub enclave_transitions: u64,
-    /// Bytes marshalled into the enclave across all batches.
+    /// Bytes marshalled into the enclaves across all batches.
     pub transferred_bytes: u64,
     /// Aggregate backbone / transfer / rectifier time over all enclave
-    /// batches, in nanoseconds (wall + simulated, from the meter).
+    /// batches, in nanoseconds (wall + simulated, from the meters).
     pub backbone_ns: u64,
     /// See [`ServeStats::backbone_ns`].
     pub transfer_ns: u64,
     /// See [`ServeStats::backbone_ns`].
     pub rectifier_ns: u64,
-    /// Per-session breakdown, in the engine's scheduling order (each
-    /// entry carries its vault-minted [`SessionStats::id`]).
+    /// Per-session breakdown, flattened in shard order (each entry
+    /// carries its vault-minted [`SessionStats::id`]).
     pub sessions: Vec<SessionStats>,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardStats>,
 }
 
 impl ServeStats {
@@ -163,16 +286,41 @@ impl ServeStats {
         slot.accounted_ns += report.total_ns();
         slot.transferred_bytes += report.transferred_bytes as u64;
     }
+
+    /// Folds one shard's run into the engine-wide aggregate.
+    fn merge(&mut self, shard: ServeStats) {
+        self.requests += shard.requests;
+        self.answered_nodes += shard.answered_nodes;
+        self.cache_hits += shard.cache_hits;
+        self.cache_misses += shard.cache_misses;
+        self.batches += shard.batches;
+        self.enclave_batches += shard.enclave_batches;
+        self.full_flushes += shard.full_flushes;
+        self.deadline_flushes += shard.deadline_flushes;
+        self.drain_flushes += shard.drain_flushes;
+        self.failed_batches += shard.failed_batches;
+        self.enclave_transitions += shard.enclave_transitions;
+        self.transferred_bytes += shard.transferred_bytes;
+        self.backbone_ns += shard.backbone_ns;
+        self.transfer_ns += shard.transfer_ns;
+        self.rectifier_ns += shard.rectifier_ns;
+        self.sessions.extend(shard.sessions);
+        self.shards.extend(shard.shards);
+    }
 }
 
-/// Cloneable client handle onto a running engine.
+/// Cloneable client handle onto a running engine: the router plus one
+/// admission queue per shard.
 ///
 /// Node ids are validated at admission against the deployment's corpus
 /// size, so a bad id is rejected immediately instead of failing the
-/// batch it would have ridden in.
+/// batch it would have ridden in. With more than one shard, a
+/// multi-node request is split into per-shard sub-requests; the
+/// returned [`Ticket`] reassembles the labels into request order.
 #[derive(Debug, Clone)]
 pub struct ServeHandle {
-    queue: Arc<AdmissionQueue>,
+    queues: Vec<Arc<AdmissionQueue>>,
+    router: Router,
     num_nodes: usize,
 }
 
@@ -183,17 +331,43 @@ impl ServeHandle {
     /// # Errors
     ///
     /// [`ServeError::Rejected`] on empty/out-of-range node lists or a
-    /// full queue; [`ServeError::Closed`] after shutdown began.
+    /// full shard queue; [`ServeError::Closed`] after shutdown began.
+    /// When a multi-shard submission fails part-way, already-admitted
+    /// sub-requests are still answered by their shards, but into a
+    /// dropped ticket — the request as a whole fails.
     pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
+        if nodes.is_empty() {
+            return Err(ServeError::Rejected {
+                reason: "request contains no query nodes".into(),
+            });
+        }
         if let Some(&bad) = nodes.iter().find(|&&n| n >= self.num_nodes) {
             return Err(ServeError::Rejected {
                 reason: format!("query node {bad} out of range for {} nodes", self.num_nodes),
             });
         }
-        self.queue.submit(nodes)
+        if self.router.num_shards() == 1 {
+            return self.queues[0].submit(nodes);
+        }
+        let total = nodes.len();
+        let mut per_shard: Vec<(Vec<usize>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); self.router.num_shards()];
+        for (position, &node) in nodes.iter().enumerate() {
+            let (shard_nodes, positions) = &mut per_shard[self.router.shard_of(node)];
+            shard_nodes.push(node);
+            positions.push(position);
+        }
+        let mut parts = Vec::new();
+        for (shard, (shard_nodes, positions)) in per_shard.into_iter().enumerate() {
+            if shard_nodes.is_empty() {
+                continue;
+            }
+            parts.push((self.queues[shard].submit(shard_nodes)?, positions));
+        }
+        Ok(Ticket::from_routed_parts(parts, total))
     }
 
-    /// Submits a single-node request.
+    /// Submits a single-node request (routed to the node's shard).
     ///
     /// # Errors
     ///
@@ -207,38 +381,87 @@ impl ServeHandle {
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
     }
+
+    /// The node-id router this handle submits through.
+    pub fn router(&self) -> Router {
+        self.router
+    }
 }
 
-/// A running vault-serving engine: admission queue + cache + enclave
-/// worker.
-///
-/// See the crate-level example for the full serving quickstart. End a
-/// run with [`shutdown`](Self::shutdown) to get the vault and stats
-/// back; merely dropping the engine (e.g. on an early return) closes
-/// the queue so the worker drains, answers what it can, and exits — but
-/// the vault it owns is then dropped with it.
-#[derive(Debug)]
-pub struct ServingEngine {
+/// Control messages the engine sends to a shard worker between batches.
+enum ShardControl {
+    /// Install a new model epoch from a sealed snapshot.
+    Deploy {
+        snapshot: Arc<VaultSnapshot>,
+        seal_key: SealKey,
+        ack: Sender<Result<u64, ServeError>>,
+    },
+}
+
+/// One worker shard: its queue, its control channel, and the worker
+/// thread owning its vault replica.
+struct Shard {
     queue: Arc<AdmissionQueue>,
-    num_nodes: usize,
+    control: Sender<ShardControl>,
     worker: Option<std::thread::JoinHandle<(Vault, ServeStats)>>,
 }
 
+/// The set of worker shards behind a running engine.
+struct ShardSet {
+    shards: Vec<Shard>,
+}
+
+impl ShardSet {
+    /// Closes every shard queue (idempotent).
+    fn close(&self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+    }
+}
+
+/// A running sharded vault-serving engine: a [`Router`] over per-shard
+/// admission queues, caches, and enclave workers.
+///
+/// See the crate-level example for the serving quickstart. End a run
+/// with [`shutdown`](Self::shutdown) to get the (shard 0) vault and the
+/// aggregated stats back; merely dropping the engine (e.g. on an early
+/// return) closes every queue so the workers drain, answer what they
+/// can, and exit — but the vaults they own are then dropped with them.
+#[derive(Debug)]
+pub struct ServingEngine {
+    set: ShardSet,
+    router: Router,
+    num_nodes: usize,
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
 impl Drop for ServingEngine {
-    /// Closes the queue so an abandoned engine's worker unblocks,
-    /// drains, and exits instead of parking forever on the condvar.
+    /// Closes every queue so an abandoned engine's workers unblock,
+    /// drain, and exit instead of parking forever on their condvars.
     fn drop(&mut self) {
-        self.queue.close();
+        self.set.close();
     }
 }
 
 impl ServingEngine {
-    /// Deploys `vault` behind a serving loop over the corpus
+    /// Deploys `vault` behind a sharded serving runtime over the corpus
     /// `features` (one row per node, the same matrix the vault's
     /// backbone was meant to serve).
     ///
-    /// The engine takes ownership of both; [`shutdown`](Self::shutdown)
-    /// returns the vault together with the run's statistics.
+    /// Shard 0 takes ownership of `vault`; shards `1..N` each own a
+    /// replica restored from one shared sealed snapshot
+    /// ([`Vault::spawn_replicas`] — one encode/seal pass however many
+    /// shards), sharing the vault's epoch.
+    /// [`shutdown`](Self::shutdown) returns shard 0's (current) vault
+    /// together with the run's statistics.
     ///
     /// # Panics
     ///
@@ -246,164 +469,396 @@ impl ServingEngine {
     /// vault's deployed graph — the corpus and the graph must describe
     /// the same nodes, and catching the mismatch here keeps admission
     /// validation aligned with what [`Vault::infer_batch`] will accept.
-    pub fn start(mut vault: Vault, features: DenseMatrix, config: ServeConfig) -> Self {
+    /// Also panics if a replica cannot be spawned, which (with a
+    /// self-produced snapshot) indicates an internal bug rather than a
+    /// recoverable condition.
+    pub fn start(vault: Vault, features: DenseMatrix, config: ServeConfig) -> Self {
         assert_eq!(
             features.rows(),
             vault.num_nodes(),
             "serving corpus must have one feature row per deployed graph node"
         );
-        let queue = Arc::new(AdmissionQueue::new(config.policy));
+        let shard_count = config.shards.max(1);
         let num_nodes = vault.num_nodes();
-        let worker_queue = Arc::clone(&queue);
-        let session_count = config.sessions.max(1);
-        let mut sessions: Vec<tee::EnclaveSession> =
-            (0..session_count).map(|_| vault.open_session()).collect();
-        let mut cache: LruCache<(u64, usize), ClassLabel> = LruCache::new(config.cache_capacity);
-        let session_stats: Vec<SessionStats> = sessions
-            .iter()
-            .map(|s| SessionStats {
-                id: s.id().0,
-                ..Default::default()
+        let features = Arc::new(features);
+
+        // Shard 0 serves the original; 1..N serve replicas restored
+        // from one shared snapshot (one encode/seal pass, N-1 restores).
+        let mut vaults = vault
+            .spawn_replicas(shard_count - 1)
+            .unwrap_or_else(|e| panic!("spawn {} shard replicas: {e}", shard_count - 1));
+        vaults.insert(0, vault);
+
+        let shards = vaults
+            .into_iter()
+            .enumerate()
+            .map(|(index, vault)| {
+                let queue = Arc::new(AdmissionQueue::new(config.policy));
+                let (control, control_rx) = channel();
+                let worker_queue = Arc::clone(&queue);
+                let worker_features = Arc::clone(&features);
+                let worker = std::thread::Builder::new()
+                    .name(format!("vault-serve-shard-{index}"))
+                    .spawn(move || {
+                        ShardWorker::new(index, vault, worker_features, &config)
+                            .run(&worker_queue, &control_rx)
+                    })
+                    .expect("spawn vault-serve shard worker");
+                Shard {
+                    queue,
+                    control,
+                    worker: Some(worker),
+                }
             })
             .collect();
-        let worker = std::thread::Builder::new()
-            .name("vault-serve-worker".into())
-            .spawn(move || {
-                let epoch = vault.epoch();
-                let mut stats = ServeStats {
-                    sessions: session_stats,
-                    ..Default::default()
-                };
-                while let Some((batch, reason)) = worker_queue.next_batch() {
-                    stats.batches += 1;
-                    match reason {
-                        FlushReason::Full => stats.full_flushes += 1,
-                        FlushReason::Deadline => stats.deadline_flushes += 1,
-                        FlushReason::Drain => stats.drain_flushes += 1,
-                    }
-
-                    // Resolve what the cache already knows; collect the
-                    // unique remainder for the enclave.
-                    let mut resolved: HashMap<usize, ClassLabel> = HashMap::new();
-                    let mut needed: HashSet<usize> = HashSet::new();
-                    let mut need: Vec<usize> = Vec::new();
-                    let mut occurrences = 0u64;
-                    for request in &batch {
-                        for &node in request.nodes() {
-                            occurrences += 1;
-                            if resolved.contains_key(&node) || needed.contains(&node) {
-                                continue;
-                            }
-                            match cache.get(&(epoch, node)) {
-                                Some(&label) => {
-                                    resolved.insert(node, label);
-                                }
-                                None => {
-                                    needed.insert(node);
-                                    need.push(node);
-                                }
-                            }
-                        }
-                    }
-                    if !need.is_empty() {
-                        // Enclave-budget-aware scheduling: hand the batch
-                        // to the session with the least accounted time.
-                        let session = (0..session_count)
-                            .min_by_key(|&s| stats.sessions[s].accounted_ns)
-                            .expect("at least one session");
-                        let transitions_before = vault.enclave_transitions();
-                        match vault.infer_batch(&mut sessions[session], &features, &need) {
-                            Ok((labels, report)) => {
-                                for (&node, label) in need.iter().zip(labels) {
-                                    resolved.insert(node, label);
-                                    cache.insert((epoch, node), label);
-                                }
-                                stats.absorb_report(&report, session);
-                            }
-                            Err(error) => {
-                                // The batch failed, but requests whose
-                                // nodes were fully resolved from the
-                                // cache are still answerable — only the
-                                // requests that needed the enclave see
-                                // the error. Hit/miss stats count
-                                // answered queries only. ECALLs the
-                                // failed attempt already charged stay
-                                // accounted, keeping the transition
-                                // stats meter-exact.
-                                stats.failed_batches += 1;
-                                stats.enclave_transitions +=
-                                    vault.enclave_transitions() - transitions_before;
-                                for request in batch {
-                                    stats.requests += 1;
-                                    let labels: Option<Vec<ClassLabel>> = request
-                                        .nodes()
-                                        .iter()
-                                        .map(|node| resolved.get(node).copied())
-                                        .collect();
-                                    match labels {
-                                        Some(labels) => {
-                                            stats.answered_nodes += labels.len() as u64;
-                                            stats.cache_hits += labels.len() as u64;
-                                            request.respond(Ok(labels));
-                                        }
-                                        None => {
-                                            request.respond(Err(ServeError::Vault(error.clone())))
-                                        }
-                                    }
-                                }
-                                continue;
-                            }
-                        }
-                    }
-
-                    // Hit/miss accounting describes answered queries:
-                    // the unique nodes that entered the enclave are the
-                    // misses, everything else was cache- or batch-local.
-                    stats.cache_misses += need.len() as u64;
-                    stats.cache_hits += occurrences - need.len() as u64;
-                    for request in batch {
-                        let labels = request
-                            .nodes()
-                            .iter()
-                            .map(|node| resolved[node])
-                            .collect::<Vec<_>>();
-                        stats.requests += 1;
-                        stats.answered_nodes += labels.len() as u64;
-                        request.respond(Ok(labels));
-                    }
-                }
-                (vault, stats)
-            })
-            .expect("spawn vault-serve worker");
         Self {
-            queue,
+            set: ShardSet { shards },
+            router: Router::new(shard_count),
             num_nodes,
-            worker: Some(worker),
         }
     }
 
     /// A cloneable submission handle. Hand one to every client thread.
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
-            queue: Arc::clone(&self.queue),
+            queues: self
+                .set
+                .shards
+                .iter()
+                .map(|shard| Arc::clone(&shard.queue))
+                .collect(),
+            router: self.router,
             num_nodes: self.num_nodes,
         }
     }
 
-    /// Number of queued (not yet batched) requests right now.
-    pub fn queued_requests(&self) -> usize {
-        self.queue.len()
+    /// Number of shards serving this deployment.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
     }
 
-    /// Stops admission, drains already-accepted requests, and joins the
-    /// worker; returns the vault and the run's aggregate statistics.
+    /// Number of queued (not yet batched) sub-requests right now,
+    /// summed over shards.
+    pub fn queued_requests(&self) -> usize {
+        self.set.shards.iter().map(|shard| shard.queue.len()).sum()
+    }
+
+    /// Installs a new model epoch across all shards with zero downtime
+    /// and returns the new epoch.
+    ///
+    /// `snapshot` is a sealed [`VaultSnapshot`] (from
+    /// [`Vault::snapshot`] on the retrained vault) and `seal_key` the
+    /// deployment key it was sealed under. Admission never pauses:
+    /// each shard finishes its in-flight batch on the old epoch,
+    /// restores the replica between batches, and answers every later
+    /// batch from the new epoch. Each shard drops its result cache at
+    /// install — epoch keying alone could not rule out an epoch-number
+    /// collision with a snapshot minted in another process — so no
+    /// stale answer can survive the swap. When
+    /// `deploy` returns `Ok`, every shard has installed the new epoch,
+    /// so all responses to requests submitted afterwards come from the
+    /// new model.
+    ///
+    /// The corpus is unchanged — the snapshot must describe the same
+    /// node set the engine was started with.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the snapshot's node count differs
+    /// from the served corpus, [`ServeError::Vault`] when a shard fails
+    /// to restore it (wrong key, corrupt payload — the old model keeps
+    /// serving on every shard in that case, since restoration is
+    /// deterministic and fails identically everywhere), and
+    /// [`ServeError::Closed`] when the engine is shutting down.
+    pub fn deploy(&self, snapshot: &VaultSnapshot, seal_key: SealKey) -> Result<u64, ServeError> {
+        if snapshot.num_nodes() != self.num_nodes {
+            return Err(ServeError::Rejected {
+                reason: format!(
+                    "snapshot describes {} nodes, engine serves {}",
+                    snapshot.num_nodes(),
+                    self.num_nodes
+                ),
+            });
+        }
+        let snapshot = Arc::new(snapshot.clone());
+        let mut acks = Vec::with_capacity(self.set.shards.len());
+        for shard in &self.set.shards {
+            let (ack, ack_rx) = channel();
+            shard
+                .control
+                .send(ShardControl::Deploy {
+                    snapshot: Arc::clone(&snapshot),
+                    seal_key,
+                    ack,
+                })
+                .map_err(|_| ServeError::Closed)?;
+            // Wake the worker if it is idling in a queue poll.
+            shard.queue.notify();
+            acks.push(ack_rx);
+        }
+        let mut epoch = 0;
+        for ack in acks {
+            epoch = ack.recv().unwrap_or(Err(ServeError::Closed))?;
+        }
+        Ok(epoch)
+    }
+
+    /// Stops admission, drains and answers every already-admitted
+    /// request on all shards, and joins the workers; returns shard 0's
+    /// vault and the run's aggregate statistics.
     pub fn shutdown(mut self) -> (Vault, ServeStats) {
-        self.queue.close();
-        self.worker
-            .take()
-            .expect("shutdown consumes the engine, so the worker is present")
-            .join()
-            .expect("vault-serve worker must not panic")
+        self.set.close();
+        let mut merged = ServeStats::default();
+        let mut first_vault = None;
+        for shard in &mut self.set.shards {
+            let (vault, stats) = shard
+                .worker
+                .take()
+                .expect("shutdown consumes the engine, so the workers are present")
+                .join()
+                .expect("vault-serve shard worker must not panic");
+            if first_vault.is_none() {
+                first_vault = Some(vault);
+            }
+            merged.merge(stats);
+        }
+        (first_vault.expect("engine has at least one shard"), merged)
+    }
+}
+
+/// The state owned by one shard's worker thread: the vault replica, its
+/// enclave sessions, the epoch-keyed result cache, and shard-local
+/// statistics.
+struct ShardWorker {
+    shard: usize,
+    vault: Vault,
+    features: Arc<DenseMatrix>,
+    sessions: Vec<tee::EnclaveSession>,
+    /// Maps the live session index to its slot in `stats.sessions`
+    /// (hot-swapped replicas append new slots; old ones stay for the
+    /// final report).
+    session_slots: Vec<usize>,
+    cache: LruCache<(u64, usize), ClassLabel>,
+    epoch: u64,
+    deploys: u64,
+    stats: ServeStats,
+}
+
+impl ShardWorker {
+    fn new(
+        shard: usize,
+        mut vault: Vault,
+        features: Arc<DenseMatrix>,
+        config: &ServeConfig,
+    ) -> Self {
+        let session_count = config.sessions.max(1);
+        let sessions: Vec<tee::EnclaveSession> =
+            (0..session_count).map(|_| vault.open_session()).collect();
+        let mut stats = ServeStats::default();
+        let session_slots = sessions
+            .iter()
+            .map(|s| {
+                stats.sessions.push(SessionStats {
+                    id: s.id().0,
+                    ..Default::default()
+                });
+                stats.sessions.len() - 1
+            })
+            .collect();
+        let epoch = vault.epoch();
+        Self {
+            shard,
+            vault,
+            features,
+            sessions,
+            session_slots,
+            cache: LruCache::new(config.cache_capacity),
+            epoch,
+            deploys: 0,
+            stats,
+        }
+    }
+
+    /// The shard main loop: service control between batches, process
+    /// batches until the queue is closed and drained, then return the
+    /// vault and this shard's statistics (with its [`ShardStats`]
+    /// entry filled in).
+    fn run(
+        mut self,
+        queue: &AdmissionQueue,
+        control: &Receiver<ShardControl>,
+    ) -> (Vault, ServeStats) {
+        loop {
+            // Hot-swap deploys install strictly *between* batches:
+            // whatever was in flight drained on the old epoch.
+            while let Ok(ShardControl::Deploy {
+                snapshot,
+                seal_key,
+                ack,
+            }) = control.try_recv()
+            {
+                let _ = ack.send(self.install(&snapshot, seal_key));
+            }
+            match queue.poll_batch(CONTROL_POLL) {
+                BatchPoll::Batch(batch, reason) => self.process(batch, reason),
+                BatchPoll::Idle => continue,
+                BatchPoll::Drained => break,
+            }
+        }
+        // Late deploys that arrived after the drain finished cannot be
+        // honoured; fail them instead of leaving the caller hanging.
+        while let Ok(ShardControl::Deploy { ack, .. }) = control.try_recv() {
+            let _ = ack.send(Err(ServeError::Closed));
+        }
+        let shard_stats = ShardStats {
+            shard: self.shard,
+            requests: self.stats.requests,
+            answered_nodes: self.stats.answered_nodes,
+            batches: self.stats.batches,
+            enclave_batches: self.stats.enclave_batches,
+            full_flushes: self.stats.full_flushes,
+            deadline_flushes: self.stats.deadline_flushes,
+            drain_flushes: self.stats.drain_flushes,
+            failed_batches: self.stats.failed_batches,
+            deploys: self.deploys,
+            sessions: self.stats.sessions.clone(),
+        };
+        self.stats.shards = vec![shard_stats];
+        (self.vault, self.stats)
+    }
+
+    /// Restores the snapshot into a fresh replica and swaps it in. On
+    /// failure the old vault keeps serving untouched.
+    fn install(&mut self, snapshot: &VaultSnapshot, seal_key: SealKey) -> Result<u64, ServeError> {
+        let mut vault = Vault::restore(snapshot, seal_key).map_err(ServeError::Vault)?;
+        // Epoch numbers are only unique within the process that minted
+        // them; a snapshot shipped in from another worker could carry
+        // an epoch this cache already holds entries for — under a
+        // different model. Dropping the cache outright (instead of
+        // trusting the epoch key) makes the no-stale-answer guarantee
+        // unconditional; post-swap entries for the old epoch were dead
+        // weight anyway.
+        self.cache.clear();
+        let sessions: Vec<tee::EnclaveSession> = (0..self.sessions.len())
+            .map(|_| vault.open_session())
+            .collect();
+        self.session_slots = sessions
+            .iter()
+            .map(|s| {
+                self.stats.sessions.push(SessionStats {
+                    id: s.id().0,
+                    ..Default::default()
+                });
+                self.stats.sessions.len() - 1
+            })
+            .collect();
+        self.epoch = vault.epoch();
+        self.vault = vault;
+        self.sessions = sessions;
+        self.deploys += 1;
+        Ok(self.epoch)
+    }
+
+    /// Executes one flushed batch: resolve cached nodes, run the unique
+    /// remainder through the least-loaded enclave session, respond to
+    /// every request.
+    fn process(&mut self, batch: Vec<PendingRequest>, reason: FlushReason) {
+        self.stats.batches += 1;
+        match reason {
+            FlushReason::Full => self.stats.full_flushes += 1,
+            FlushReason::Deadline => self.stats.deadline_flushes += 1,
+            FlushReason::Drain => self.stats.drain_flushes += 1,
+        }
+
+        // Resolve what the cache already knows; collect the unique
+        // remainder for the enclave.
+        let mut resolved: HashMap<usize, ClassLabel> = HashMap::new();
+        let mut needed: HashSet<usize> = HashSet::new();
+        let mut need: Vec<usize> = Vec::new();
+        let mut occurrences = 0u64;
+        for request in &batch {
+            for &node in request.nodes() {
+                occurrences += 1;
+                if resolved.contains_key(&node) || needed.contains(&node) {
+                    continue;
+                }
+                match self.cache.get(&(self.epoch, node)) {
+                    Some(&label) => {
+                        resolved.insert(node, label);
+                    }
+                    None => {
+                        needed.insert(node);
+                        need.push(node);
+                    }
+                }
+            }
+        }
+        if !need.is_empty() {
+            // Enclave-budget-aware scheduling: hand the batch to the
+            // session with the least accounted time.
+            let session = (0..self.sessions.len())
+                .min_by_key(|&s| self.stats.sessions[self.session_slots[s]].accounted_ns)
+                .expect("at least one session");
+            let transitions_before = self.vault.enclave_transitions();
+            match self
+                .vault
+                .infer_batch(&mut self.sessions[session], &self.features, &need)
+            {
+                Ok((labels, report)) => {
+                    for (&node, label) in need.iter().zip(labels) {
+                        resolved.insert(node, label);
+                        self.cache.insert((self.epoch, node), label);
+                    }
+                    let slot = self.session_slots[session];
+                    self.stats.absorb_report(&report, slot);
+                }
+                Err(error) => {
+                    // The batch failed, but requests whose nodes were
+                    // fully resolved from the cache are still
+                    // answerable — only the requests that needed the
+                    // enclave see the error. Hit/miss stats count
+                    // answered queries only. ECALLs the failed attempt
+                    // already charged stay accounted, keeping the
+                    // transition stats meter-exact.
+                    self.stats.failed_batches += 1;
+                    self.stats.enclave_transitions +=
+                        self.vault.enclave_transitions() - transitions_before;
+                    for request in batch {
+                        self.stats.requests += 1;
+                        let labels: Option<Vec<ClassLabel>> = request
+                            .nodes()
+                            .iter()
+                            .map(|node| resolved.get(node).copied())
+                            .collect();
+                        match labels {
+                            Some(labels) => {
+                                self.stats.answered_nodes += labels.len() as u64;
+                                self.stats.cache_hits += labels.len() as u64;
+                                request.respond(Ok(labels));
+                            }
+                            None => request.respond(Err(ServeError::Vault(error.clone()))),
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+
+        // Hit/miss accounting describes answered queries: the unique
+        // nodes that entered the enclave are the misses, everything
+        // else was cache- or batch-local.
+        self.stats.cache_misses += need.len() as u64;
+        self.stats.cache_hits += occurrences - need.len() as u64;
+        for request in batch {
+            let labels = request
+                .nodes()
+                .iter()
+                .map(|node| resolved[node])
+                .collect::<Vec<_>>();
+            self.stats.requests += 1;
+            self.stats.answered_nodes += labels.len() as u64;
+            request.respond(Ok(labels));
+        }
     }
 }
 
@@ -436,7 +891,8 @@ pub fn serve_once(
 }
 
 /// Builds a [`ServeConfig`] tuned for latency-insensitive bulk scoring:
-/// large batches, a generous deadline, and a cache sized to the corpus.
+/// large batches, a generous deadline, one shard (maximal per-batch
+/// amortization), and a cache sized to the corpus.
 pub fn bulk_config(corpus_nodes: usize) -> ServeConfig {
     ServeConfig {
         policy: BatchPolicy {
@@ -446,5 +902,6 @@ pub fn bulk_config(corpus_nodes: usize) -> ServeConfig {
         },
         sessions: 2,
         cache_capacity: corpus_nodes,
+        shards: 1,
     }
 }

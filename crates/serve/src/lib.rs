@@ -1,28 +1,36 @@
-//! Concurrent batched serving for deployed GNNVault instances.
+//! Concurrent sharded serving for deployed GNNVault instances.
 //!
 //! The `gnnvault` crate ends at a deployed [`Vault`](gnnvault::Vault)
 //! answering one call at a time; this crate turns that vault into a
-//! *service*. Incoming node queries pass through four stages:
+//! *service*. Incoming node queries pass through five stages:
 //!
-//! 1. **Admission** ([`AdmissionQueue`], [`BatchPolicy`]): requests are
-//!    accepted from any number of client threads, capped so overload
-//!    degrades into fast rejections,
-//! 2. **Batching**: pending queries coalesce until a size bound or the
+//! 1. **Routing** ([`Router`]): each queried node is hash-routed to one
+//!    of [`ServeConfig::shards`] worker shards, every shard owning a
+//!    vault replica restored from one sealed
+//!    [`VaultSnapshot`](gnnvault::VaultSnapshot) — deterministic
+//!    routing keeps each shard's result cache effective,
+//! 2. **Admission** ([`AdmissionQueue`], [`BatchPolicy`]): requests are
+//!    accepted from any number of client threads, capped per shard so
+//!    overload degrades into fast rejections,
+//! 3. **Batching**: pending queries coalesce until a size bound or the
 //!    oldest request's deadline flushes them — heavy traffic gets big
 //!    batches, a lone query gets low latency,
-//! 3. **Caching** ([`LruCache`]): results are cached by `(vault epoch,
+//! 4. **Caching** ([`LruCache`]): results are cached by `(vault epoch,
 //!    node id)`, so repeated queries are answered without re-entering
 //!    the enclave at all,
-//! 4. **Execution** ([`ServingEngine`]): cache misses run through
+//! 5. **Execution** ([`ServingEngine`]): cache misses run through
 //!    [`Vault::infer_batch`](gnnvault::Vault::infer_batch) — one
 //!    backbone forward on the shared `linalg` pool and one enclave
 //!    transition set per *batch* — multiplexed across reusable
 //!    [`tee::EnclaveSession`]s, with each batch accounted by the
 //!    enclave's meter and handed to the least-loaded session.
 //!
-//! Batching and caching change cost, never answers: served labels are
-//! bit-identical to what per-node [`Vault::infer`](gnnvault::Vault::infer)
-//! would return.
+//! Routing, batching, and caching change cost, never answers: served
+//! labels are bit-identical to what per-node
+//! [`Vault::infer`](gnnvault::Vault::infer) would return, at any shard
+//! count. A retrained model hot-swaps in with zero downtime through
+//! [`ServingEngine::deploy`], which installs a sealed snapshot across
+//! all shards between batches.
 //!
 //! # Examples
 //!
@@ -58,6 +66,7 @@
 //!     },
 //!     sessions: 2,
 //!     cache_capacity: 1024,
+//!     shards: 2, // two workers, each owning a snapshot replica
 //! };
 //! let engine = ServingEngine::start(vault, data.features.clone(), config);
 //! let handle = engine.handle();
@@ -69,7 +78,11 @@
 //! assert_eq!(b.wait()?.len(), 1);
 //!
 //! let (_vault, stats) = engine.shutdown();
-//! assert_eq!(stats.requests, 2);
+//! // `requests` counts per-shard sub-requests: the routed 3-node
+//! // request may have split across both shards.
+//! assert!(stats.requests >= 2 && stats.requests <= 3);
+//! assert_eq!(stats.answered_nodes, 4);
+//! assert_eq!(stats.shards.len(), 2);
 //! assert!(stats.cache_hits >= 1, "the repeat of node 1 never re-enters the enclave");
 //! # Ok(())
 //! # }
@@ -83,9 +96,10 @@ mod cache;
 mod engine;
 mod error;
 
-pub use batcher::{AdmissionQueue, BatchPolicy, FlushReason, PendingRequest, Ticket};
+pub use batcher::{AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, PendingRequest, Ticket};
 pub use cache::LruCache;
 pub use engine::{
-    bulk_config, serve_once, ServeConfig, ServeHandle, ServeStats, ServingEngine, SessionStats,
+    bulk_config, serve_once, Router, ServeConfig, ServeHandle, ServeStats, ServingEngine,
+    SessionStats, ShardStats,
 };
 pub use error::ServeError;

@@ -100,6 +100,7 @@ fn batched_serving_is_bit_identical_to_sequential_infer() {
                 },
                 sessions: 3,
                 cache_capacity: 64,
+                shards: 1,
             },
         );
         let handle = engine.handle();
@@ -142,6 +143,7 @@ fn batching_amortizes_enclave_transitions_below_per_node_cost() {
             },
             sessions: 1,
             cache_capacity: 0, // isolate batching from caching
+            shards: 1,
         },
         &[(0..32).collect::<Vec<_>>()],
     );
@@ -173,6 +175,7 @@ fn cache_hits_skip_enclave_transitions() {
             },
             sessions: 2,
             cache_capacity: 256,
+            shards: 1,
         },
     );
     let handle = engine.handle();
@@ -210,6 +213,7 @@ fn deadline_flush_fires_on_a_partial_batch() {
             },
             sessions: 1,
             cache_capacity: 0,
+            shards: 1,
         },
     );
     let handle = engine.handle();
@@ -241,6 +245,7 @@ fn concurrent_clients_get_consistent_answers() {
             },
             sessions: 4,
             cache_capacity: 512,
+            shards: 1,
         },
     );
 
@@ -357,6 +362,7 @@ fn stats_account_every_batch_through_the_meter() {
             },
             sessions: 2,
             cache_capacity: 0, // every batch enters the enclave
+            shards: 1,
         },
         &(0..16).map(|n| vec![n]).collect::<Vec<_>>(),
     );
@@ -375,4 +381,474 @@ fn stats_account_every_batch_through_the_meter() {
         stats.sessions.iter().map(|s| s.accounted_ns).sum::<u64>(),
         stats.backbone_ns + stats.transfer_ns + stats.rectifier_ns
     );
+}
+
+/// Builds a second vault over the same corpus whose labels differ from
+/// `toy_vault`'s: the training labels are flipped, so the two models
+/// answer oppositely on (almost) every node. Used by the hot-swap
+/// tests to tell which epoch answered a query.
+fn toy_vault_flipped(n: usize, seal_key: SealKey) -> (Vault, DenseMatrix) {
+    assert!(n >= 6 && n.is_multiple_of(2));
+    let half = n / 2;
+    let x = DenseMatrix::from_fn(n, 2, |r, c| {
+        let in_first = r < half;
+        let base = if (c == 0) == in_first { 1.0 } else { 0.0 };
+        base + 0.05 * ((r * 7 + c) % 5) as f32
+    });
+    let labels: Vec<usize> = (0..n).map(|r| usize::from(r < half)).collect(); // flipped
+    let train: Vec<usize> = (0..n).step_by(2).collect();
+    let mut edges = Vec::new();
+    for cluster in 0..2 {
+        let offset = cluster * half;
+        for i in 0..half {
+            edges.push((offset + i, offset + (i + 1) % half));
+        }
+    }
+    let real = Graph::from_edges(n, &edges).unwrap();
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.05,
+        weight_decay: 0.0,
+        dropout: 0.0,
+        seed: 0,
+    };
+    let backbone = Backbone::train(
+        &x,
+        &labels,
+        &train,
+        SubstituteKind::Knn { k: 2 },
+        &[8, 4, 2],
+        real.num_edges(),
+        &cfg,
+        1,
+    )
+    .unwrap();
+    let mut rectifier = Rectifier::new(
+        RectifierKind::Series,
+        &[8, 4, 2],
+        &backbone.channel_dims(),
+        2,
+    )
+    .unwrap();
+    let real_adj = graph::normalization::gcn_normalize(&real);
+    let embs = backbone.embeddings(&x).unwrap();
+    rectifier
+        .fit(&real_adj, &embs, &labels, &train, &cfg)
+        .unwrap();
+    let vault = Vault::deploy(
+        backbone,
+        rectifier,
+        &real,
+        tee::SGX_EPC_BYTES,
+        CostModel::default(),
+        OverBudgetPolicy::Fail,
+        seal_key,
+    )
+    .unwrap();
+    (vault, x)
+}
+
+#[test]
+fn sharded_engine_is_bit_identical_to_sequential_infer() {
+    // The determinism headline: at every shard count, a mixed stream of
+    // multi-node requests (whose nodes hash across shards and must be
+    // reassembled into request order) answers exactly what sequential
+    // full-graph inference answers.
+    let (mut vault, x, _) = toy_vault(24, RectifierKind::Series);
+    let expected = sequential_labels(&mut vault, &x);
+    let requests: Vec<Vec<usize>> = vec![
+        vec![0],
+        vec![5, 3, 3, 11, 0],
+        (0..24).collect(),
+        vec![23, 0, 12, 7],
+        (0..24).rev().collect(),
+        vec![13],
+    ];
+    let mut reference: Option<Vec<Result<Vec<ClassLabel>, ServeError>>> = None;
+    for shards in [1usize, 2, 4] {
+        let (results, _vault, stats) = serve::serve_once(
+            vault.spawn_replica().unwrap(),
+            x.clone(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch_nodes: 8,
+                    max_delay: Duration::from_millis(1),
+                    max_queue_requests: 256,
+                },
+                sessions: 2,
+                cache_capacity: 64,
+                shards,
+            },
+            &requests,
+        );
+        for (request, result) in requests.iter().zip(&results) {
+            let labels = result.as_ref().unwrap();
+            let want: Vec<ClassLabel> = request.iter().map(|&n| expected[n]).collect();
+            assert_eq!(labels, &want, "{shards} shards: request {request:?}");
+        }
+        assert_eq!(stats.shards.len(), shards);
+        assert_eq!(stats.answered_nodes, 59);
+        // Shard-count invariance of the *results*, bit for bit.
+        match &reference {
+            None => reference = Some(results),
+            Some(reference) => assert_eq!(
+                reference, &results,
+                "{shards}-shard results must be bit-identical to 1-shard results"
+            ),
+        }
+    }
+}
+
+#[test]
+fn client_storm_routes_across_shards_consistently() {
+    let (mut vault, x, _) = toy_vault(24, RectifierKind::Parallel);
+    let expected = sequential_labels(&mut vault, &x);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 16,
+                max_delay: Duration::from_millis(2),
+                max_queue_requests: 4096,
+            },
+            sessions: 2,
+            cache_capacity: 512,
+            shards: 4,
+        },
+    );
+    assert_eq!(engine.num_shards(), 4);
+
+    let mut clients = Vec::new();
+    for t in 0..6 {
+        let handle = engine.handle();
+        let expected = expected.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..40 {
+                let node = (t * 13 + i * 7) % 24;
+                let labels = handle.submit_one(node).unwrap().wait().unwrap();
+                assert_eq!(labels, vec![expected[node]], "client {t} query {i}");
+            }
+        }));
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.requests, 240);
+    assert_eq!(stats.answered_nodes, 240);
+    // Deterministic routing pins each node to one shard, so each of the
+    // 24 distinct nodes misses exactly once across the whole engine.
+    assert_eq!(stats.cache_misses, 24);
+    assert_eq!(stats.cache_hits, 216);
+    assert_eq!(stats.shards.len(), 4);
+    // Aggregates are exactly the sum of the per-shard breakdown.
+    assert_eq!(
+        stats.shards.iter().map(|s| s.requests).sum::<u64>(),
+        stats.requests
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.batches).sum::<u64>(),
+        stats.batches
+    );
+    assert_eq!(stats.sessions.len(), 4 * 2);
+}
+
+#[test]
+fn per_shard_stats_expose_flush_reason_balance() {
+    let (vault, x, _) = toy_vault(16, RectifierKind::Series);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 4,
+                max_delay: Duration::from_millis(1),
+                max_queue_requests: 256,
+            },
+            sessions: 1,
+            cache_capacity: 0,
+            shards: 2,
+        },
+    );
+    let handle = engine.handle();
+    let tickets: Vec<_> = (0..16)
+        .map(|node| handle.submit_one(node).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.shards.len(), 2);
+    for (i, shard) in stats.shards.iter().enumerate() {
+        assert_eq!(shard.shard, i);
+        assert_eq!(
+            shard.batches,
+            shard.full_flushes + shard.deadline_flushes + shard.drain_flushes,
+            "shard {i}: every batch has exactly one flush reason"
+        );
+        assert_eq!(shard.deploys, 0);
+    }
+    // The per-shard flush counts decompose the aggregates exactly.
+    assert_eq!(
+        stats.shards.iter().map(|s| s.full_flushes).sum::<u64>(),
+        stats.full_flushes
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.deadline_flushes).sum::<u64>(),
+        stats.deadline_flushes
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.drain_flushes).sum::<u64>(),
+        stats.drain_flushes
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.answered_nodes).sum::<u64>(),
+        16
+    );
+}
+
+#[test]
+fn shutdown_under_load_answers_every_admitted_request() {
+    // Regression test for shutdown-under-load: every request that was
+    // *admitted* (submit returned Ok) must be answered with labels —
+    // queued-but-unbatched requests drain, they are not dropped.
+    for shards in [1usize, 3] {
+        let (vault, x, _) = toy_vault(16, RectifierKind::Series);
+        let engine = ServingEngine::start(
+            vault,
+            x.clone(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    // A far-off deadline and big batch bound: everything
+                    // submitted sits *queued* until shutdown drains it.
+                    max_batch_nodes: 10_000,
+                    max_delay: Duration::from_secs(3600),
+                    max_queue_requests: 4096,
+                },
+                sessions: 2,
+                cache_capacity: 64,
+                shards,
+            },
+        );
+        let mut clients = Vec::new();
+        for t in 0..4 {
+            let handle = engine.handle();
+            clients.push(std::thread::spawn(move || {
+                let mut admitted = Vec::new();
+                for i in 0..50 {
+                    match handle.submit(vec![(t * 11 + i) % 16, (t + i * 3) % 16]) {
+                        Ok(ticket) => admitted.push(ticket),
+                        Err(ServeError::Closed) => break,
+                        Err(e) => panic!("unexpected admission failure: {e}"),
+                    }
+                }
+                admitted
+            }));
+        }
+        // Give the submitters a head start, then shut down while the
+        // queues still hold everything (nothing has been batched).
+        std::thread::sleep(Duration::from_millis(5));
+        let queued_before = engine.queued_requests();
+        let (_, stats) = engine.shutdown();
+        let mut answered = 0u64;
+        for client in clients {
+            for ticket in client.join().unwrap() {
+                let labels = ticket
+                    .wait_timeout(Duration::from_secs(30))
+                    .expect("admitted request must be answered, not time out")
+                    .expect("admitted request must resolve to labels after drain");
+                assert_eq!(labels.len(), 2);
+                answered += 1;
+            }
+        }
+        assert!(
+            queued_before > 0,
+            "{shards} shards: the load must have been queued, not already served"
+        );
+        assert_eq!(
+            stats.answered_nodes,
+            2 * answered,
+            "{shards} shards: engine answered exactly the admitted queries"
+        );
+        assert!(
+            stats.drain_flushes >= 1,
+            "{shards} shards: shutdown drained queued-but-unbatched requests"
+        );
+    }
+}
+
+#[test]
+fn hot_swap_deploys_new_epoch_without_dropping_or_mixing_responses() {
+    let n = 16;
+    let (mut vault_a, x, _) = toy_vault(n, RectifierKind::Series);
+    let expected_a = sequential_labels(&mut vault_a, &x);
+    let key_b = SealKey(99);
+    let (mut vault_b, _) = toy_vault_flipped(n, key_b);
+    let expected_b = sequential_labels(&mut vault_b, &x);
+    assert_ne!(
+        expected_a, expected_b,
+        "the two models must be distinguishable for this test to bite"
+    );
+    let snapshot_b = vault_b.snapshot();
+    let epoch_a = vault_a.epoch();
+    let epoch_b = vault_b.epoch();
+
+    let engine = ServingEngine::start(
+        vault_a,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 8,
+                max_delay: Duration::from_millis(1),
+                max_queue_requests: 4096,
+            },
+            sessions: 2,
+            cache_capacity: 256,
+            shards: 2,
+        },
+    );
+
+    // Clients hammer the engine before, during, and after the swap.
+    // Every response must be exactly one model's answer — never a blend
+    // (single-node requests make per-response epochs observable).
+    let mut clients = Vec::new();
+    for t in 0..4 {
+        let handle = engine.handle();
+        let expected_a = expected_a.clone();
+        let expected_b = expected_b.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..120 {
+                let node = (t * 5 + i) % n;
+                let labels = handle.submit_one(node).unwrap().wait().unwrap();
+                assert_eq!(labels.len(), 1, "no response may be dropped");
+                assert!(
+                    labels[0] == expected_a[node] || labels[0] == expected_b[node],
+                    "client {t} query {i}: label {:?} is neither epoch's answer",
+                    labels[0]
+                );
+            }
+        }));
+    }
+
+    // Swap models mid-storm.
+    std::thread::sleep(Duration::from_millis(3));
+    let new_epoch = engine.deploy(&snapshot_b, key_b).unwrap();
+    assert_eq!(new_epoch, epoch_b);
+    assert_ne!(new_epoch, epoch_a);
+
+    // After deploy() returns, every shard serves the new model: fresh
+    // queries answer with B's labels, bit for bit.
+    let handle = engine.handle();
+    #[allow(clippy::needless_range_loop)] // node is also the query argument
+    for node in 0..n {
+        let labels = handle.submit_one(node).unwrap().wait().unwrap();
+        assert_eq!(
+            labels,
+            vec![expected_b[node]],
+            "post-deploy query for node {node} must come from the new epoch"
+        );
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+
+    let (vault, stats) = engine.shutdown();
+    assert_eq!(vault.epoch(), epoch_b, "shard 0 now owns the new model");
+    assert_eq!(stats.shards.len(), 2);
+    for shard in &stats.shards {
+        assert_eq!(
+            shard.deploys, 1,
+            "shard {} installed the epoch",
+            shard.shard
+        );
+        // The swap reopened sessions: old and new generations are both
+        // reported.
+        assert_eq!(shard.sessions.len(), 4);
+    }
+    // Nothing was dropped: every submission above was answered.
+    assert_eq!(stats.answered_nodes, 4 * 120 + n as u64);
+}
+
+#[test]
+fn deploy_rejects_bad_snapshots_and_keeps_serving() {
+    let n = 16;
+    let (mut vault, x, _) = toy_vault(n, RectifierKind::Series);
+    let expected = sequential_labels(&mut vault, &x);
+    let snapshot_self = vault.snapshot();
+    let (small_vault, _, _) = toy_vault(6, RectifierKind::Series);
+    let snapshot_small = small_vault.snapshot();
+
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Wrong corpus size: rejected outright.
+    assert!(matches!(
+        engine.deploy(&snapshot_small, SealKey(7)),
+        Err(ServeError::Rejected { .. })
+    ));
+    // Wrong seal key: every shard fails identically; the old model
+    // keeps serving.
+    assert!(matches!(
+        engine.deploy(&snapshot_self, SealKey(12345)),
+        Err(ServeError::Vault(_))
+    ));
+    let handle = engine.handle();
+    for node in [0, 5, 11] {
+        assert_eq!(
+            handle.submit_one(node).unwrap().wait().unwrap(),
+            vec![expected[node]],
+            "failed deploys must not disturb the serving model"
+        );
+    }
+    let (_, stats) = engine.shutdown();
+    for shard in &stats.shards {
+        assert_eq!(shard.deploys, 0);
+    }
+}
+
+#[test]
+fn install_drops_the_cache_even_under_an_epoch_collision() {
+    // Epoch numbers are process-local, so a snapshot from another
+    // worker could legitimately collide with the serving epoch while
+    // carrying different weights. The install path must therefore drop
+    // the cache outright rather than trust the epoch key. Observable
+    // here with a same-epoch snapshot: warmed nodes re-enter the
+    // enclave (fresh misses) after the deploy instead of hitting.
+    let (vault, x, _) = toy_vault(12, RectifierKind::Series);
+    let snapshot = vault.snapshot();
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch_nodes: 4,
+                max_delay: Duration::from_millis(1),
+                max_queue_requests: 256,
+            },
+            sessions: 1,
+            cache_capacity: 256,
+            shards: 1,
+        },
+    );
+    let handle = engine.handle();
+    handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap();
+    handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap(); // all hits
+    engine
+        .deploy(&snapshot, SealKey(7))
+        .expect("same-model snapshot installs cleanly");
+    handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap(); // must miss again
+    let (_, stats) = engine.shutdown();
+    assert_eq!(
+        stats.cache_misses, 8,
+        "the 4 warmed nodes must re-enter the enclave after the install"
+    );
+    assert_eq!(stats.cache_hits, 4);
+    assert_eq!(stats.shards[0].deploys, 1);
 }

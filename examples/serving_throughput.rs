@@ -80,8 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sequential_transitions as f64 / sample.len() as f64,
     );
 
-    // --- 2 & 3. the serving engine, without and with the cache ----------
-    for (label, cache_capacity) in [("batching only", 0), ("batching + LRU cache", num_nodes)] {
+    // --- 2..4. the serving engine: batching, + cache, + shards ----------
+    for (label, cache_capacity, shards) in [
+        ("batching only", 0, 1),
+        ("batching + LRU cache", num_nodes, 1),
+        ("4 shards + LRU cache", num_nodes, 4),
+    ] {
         let config = ServeConfig {
             policy: BatchPolicy {
                 max_batch_nodes: 64,
@@ -90,6 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             sessions: 2,
             cache_capacity,
+            shards,
         };
         let engine = ServingEngine::start(vault, data.features.clone(), config);
         let start = Instant::now();
@@ -133,6 +138,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.drain_flushes,
             stats.cache_hit_rate() * 100.0,
         );
+        for shard in &stats.shards {
+            println!(
+                "  shard {}: {} requests, {} batches ({} full / {} deadline / {} drain)",
+                shard.shard,
+                shard.requests,
+                shard.batches,
+                shard.full_flushes,
+                shard.deadline_flushes,
+                shard.drain_flushes,
+            );
+        }
         for session in &stats.sessions {
             println!(
                 "  session {}: {} batches, {:.2} ms accounted, {} KiB transferred",
@@ -143,5 +159,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+
+    // --- 5. zero-downtime hot swap ---------------------------------------
+    // Snapshot the model, keep serving, and swap the (re)deployed
+    // snapshot in across every shard without dropping a request.
+    let snapshot = vault.snapshot();
+    println!(
+        "
+hot swap: sealed snapshot is {} KiB (epoch {})",
+        snapshot.sealed_nbytes() / 1024,
+        snapshot.epoch(),
+    );
+    let engine = ServingEngine::start(
+        vault,
+        data.features.clone(),
+        ServeConfig {
+            shards: 2,
+            cache_capacity: num_nodes,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = engine.handle();
+    handle.submit(vec![0, 1, 2])?.wait()?;
+    // NOTE: restoring the snapshot installs a *replica of the same
+    // epoch*; a retrained vault would carry a fresh epoch and
+    // invalidate the caches. The drill is identical either way.
+    let epoch = engine.deploy(&snapshot, pipeline::DEPLOY_SEAL_KEY)?;
+    println!("  deploy(snapshot) installed epoch {epoch} on every shard");
+    handle.submit(vec![0, 1, 2])?.wait()?;
+    let (vault, stats) = engine.shutdown();
+    println!(
+        "  served {} queries across {} shards; {} hot swaps installed",
+        stats.answered_nodes,
+        stats.shards.len(),
+        stats.shards.iter().map(|s| s.deploys).sum::<u64>(),
+    );
+    drop(vault);
     Ok(())
 }
