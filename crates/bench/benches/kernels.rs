@@ -337,12 +337,15 @@ fn bench_serving_sharded(c: &mut Criterion) {
                     max_batch_nodes: 64,
                     max_delay: std::time::Duration::from_millis(1),
                     max_queue_requests: 8192,
+                    ..BatchPolicy::default()
                 },
                 sessions: 2,
                 cache_capacity: 0,
                 shards,
+                ..ServeConfig::default()
             },
-        );
+        )
+        .expect("engine start");
         let handle = engine.handle();
         group.bench_with_input(
             BenchmarkId::from_parameter(shards),

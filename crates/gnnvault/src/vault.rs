@@ -3,6 +3,7 @@ use graph::{normalization, Graph};
 use linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tee::{
     codec, AllocationId, ClassLabel, CostModel, EnclaveSession, EnclaveSim, Meter,
     OverBudgetPolicy, Phase, SealKey, Sealed, SessionId, UntrustedToEnclave,
@@ -281,6 +282,15 @@ impl Vault {
         (0..count)
             .map(|_| Self::restore(&snapshot, self.seal_key))
             .collect()
+    }
+
+    /// Bundles a sealed snapshot of this vault's *current* model with
+    /// the deployment key into a [`RecoveryHandle`], the unit a
+    /// supervisor retains per worker so a crashed replica can be
+    /// restored without reaching back to the original vault (which may
+    /// live on another thread — or not exist any more).
+    pub fn recovery_handle(&self) -> RecoveryHandle {
+        RecoveryHandle::new(self.snapshot(), self.seal_key)
     }
 
     /// Deployment epoch of this vault: unique within the current
@@ -703,6 +713,70 @@ impl Vault {
     }
 }
 
+/// A self-contained recipe for rebuilding one vault replica: a sealed
+/// [`VaultSnapshot`] plus the deployment [`SealKey`] it was sealed
+/// under.
+///
+/// This is the retention unit of a supervised serving runtime: each
+/// worker keeps the handle of the model it is currently serving, so a
+/// crashed replica can be restored in place ([`RecoveryHandle::restore`])
+/// and a failed hot-swap can roll back to the previously installed
+/// epoch — without reaching back to the original vault, which may be
+/// owned by another thread or already gone. The snapshot is shared
+/// behind an [`Arc`], so cloning a handle (e.g. keeping the previous
+/// epoch for rollback) does not copy the sealed payload.
+///
+/// The seal key inside is deployment-secret material; `Debug` redacts
+/// it.
+#[derive(Clone)]
+pub struct RecoveryHandle {
+    snapshot: Arc<VaultSnapshot>,
+    seal_key: SealKey,
+}
+
+impl RecoveryHandle {
+    /// Wraps a snapshot and the key it was sealed under.
+    pub fn new(snapshot: VaultSnapshot, seal_key: SealKey) -> Self {
+        Self::from_shared(Arc::new(snapshot), seal_key)
+    }
+
+    /// Like [`RecoveryHandle::new`], but reuses an already-shared
+    /// snapshot (no payload copy).
+    pub fn from_shared(snapshot: Arc<VaultSnapshot>, seal_key: SealKey) -> Self {
+        Self { snapshot, seal_key }
+    }
+
+    /// The epoch this handle restores to.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Number of nodes in the snapshotted deployment.
+    pub fn num_nodes(&self) -> usize {
+        self.snapshot.num_nodes()
+    }
+
+    /// Rebuilds a fresh replica from the retained snapshot — the
+    /// supervisor's restart path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vault::restore`].
+    pub fn restore(&self) -> Result<Vault, VaultError> {
+        Vault::restore(&self.snapshot, self.seal_key)
+    }
+}
+
+impl std::fmt::Debug for RecoveryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryHandle")
+            .field("epoch", &self.snapshot.epoch())
+            .field("num_nodes", &self.snapshot.num_nodes())
+            .field("seal_key", &"<redacted>")
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,6 +1008,26 @@ mod tests {
             assert_eq!(replica_labels, labels);
         }
         assert!(vault.spawn_replicas(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn recovery_handle_restores_a_bit_identical_replica() {
+        let (mut vault, x, _) = toy_vault(RectifierKind::Series);
+        let (labels, _) = vault.infer(&x).unwrap();
+        let handle = vault.recovery_handle();
+        assert_eq!(handle.epoch(), vault.epoch());
+        assert_eq!(handle.num_nodes(), vault.num_nodes());
+        // Cloning shares the sealed payload; both handles restore.
+        let retained = handle.clone();
+        for h in [handle, retained] {
+            let mut revived = h.restore().unwrap();
+            assert_eq!(revived.epoch(), vault.epoch());
+            let (revived_labels, _) = revived.infer(&x).unwrap();
+            assert_eq!(revived_labels, labels);
+        }
+        let debug = format!("{:?}", vault.recovery_handle());
+        assert!(debug.contains("<redacted>"), "seal key must not leak");
+        assert!(!debug.contains("SealKey(7"), "seal key must not leak");
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! the pending node count reaches [`BatchPolicy::max_batch_nodes`]
 //! (size bound) or when the oldest pending request has waited
 //! [`BatchPolicy::max_delay`] (deadline bound — a lone request is never
-//! stranded waiting for peers). Admission control caps the queue at
-//! [`BatchPolicy::max_queue_requests`] outstanding requests so overload
-//! degrades into fast rejections instead of unbounded latency.
+//! stranded waiting for peers). Admission control degrades overload in
+//! two stages: past [`BatchPolicy::shed_high_water`] pending requests
+//! the queue *sheds* new arrivals with [`ServeError::Overloaded`] and a
+//! retry-after hint, and at the hard cap
+//! [`BatchPolicy::max_queue_requests`] it rejects outright — either way
+//! latency stays bounded instead of growing without limit.
 
 use crate::ServeError;
 use std::collections::VecDeque;
@@ -28,15 +31,24 @@ pub struct BatchPolicy {
     pub max_delay: Duration,
     /// Reject new requests once this many are already queued.
     pub max_queue_requests: usize,
+    /// Load-shedding high-water mark: once this many requests are
+    /// pending, new submissions fail fast with
+    /// [`ServeError::Overloaded`] (carrying a retry-after hint) instead
+    /// of queueing toward the hard cap. Set it at or above
+    /// [`BatchPolicy::max_queue_requests`] to disable shedding (the cap
+    /// check fires first).
+    pub shed_high_water: usize,
 }
 
 impl Default for BatchPolicy {
-    /// 64-node batches, a 2 ms flush deadline, and a 4096-request queue.
+    /// 64-node batches, a 2 ms flush deadline, a 4096-request queue,
+    /// and shedding from 3072 pending requests (3/4 of the cap).
     fn default() -> Self {
         Self {
             max_batch_nodes: 64,
             max_delay: Duration::from_millis(2),
             max_queue_requests: 4096,
+            shed_high_water: 3072,
         }
     }
 }
@@ -68,8 +80,8 @@ pub enum BatchPoll {
 /// One admitted request, as handed to the serving worker.
 ///
 /// The worker answers it with [`PendingRequest::respond`]; dropping it
-/// unanswered resolves the client's [`Ticket`] to
-/// [`ServeError::Closed`].
+/// unanswered (a worker death) resolves the client's [`Ticket`] to
+/// [`ServeError::ShardFailed`] — a typed error, never a hang.
 #[derive(Debug)]
 pub struct PendingRequest {
     nodes: Vec<usize>,
@@ -88,6 +100,13 @@ impl PendingRequest {
         self.enqueued_at
     }
 
+    /// How long the request has been waiting since admission — the
+    /// quantity the worker checks against
+    /// [`ServeConfig::request_timeout`](crate::ServeConfig).
+    pub fn waited(&self) -> Duration {
+        self.enqueued_at.elapsed()
+    }
+
     /// Resolves the client's ticket. A client that dropped its ticket
     /// is silently skipped.
     pub fn respond(self, result: Result<Vec<ClassLabel>, ServeError>) {
@@ -102,6 +121,9 @@ impl PendingRequest {
 struct TicketPart {
     receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>,
     positions: Option<Vec<usize>>,
+    /// The shard whose worker will answer this part; a disconnected
+    /// responder resolves to [`ServeError::ShardFailed`] for it.
+    shard: usize,
 }
 
 /// The client half of one submitted request: blocks until the serving
@@ -118,12 +140,17 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Wraps a single answer channel covering the whole request.
-    pub(crate) fn from_receiver(receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>) -> Ticket {
+    /// Wraps a single answer channel covering the whole request,
+    /// answered by `shard`'s worker.
+    pub(crate) fn from_receiver(
+        receiver: Receiver<Result<Vec<ClassLabel>, ServeError>>,
+        shard: usize,
+    ) -> Ticket {
         Ticket {
             parts: vec![TicketPart {
                 receiver,
                 positions: None,
+                shard,
             }],
             total: 0,
         }
@@ -148,10 +175,11 @@ impl Ticket {
         }
     }
 
-    /// Blocks until the request is answered. Returns
-    /// [`ServeError::Closed`] if the engine shut down before answering,
-    /// or the first per-shard error when any part of a routed request
-    /// failed.
+    /// Blocks until the request is answered. Returns the first
+    /// per-shard error when any part of a routed request failed;
+    /// in particular [`ServeError::ShardFailed`] when the answering
+    /// worker died without responding — a dropped responder resolves
+    /// the ticket, it never hangs.
     pub fn wait(self) -> Result<Vec<ClassLabel>, ServeError> {
         self.wait_until(None).expect("no deadline given")
     }
@@ -165,15 +193,16 @@ impl Ticket {
     fn wait_until(self, deadline: Option<Instant>) -> Option<Result<Vec<ClassLabel>, ServeError>> {
         let mut assembled = vec![ClassLabel(0); self.total];
         for part in self.parts {
+            // A disconnected responder means the worker died with the
+            // request in hand: a typed shard failure, never a hang.
+            let died = ServeError::ShardFailed { shard: part.shard };
             let result = match deadline {
-                None => part.receiver.recv().unwrap_or(Err(ServeError::Closed)),
+                None => part.receiver.recv().unwrap_or(Err(died)),
                 Some(deadline) => {
                     let timeout = deadline.saturating_duration_since(Instant::now());
                     match part.receiver.recv_timeout(timeout) {
                         Ok(result) => result,
-                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                            Err(ServeError::Closed)
-                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(died),
                         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => return None,
                     }
                 }
@@ -220,6 +249,7 @@ struct QueueState {
 ///     max_batch_nodes: 4,
 ///     max_delay: Duration::from_millis(1),
 ///     max_queue_requests: 16,
+///     shed_high_water: 16, // at the cap: shedding disabled
 /// });
 /// let t1 = queue.submit(vec![0, 1]).unwrap();
 /// let t2 = queue.submit(vec![2, 3]).unwrap();
@@ -240,20 +270,32 @@ struct QueueState {
 #[derive(Debug)]
 pub struct AdmissionQueue {
     policy: BatchPolicy,
+    /// Which engine shard this queue feeds (0 for a standalone queue):
+    /// stamped into every ticket so a dead worker resolves to a typed
+    /// [`ServeError::ShardFailed`] naming the culprit.
+    shard: usize,
     state: Mutex<QueueState>,
     arrived: Condvar,
 }
 
 impl AdmissionQueue {
-    /// Creates a queue with the given policy. Zero-valued size knobs are
-    /// clamped to 1 so the queue can always make progress.
+    /// Creates a standalone queue (shard 0) with the given policy.
+    /// Zero-valued size knobs are clamped to 1 so the queue can always
+    /// make progress.
     pub fn new(policy: BatchPolicy) -> Self {
+        Self::for_shard(policy, 0)
+    }
+
+    /// Like [`AdmissionQueue::new`], but feeding engine shard `shard`.
+    pub fn for_shard(policy: BatchPolicy, shard: usize) -> Self {
         Self {
             policy: BatchPolicy {
                 max_batch_nodes: policy.max_batch_nodes.max(1),
                 max_delay: policy.max_delay,
                 max_queue_requests: policy.max_queue_requests.max(1),
+                shed_high_water: policy.shed_high_water.max(1),
             },
+            shard,
             state: Mutex::new(QueueState::default()),
             arrived: Condvar::new(),
         }
@@ -280,7 +322,9 @@ impl AdmissionQueue {
     /// # Errors
     ///
     /// [`ServeError::Rejected`] for an empty node list or a full queue;
-    /// [`ServeError::Closed`] after [`close`](Self::close).
+    /// [`ServeError::Overloaded`] (with a retry-after hint) past the
+    /// shedding high-water mark; [`ServeError::Closed`] after
+    /// [`close`](Self::close).
     pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
         if nodes.is_empty() {
             return Err(ServeError::Rejected {
@@ -302,6 +346,12 @@ impl AdmissionQueue {
                     ),
                 });
             }
+            if state.pending.len() >= self.policy.shed_high_water {
+                return Err(ServeError::Overloaded {
+                    queued: state.pending.len(),
+                    retry_after: self.drain_hint(&state),
+                });
+            }
             state.pending_nodes += nodes.len();
             state.pending.push_back(PendingRequest {
                 nodes,
@@ -310,7 +360,18 @@ impl AdmissionQueue {
             });
         }
         self.arrived.notify_all();
-        Ok(Ticket::from_receiver(receiver))
+        Ok(Ticket::from_receiver(receiver, self.shard))
+    }
+
+    /// Estimates how long the present backlog takes to drain — the
+    /// retry-after hint attached to [`ServeError::Overloaded`]. Derived
+    /// from the pending node count and the flush cadence (one
+    /// `max_batch_nodes` batch per `max_delay` in the worst case),
+    /// clamped to stay a useful hint rather than a promise.
+    fn drain_hint(&self, state: &QueueState) -> Duration {
+        let pending_batches = state.pending_nodes / self.policy.max_batch_nodes + 1;
+        let per_batch = self.policy.max_delay.max(Duration::from_micros(500));
+        per_batch * pending_batches.min(64) as u32
     }
 
     /// Blocks until a batch is due and returns it, or `None` once the
@@ -429,6 +490,7 @@ mod tests {
             max_batch_nodes: max_nodes,
             max_delay: Duration::from_millis(delay_ms),
             max_queue_requests: cap,
+            shed_high_water: cap, // shedding off unless a test opts in
         }
     }
 
@@ -521,12 +583,36 @@ mod tests {
     }
 
     #[test]
-    fn unanswered_request_resolves_ticket_to_closed() {
-        let queue = AdmissionQueue::new(policy(1, 1, 100));
+    fn unanswered_request_resolves_ticket_to_shard_failed() {
+        let queue = AdmissionQueue::for_shard(policy(1, 1, 100), 3);
         let ticket = queue.submit(vec![0]).unwrap();
         let (batch, _) = queue.next_batch().unwrap();
         drop(batch); // worker dies without responding
-        assert_eq!(ticket.wait(), Err(ServeError::Closed));
+        assert_eq!(ticket.wait(), Err(ServeError::ShardFailed { shard: 3 }));
+    }
+
+    #[test]
+    fn high_water_mark_sheds_with_a_retry_hint() {
+        let queue = AdmissionQueue::new(BatchPolicy {
+            shed_high_water: 2,
+            ..policy(100, 1, 10)
+        });
+        let _a = queue.submit(vec![0]).unwrap();
+        let _b = queue.submit(vec![1]).unwrap();
+        match queue.submit(vec![2]) {
+            Err(ServeError::Overloaded {
+                queued,
+                retry_after,
+            }) => {
+                assert_eq!(queued, 2);
+                assert!(retry_after > Duration::ZERO, "hint must be actionable");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Shedding is softer than the cap: draining reopens admission.
+        let (batch, _) = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(queue.submit(vec![2]).is_ok());
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! The sharded serving runtime: N worker shards, each owning a vault
-//! replica restored from one sealed snapshot, fronted by a
-//! deterministic node-hash router, with zero-downtime model hot-swap.
+//! The sharded serving runtime: N supervised worker shards, each owning
+//! a vault replica restored from one sealed snapshot, fronted by a
+//! health-aware deterministic node-hash router, with zero-downtime
+//! model hot-swap and automatic crash recovery.
 //!
 //! ## Topology
 //!
@@ -32,7 +33,29 @@
 //! Every replica runs the same full-graph rectification with the same
 //! weights, so an N-shard engine's labels are bit-identical to a
 //! single-shard engine's — and to sequential [`Vault::infer`] — for any
-//! request stream (asserted in `tests/engine.rs`).
+//! request stream (asserted in `tests/engine.rs`). Supervision keeps
+//! the invariant: a restored shard serves the same retained snapshot,
+//! and a re-routed request is answered by a replica of the same model,
+//! so every *successful* answer is bit-identical to sequential
+//! inference no matter what failed around it.
+//!
+//! ## Failure model
+//!
+//! Each shard worker wraps batch execution in
+//! [`catch_unwind`](std::panic::catch_unwind). A panic fails only the
+//! batch in flight — its requests resolve to
+//! [`ServeError::ShardFailed`] — then the shard discards the
+//! (possibly poisoned) replica, marks itself [`ShardHealth::Down`] on
+//! the engine's [`HealthBoard`], and restores a fresh replica from its
+//! retained [`RecoveryHandle`] under capped exponential backoff.
+//! Handles route *new* requests around `Down` shards (trading cache
+//! affinity for availability, counted in
+//! [`ServeStats::rerouted_subrequests`]). Overload sheds at the
+//! admission high-water mark ([`ServeError::Overloaded`]), stale
+//! requests are dropped by the per-request timeout
+//! ([`ServeError::TimedOut`]), and [`ServingEngine::deploy`] is
+//! all-or-nothing: per-shard install retries with backoff, and rollback
+//! to the previously installed epoch when any shard still fails.
 //!
 //! ## Hot swap
 //!
@@ -43,18 +66,21 @@
 //! everything after that from the new epoch. Each shard's result cache
 //! is dropped at install (epoch numbers are process-local, so keying
 //! alone could not rule out a collision with a foreign snapshot), so a
-//! stale entry can never be served. `deploy` returns once
-//! every shard has installed the new epoch: responses to requests
-//! submitted after it returns are answered exclusively by the new
-//! model.
+//! stale entry can never be served. `deploy` returns `Ok` once every
+//! shard has installed the new epoch: responses to requests submitted
+//! after it returns are answered exclusively by the new model.
 
+#[cfg(feature = "fault-injection")]
+use crate::faults::{FaultPlan, ShardFaults};
 use crate::{
     AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, LruCache, PendingRequest, ServeError,
     Ticket,
 };
-use gnnvault::{InferenceReport, Vault, VaultSnapshot};
+use gnnvault::{InferenceReport, RecoveryHandle, Vault, VaultSnapshot};
 use linalg::DenseMatrix;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,8 +91,21 @@ use tee::{ClassLabel, SealKey};
 /// so this is a liveness backstop, not a latency bound.
 const CONTROL_POLL: Duration = Duration::from_millis(50);
 
+/// Ceiling for the supervisor's doubling restart backoff: however many
+/// attempts [`ServeConfig::max_restart_attempts`] allows, no single
+/// wait exceeds this.
+const RESTART_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+/// Base wait between per-shard snapshot-install retries inside
+/// [`ServingEngine::deploy`] (doubles per retry, capped).
+const DEPLOY_RETRY_BACKOFF: Duration = Duration::from_millis(1);
+
+/// Ceiling for the deploy retry backoff.
+const DEPLOY_RETRY_BACKOFF_CAP: Duration = Duration::from_millis(50);
+
 /// Configuration for [`ServingEngine::start`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(not(feature = "fault-injection"), derive(Copy))]
 pub struct ServeConfig {
     /// Batching and admission-control knobs, applied per shard.
     pub policy: BatchPolicy,
@@ -81,19 +120,159 @@ pub struct ServeConfig {
     /// ≥ 1). Node ids are hash-routed to shards, so raising this scales
     /// enclave throughput without changing any answer.
     pub shards: usize,
+    /// Per-request queue-time budget: a request that has already waited
+    /// longer than this when its batch is flushed is answered
+    /// [`ServeError::TimedOut`] instead of stale labels (and instead of
+    /// stalling shutdown or deploy behind it). `Duration::ZERO`
+    /// disables the check.
+    pub request_timeout: Duration,
+    /// Base supervisor backoff before the first restore attempt after a
+    /// shard panic; doubles per failed attempt, capped at 250 ms.
+    pub restart_backoff: Duration,
+    /// Restore attempts the supervisor makes before declaring the shard
+    /// permanently down (clamped to ≥ 1). A permanently down shard
+    /// answers everything routed at it with [`ServeError::ShardFailed`]
+    /// and is routed around; a later successful
+    /// [`ServingEngine::deploy`] resurrects it.
+    pub max_restart_attempts: u32,
+    /// Snapshot-install attempts per shard inside one
+    /// [`ServingEngine::deploy`] (clamped to ≥ 1), with doubling
+    /// backoff between attempts.
+    pub deploy_retries: u32,
+    /// Deterministic fault schedule for chaos testing (see
+    /// [`faults`](crate::faults)); `None` injects nothing. Only present
+    /// under the `fault-injection` cargo feature — without it,
+    /// `ServeConfig` is `Copy` and the engine compiles with no
+    /// injection hooks at all.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
     /// Default policy, one shard, two enclave sessions, 4096 cached
-    /// results.
+    /// results, no request timeout, 1 ms base restart backoff with 5
+    /// attempts, and 3 install attempts per shard per deploy.
     fn default() -> Self {
         Self {
             policy: BatchPolicy::default(),
             sessions: 2,
             cache_capacity: 4096,
             shards: 1,
+            request_timeout: Duration::ZERO,
+            restart_backoff: Duration::from_millis(1),
+            max_restart_attempts: 5,
+            deploy_retries: 3,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
+}
+
+/// The copyable per-worker slice of [`ServeConfig`] a shard thread
+/// carries (the full config may hold a non-`Copy` fault plan under the
+/// `fault-injection` feature).
+#[derive(Debug, Clone, Copy)]
+struct WorkerConfig {
+    sessions: usize,
+    cache_capacity: usize,
+    request_timeout: Duration,
+    restart_backoff: Duration,
+    max_restart_attempts: u32,
+    deploy_retries: u32,
+}
+
+impl WorkerConfig {
+    fn from_config(config: &ServeConfig) -> Self {
+        Self {
+            sessions: config.sessions.max(1),
+            cache_capacity: config.cache_capacity,
+            request_timeout: config.request_timeout,
+            restart_backoff: config.restart_backoff.max(Duration::from_micros(100)),
+            max_restart_attempts: config.max_restart_attempts.max(1),
+            deploy_retries: config.deploy_retries.max(1),
+        }
+    }
+}
+
+/// Health of one worker shard, as tracked on the [`HealthBoard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Recovered from a failure (or resurrected by a deploy) but has
+    /// not served a batch since; routed to normally.
+    Degraded,
+    /// Crashed and not yet restored (or permanently failed): handles
+    /// route new requests around it, and anything still queued at it is
+    /// answered [`ServeError::ShardFailed`] until it comes back.
+    Down,
+}
+
+impl ShardHealth {
+    fn as_u8(self) -> u8 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Down => 2,
+        }
+    }
+
+    fn from_u8(value: u8) -> Self {
+        match value {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Degraded,
+            _ => ShardHealth::Down,
+        }
+    }
+}
+
+/// Lock-free per-shard health states (one `AtomicU8` per shard), shared
+/// by the engine, its workers, and every [`ServeHandle`].
+///
+/// Workers flip their own entry (`Down` on panic, `Degraded` after a
+/// successful restore or deploy-resurrection, `Healthy` after the next
+/// successfully served batch); handles read it on every multi-shard
+/// submission to route around `Down` shards.
+#[derive(Debug)]
+pub struct HealthBoard {
+    states: Vec<AtomicU8>,
+}
+
+impl HealthBoard {
+    fn new(shards: usize) -> Self {
+        Self {
+            states: (0..shards.max(1))
+                .map(|_| AtomicU8::new(ShardHealth::Healthy.as_u8()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn num_shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Current health of `shard`.
+    pub fn state(&self, shard: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.states[shard].load(Ordering::Acquire))
+    }
+
+    /// Snapshot of every shard's health, in shard order.
+    pub fn states(&self) -> Vec<ShardHealth> {
+        (0..self.states.len()).map(|s| self.state(s)).collect()
+    }
+
+    fn set(&self, shard: usize, health: ShardHealth) {
+        self.states[shard].store(health.as_u8(), Ordering::Release);
+    }
+}
+
+/// Handle-side telemetry the workers never see: shed submissions and
+/// re-routed sub-requests, folded into [`ServeStats`] at shutdown.
+#[derive(Debug, Default)]
+struct FrontStats {
+    shed: AtomicU64,
+    rerouted: AtomicU64,
 }
 
 /// Deterministic node-id → shard router.
@@ -164,11 +343,11 @@ pub struct SessionStats {
     pub transferred_bytes: u64,
 }
 
-/// Per-shard serving statistics: the [`FlushReason`] balance, batch and
-/// failure counts, hot-swap installs, and this shard's session
-/// breakdown. One entry per shard lands in [`ServeStats::shards`], so
-/// operators can see deadline-vs-size flush balance (and load skew)
-/// per worker instead of only in aggregate.
+/// Per-shard serving statistics: the [`FlushReason`] balance, batch,
+/// failure, and recovery counts, hot-swap installs, and this shard's
+/// session breakdown. One entry per shard lands in
+/// [`ServeStats::shards`], so operators can see deadline-vs-size flush
+/// balance (and load skew) per worker instead of only in aggregate.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardStats {
     /// Shard index (also the routing target of
@@ -188,12 +367,23 @@ pub struct ShardStats {
     pub deadline_flushes: u64,
     /// Batches flushed while draining at shutdown.
     pub drain_flushes: u64,
-    /// Batches that failed inside this shard's vault.
+    /// Batches that failed inside this shard's vault (typed vault
+    /// errors) or died in a panic.
     pub failed_batches: u64,
+    /// Panics this shard's supervision caught mid-batch.
+    pub panics_caught: u64,
+    /// Successful supervisor restores after a caught panic.
+    pub restarts: u64,
+    /// Installs rolled back after a partially failed
+    /// [`ServingEngine::deploy`].
+    pub rollbacks: u64,
+    /// Requests this shard dropped for exceeding
+    /// [`ServeConfig::request_timeout`].
+    pub timed_out: u64,
     /// Model epochs hot-swapped in via [`ServingEngine::deploy`].
     pub deploys: u64,
     /// This shard's enclave sessions (sessions opened by a hot-swapped
-    /// replica are appended after the original vault's).
+    /// or restored replica are appended after the original vault's).
     pub sessions: Vec<SessionStats>,
 }
 
@@ -207,7 +397,7 @@ pub struct ShardStats {
 /// for single-node request streams the two notions coincide.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
-    /// Sub-requests answered (successfully or with a batch error).
+    /// Sub-requests answered (successfully or with a typed error).
     pub requests: u64,
     /// Node queries answered across all requests.
     pub answered_nodes: u64,
@@ -226,8 +416,25 @@ pub struct ServeStats {
     pub deadline_flushes: u64,
     /// Batches flushed while draining at shutdown.
     pub drain_flushes: u64,
-    /// Batches that failed inside a vault.
+    /// Batches that failed inside a vault or died in a panic.
     pub failed_batches: u64,
+    /// Panics caught by shard supervision (each fails one batch, never
+    /// the engine).
+    pub panics_caught: u64,
+    /// Successful supervisor restores of crashed shards.
+    pub shard_restarts: u64,
+    /// Installs rolled back by all-or-nothing [`ServingEngine::deploy`]
+    /// after another shard failed to install.
+    pub deploy_rollbacks: u64,
+    /// Requests dropped for exceeding
+    /// [`ServeConfig::request_timeout`].
+    pub timed_out_requests: u64,
+    /// Submissions shed at the admission high-water mark
+    /// ([`ServeError::Overloaded`]).
+    pub requests_shed: u64,
+    /// Sub-requests routed away from their home shard because it was
+    /// [`ShardHealth::Down`] — the degraded-mode availability trade.
+    pub rerouted_subrequests: u64,
     /// Enclave transitions (ECALLs) across all batches and shards.
     pub enclave_transitions: u64,
     /// Bytes marshalled into the enclaves across all batches.
@@ -299,6 +506,12 @@ impl ServeStats {
         self.deadline_flushes += shard.deadline_flushes;
         self.drain_flushes += shard.drain_flushes;
         self.failed_batches += shard.failed_batches;
+        self.panics_caught += shard.panics_caught;
+        self.shard_restarts += shard.shard_restarts;
+        self.deploy_rollbacks += shard.deploy_rollbacks;
+        self.timed_out_requests += shard.timed_out_requests;
+        self.requests_shed += shard.requests_shed;
+        self.rerouted_subrequests += shard.rerouted_subrequests;
         self.enclave_transitions += shard.enclave_transitions;
         self.transferred_bytes += shard.transferred_bytes;
         self.backbone_ns += shard.backbone_ns;
@@ -310,7 +523,8 @@ impl ServeStats {
 }
 
 /// Cloneable client handle onto a running engine: the router plus one
-/// admission queue per shard.
+/// admission queue per shard, consulting the [`HealthBoard`] to route
+/// around [`ShardHealth::Down`] shards.
 ///
 /// Node ids are validated at admission against the deployment's corpus
 /// size, so a bad id is rejected immediately instead of failing the
@@ -322,16 +536,23 @@ pub struct ServeHandle {
     queues: Vec<Arc<AdmissionQueue>>,
     router: Router,
     num_nodes: usize,
+    health: Arc<HealthBoard>,
+    front: Arc<FrontStats>,
 }
 
 impl ServeHandle {
     /// Submits a multi-node inference request; blocks nowhere. The
     /// returned labels (via [`Ticket::wait`]) are in request order.
     ///
+    /// Nodes whose home shard is [`ShardHealth::Down`] are routed to
+    /// the next live shard (every replica serves the same model, so the
+    /// answer is unchanged — only that shard's cache affinity is lost).
+    ///
     /// # Errors
     ///
     /// [`ServeError::Rejected`] on empty/out-of-range node lists or a
-    /// full shard queue; [`ServeError::Closed`] after shutdown began.
+    /// full shard queue; [`ServeError::Overloaded`] when the shard is
+    /// shedding load; [`ServeError::Closed`] after shutdown began.
     /// When a multi-shard submission fails part-way, already-admitted
     /// sub-requests are still answered by their shards, but into a
     /// dropped ticket — the request as a whole fails.
@@ -347,22 +568,29 @@ impl ServeHandle {
             });
         }
         if self.router.num_shards() == 1 {
-            return self.queues[0].submit(nodes);
+            return self.track_shed(self.queues[0].submit(nodes));
         }
         let total = nodes.len();
-        let mut per_shard: Vec<(Vec<usize>, Vec<usize>)> =
-            vec![(Vec::new(), Vec::new()); self.router.num_shards()];
+        let mut per_shard: Vec<(Vec<usize>, Vec<usize>, bool)> =
+            vec![(Vec::new(), Vec::new(), false); self.router.num_shards()];
         for (position, &node) in nodes.iter().enumerate() {
-            let (shard_nodes, positions) = &mut per_shard[self.router.shard_of(node)];
+            let home = self.router.shard_of(node);
+            let target = self.route_around_down(home);
+            let (shard_nodes, positions, rerouted) = &mut per_shard[target];
             shard_nodes.push(node);
             positions.push(position);
+            *rerouted |= target != home;
         }
         let mut parts = Vec::new();
-        for (shard, (shard_nodes, positions)) in per_shard.into_iter().enumerate() {
+        for (shard, (shard_nodes, positions, rerouted)) in per_shard.into_iter().enumerate() {
             if shard_nodes.is_empty() {
                 continue;
             }
-            parts.push((self.queues[shard].submit(shard_nodes)?, positions));
+            let ticket = self.track_shed(self.queues[shard].submit(shard_nodes))?;
+            if rerouted {
+                self.front.rerouted.fetch_add(1, Ordering::Relaxed);
+            }
+            parts.push((ticket, positions));
         }
         Ok(Ticket::from_routed_parts(parts, total))
     }
@@ -386,6 +614,39 @@ impl ServeHandle {
     pub fn router(&self) -> Router {
         self.router
     }
+
+    /// The engine's live per-shard health board.
+    pub fn health(&self) -> &HealthBoard {
+        &self.health
+    }
+
+    /// Picks the serving shard for a sub-request whose home is `home`:
+    /// the home itself unless it is `Down`, otherwise the next live
+    /// shard (wrapping). With every shard down the home keeps the
+    /// request — its worker answers a typed [`ServeError::ShardFailed`]
+    /// rather than letting anything hang.
+    fn route_around_down(&self, home: usize) -> usize {
+        if self.health.state(home) != ShardHealth::Down {
+            return home;
+        }
+        let shards = self.router.num_shards();
+        for offset in 1..shards {
+            let candidate = (home + offset) % shards;
+            if self.health.state(candidate) != ShardHealth::Down {
+                return candidate;
+            }
+        }
+        home
+    }
+
+    /// Counts [`ServeError::Overloaded`] admissions for the shutdown
+    /// stats while passing the result through.
+    fn track_shed(&self, result: Result<Ticket, ServeError>) -> Result<Ticket, ServeError> {
+        if matches!(result, Err(ServeError::Overloaded { .. })) {
+            self.front.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
 }
 
 /// Control messages the engine sends to a shard worker between batches.
@@ -396,6 +657,11 @@ enum ShardControl {
         seal_key: SealKey,
         ack: Sender<Result<u64, ServeError>>,
     },
+    /// Reinstall the epoch retained before the last install — the
+    /// all-or-nothing deploy's compensation step.
+    Rollback {
+        ack: Sender<Result<u64, ServeError>>,
+    },
 }
 
 /// One worker shard: its queue, its control channel, and the worker
@@ -403,7 +669,7 @@ enum ShardControl {
 struct Shard {
     queue: Arc<AdmissionQueue>,
     control: Sender<ShardControl>,
-    worker: Option<std::thread::JoinHandle<(Vault, ServeStats)>>,
+    worker: Option<std::thread::JoinHandle<(Option<Vault>, ServeStats)>>,
 }
 
 /// The set of worker shards behind a running engine.
@@ -421,10 +687,10 @@ impl ShardSet {
 }
 
 /// A running sharded vault-serving engine: a [`Router`] over per-shard
-/// admission queues, caches, and enclave workers.
+/// admission queues, caches, and supervised enclave workers.
 ///
 /// See the crate-level example for the serving quickstart. End a run
-/// with [`shutdown`](Self::shutdown) to get the (shard 0) vault and the
+/// with [`shutdown`](Self::shutdown) to get a surviving vault and the
 /// aggregated stats back; merely dropping the engine (e.g. on an early
 /// return) closes every queue so the workers drain, answer what they
 /// can, and exit — but the vaults they own are then dropped with them.
@@ -433,6 +699,8 @@ pub struct ServingEngine {
     set: ShardSet,
     router: Router,
     num_nodes: usize,
+    health: Arc<HealthBoard>,
+    front: Arc<FrontStats>,
 }
 
 impl std::fmt::Debug for ShardSet {
@@ -459,63 +727,108 @@ impl ServingEngine {
     /// Shard 0 takes ownership of `vault`; shards `1..N` each own a
     /// replica restored from one shared sealed snapshot
     /// ([`Vault::spawn_replicas`] — one encode/seal pass however many
-    /// shards), sharing the vault's epoch.
-    /// [`shutdown`](Self::shutdown) returns shard 0's (current) vault
-    /// together with the run's statistics.
+    /// shards), sharing the vault's epoch. Every shard also retains a
+    /// [`RecoveryHandle`] of that snapshot, the supervisor's restore
+    /// source should the shard crash.
+    /// [`shutdown`](Self::shutdown) returns a surviving vault together
+    /// with the run's statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `features` has a different row count than the
-    /// vault's deployed graph — the corpus and the graph must describe
-    /// the same nodes, and catching the mismatch here keeps admission
-    /// validation aligned with what [`Vault::infer_batch`] will accept.
-    /// Also panics if a replica cannot be spawned, which (with a
-    /// self-produced snapshot) indicates an internal bug rather than a
-    /// recoverable condition.
-    pub fn start(vault: Vault, features: DenseMatrix, config: ServeConfig) -> Self {
-        assert_eq!(
-            features.rows(),
-            vault.num_nodes(),
-            "serving corpus must have one feature row per deployed graph node"
-        );
+    /// [`ServeError::Rejected`] when `features` has a different row
+    /// count than the vault's deployed graph (the corpus and the graph
+    /// must describe the same nodes — catching the mismatch here keeps
+    /// admission validation aligned with what [`Vault::infer_batch`]
+    /// will accept), [`ServeError::Vault`] when a replica cannot be
+    /// spawned, and [`ServeError::StartFailed`] when a worker thread
+    /// cannot be spawned. Start failures leave nothing running: any
+    /// worker spawned before the failure drains and exits.
+    pub fn start(
+        vault: Vault,
+        features: DenseMatrix,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if features.rows() != vault.num_nodes() {
+            return Err(ServeError::Rejected {
+                reason: format!(
+                    "serving corpus has {} feature rows for {} deployed graph nodes",
+                    features.rows(),
+                    vault.num_nodes()
+                ),
+            });
+        }
         let shard_count = config.shards.max(1);
         let num_nodes = vault.num_nodes();
         let features = Arc::new(features);
+        let health = Arc::new(HealthBoard::new(shard_count));
+        let front = Arc::new(FrontStats::default());
+        let wcfg = WorkerConfig::from_config(&config);
+
+        // One sealed snapshot of the starting model serves as every
+        // shard's retained recovery source until a deploy replaces it.
+        let retained = vault.recovery_handle();
 
         // Shard 0 serves the original; 1..N serve replicas restored
         // from one shared snapshot (one encode/seal pass, N-1 restores).
         let mut vaults = vault
             .spawn_replicas(shard_count - 1)
-            .unwrap_or_else(|e| panic!("spawn {} shard replicas: {e}", shard_count - 1));
+            .map_err(ServeError::Vault)?;
         vaults.insert(0, vault);
 
-        let shards = vaults
-            .into_iter()
-            .enumerate()
-            .map(|(index, vault)| {
-                let queue = Arc::new(AdmissionQueue::new(config.policy));
-                let (control, control_rx) = channel();
-                let worker_queue = Arc::clone(&queue);
-                let worker_features = Arc::clone(&features);
-                let worker = std::thread::Builder::new()
-                    .name(format!("vault-serve-shard-{index}"))
-                    .spawn(move || {
-                        ShardWorker::new(index, vault, worker_features, &config)
-                            .run(&worker_queue, &control_rx)
-                    })
-                    .expect("spawn vault-serve shard worker");
-                Shard {
+        let mut shards: Vec<Shard> = Vec::with_capacity(shard_count);
+        for (index, vault) in vaults.into_iter().enumerate() {
+            let queue = Arc::new(AdmissionQueue::for_shard(config.policy, index));
+            let (control, control_rx) = channel();
+            let worker_queue = Arc::clone(&queue);
+            let worker_features = Arc::clone(&features);
+            let worker_health = Arc::clone(&health);
+            let worker_retained = retained.clone();
+            #[cfg(feature = "fault-injection")]
+            let worker_faults = config
+                .fault_plan
+                .as_ref()
+                .map(|plan| plan.shard_faults(index))
+                .unwrap_or_default();
+            let spawned = std::thread::Builder::new()
+                .name(format!("vault-serve-shard-{index}"))
+                .spawn(move || {
+                    ShardWorker::new(
+                        index,
+                        vault,
+                        worker_features,
+                        wcfg,
+                        worker_health,
+                        worker_retained,
+                        #[cfg(feature = "fault-injection")]
+                        worker_faults,
+                    )
+                    .run(&worker_queue, &control_rx)
+                });
+            match spawned {
+                Ok(worker) => shards.push(Shard {
                     queue,
                     control,
                     worker: Some(worker),
+                }),
+                Err(e) => {
+                    // Unwind cleanly: close the queues so the already
+                    // spawned workers drain and exit on their own.
+                    for shard in &shards {
+                        shard.queue.close();
+                    }
+                    return Err(ServeError::StartFailed {
+                        reason: format!("spawn worker thread for shard {index}: {e}"),
+                    });
                 }
-            })
-            .collect();
-        Self {
+            }
+        }
+        Ok(Self {
             set: ShardSet { shards },
             router: Router::new(shard_count),
             num_nodes,
-        }
+            health,
+            front,
+        })
     }
 
     /// A cloneable submission handle. Hand one to every client thread.
@@ -529,12 +842,19 @@ impl ServingEngine {
                 .collect(),
             router: self.router,
             num_nodes: self.num_nodes,
+            health: Arc::clone(&self.health),
+            front: Arc::clone(&self.front),
         }
     }
 
     /// Number of shards serving this deployment.
     pub fn num_shards(&self) -> usize {
         self.router.num_shards()
+    }
+
+    /// The live per-shard health board (shared with every handle).
+    pub fn health(&self) -> &HealthBoard {
+        &self.health
     }
 
     /// Number of queued (not yet batched) sub-requests right now,
@@ -544,20 +864,26 @@ impl ServingEngine {
     }
 
     /// Installs a new model epoch across all shards with zero downtime
-    /// and returns the new epoch.
+    /// and returns the new epoch. All-or-nothing: when any shard fails
+    /// all its install attempts, every shard that *did* install is
+    /// rolled back to the previously retained epoch and the first
+    /// error is returned — the engine never serves two models at once
+    /// past the call.
     ///
     /// `snapshot` is a sealed [`VaultSnapshot`] (from
     /// [`Vault::snapshot`] on the retrained vault) and `seal_key` the
     /// deployment key it was sealed under. Admission never pauses:
     /// each shard finishes its in-flight batch on the old epoch,
-    /// restores the replica between batches, and answers every later
-    /// batch from the new epoch. Each shard drops its result cache at
-    /// install — epoch keying alone could not rule out an epoch-number
-    /// collision with a snapshot minted in another process — so no
-    /// stale answer can survive the swap. When
-    /// `deploy` returns `Ok`, every shard has installed the new epoch,
-    /// so all responses to requests submitted afterwards come from the
-    /// new model.
+    /// restores the replica between batches (retrying up to
+    /// [`ServeConfig::deploy_retries`] times with backoff), and
+    /// answers every later batch from the new epoch. Each shard drops
+    /// its result cache at install — epoch keying alone could not rule
+    /// out an epoch-number collision with a snapshot minted in another
+    /// process — so no stale answer can survive the swap. A
+    /// [`ShardHealth::Down`] shard that installs successfully is
+    /// *resurrected* by the deploy. When `deploy` returns `Ok`, every
+    /// shard has installed the new epoch, so all responses to requests
+    /// submitted afterwards come from the new model.
     ///
     /// The corpus is unchanged — the snapshot must describe the same
     /// node set the engine was started with.
@@ -567,9 +893,9 @@ impl ServingEngine {
     /// [`ServeError::Rejected`] when the snapshot's node count differs
     /// from the served corpus, [`ServeError::Vault`] when a shard fails
     /// to restore it (wrong key, corrupt payload — the old model keeps
-    /// serving on every shard in that case, since restoration is
-    /// deterministic and fails identically everywhere), and
-    /// [`ServeError::Closed`] when the engine is shutting down.
+    /// serving everywhere after rollback), [`ServeError::ShardFailed`]
+    /// when a shard's ack channel died, and [`ServeError::Closed`] when
+    /// the engine is shutting down.
     pub fn deploy(&self, snapshot: &VaultSnapshot, seal_key: SealKey) -> Result<u64, ServeError> {
         if snapshot.num_nodes() != self.num_nodes {
             return Err(ServeError::Rejected {
@@ -582,7 +908,7 @@ impl ServingEngine {
         }
         let snapshot = Arc::new(snapshot.clone());
         let mut acks = Vec::with_capacity(self.set.shards.len());
-        for shard in &self.set.shards {
+        for (index, shard) in self.set.shards.iter().enumerate() {
             let (ack, ack_rx) = channel();
             shard
                 .control
@@ -594,152 +920,154 @@ impl ServingEngine {
                 .map_err(|_| ServeError::Closed)?;
             // Wake the worker if it is idling in a queue poll.
             shard.queue.notify();
-            acks.push(ack_rx);
+            acks.push((index, ack_rx));
         }
-        let mut epoch = 0;
-        for ack in acks {
-            epoch = ack.recv().unwrap_or(Err(ServeError::Closed))?;
+        // Collect *every* ack before deciding: an early return on the
+        // first failure would leave later shards' installs unobserved —
+        // and possibly installed, splitting the engine across epochs.
+        let results: Vec<(usize, Result<u64, ServeError>)> = acks
+            .into_iter()
+            .map(|(index, ack)| {
+                let result = ack
+                    .recv()
+                    .unwrap_or(Err(ServeError::ShardFailed { shard: index }));
+                (index, result)
+            })
+            .collect();
+        let first_error = results
+            .iter()
+            .find_map(|(_, result)| result.as_ref().err().cloned());
+        let Some(error) = first_error else {
+            let epoch = results
+                .first()
+                .and_then(|(_, result)| result.as_ref().ok().copied())
+                .expect("engine has at least one shard");
+            return Ok(epoch);
+        };
+        // All-or-nothing: compensate the shards that did install.
+        let mut rollback_acks = Vec::new();
+        for (index, result) in &results {
+            if result.is_err() {
+                continue;
+            }
+            let (ack, ack_rx) = channel();
+            let shard = &self.set.shards[*index];
+            if shard.control.send(ShardControl::Rollback { ack }).is_ok() {
+                shard.queue.notify();
+                rollback_acks.push(ack_rx);
+            }
         }
-        Ok(epoch)
+        for ack in rollback_acks {
+            // Rollback reinstalls a snapshot that already restored once
+            // on this shard; await it so the engine is single-epoch
+            // again before the error surfaces.
+            let _ = ack.recv();
+        }
+        Err(error)
     }
 
     /// Stops admission, drains and answers every already-admitted
-    /// request on all shards, and joins the workers; returns shard 0's
-    /// vault and the run's aggregate statistics.
-    pub fn shutdown(mut self) -> (Vault, ServeStats) {
+    /// request on all shards, and joins the workers; returns a
+    /// surviving vault (the lowest-numbered live shard's — `None` only
+    /// if every shard died permanently) and the run's aggregate
+    /// statistics.
+    pub fn shutdown(mut self) -> (Option<Vault>, ServeStats) {
         self.set.close();
         let mut merged = ServeStats::default();
         let mut first_vault = None;
         for shard in &mut self.set.shards {
-            let (vault, stats) = shard
-                .worker
-                .take()
-                .expect("shutdown consumes the engine, so the workers are present")
-                .join()
-                .expect("vault-serve shard worker must not panic");
-            if first_vault.is_none() {
-                first_vault = Some(vault);
+            let Some(worker) = shard.worker.take() else {
+                continue;
+            };
+            match worker.join() {
+                Ok((vault, stats)) => {
+                    if first_vault.is_none() {
+                        first_vault = vault;
+                    }
+                    merged.merge(stats);
+                }
+                // A panic that escaped supervision (e.g. during drain
+                // bookkeeping) loses that shard's stats but must not
+                // poison shutdown for the others.
+                Err(_) => merged.panics_caught += 1,
             }
-            merged.merge(stats);
         }
-        (first_vault.expect("engine has at least one shard"), merged)
+        merged.requests_shed += self.front.shed.load(Ordering::Relaxed);
+        merged.rerouted_subrequests += self.front.rerouted.load(Ordering::Relaxed);
+        (first_vault, merged)
     }
 }
 
-/// The state owned by one shard's worker thread: the vault replica, its
-/// enclave sessions, the epoch-keyed result cache, and shard-local
-/// statistics.
+/// The state owned by one shard's worker thread: the vault replica (or
+/// `None` while crashed/permanently down), its enclave sessions, the
+/// epoch-keyed result cache, the retained recovery snapshot, and
+/// shard-local statistics.
 struct ShardWorker {
     shard: usize,
-    vault: Vault,
+    vault: Option<Vault>,
     features: Arc<DenseMatrix>,
     sessions: Vec<tee::EnclaveSession>,
     /// Maps the live session index to its slot in `stats.sessions`
-    /// (hot-swapped replicas append new slots; old ones stay for the
-    /// final report).
+    /// (hot-swapped or restored replicas append new slots; old ones
+    /// stay for the final report).
     session_slots: Vec<usize>,
     cache: LruCache<(u64, usize), ClassLabel>,
     epoch: u64,
+    /// The snapshot this shard restores from after a crash — replaced
+    /// on every successful install.
+    retained: RecoveryHandle,
+    /// The epoch retained before the last install — the rollback
+    /// target of an all-or-nothing deploy.
+    previous: Option<RecoveryHandle>,
+    /// Per-shard flushed-batch ordinal (1-based), the time axis of a
+    /// [`FaultPlan`](crate::faults::FaultPlan).
+    batch_seq: u64,
     deploys: u64,
+    wcfg: WorkerConfig,
+    health: Arc<HealthBoard>,
+    #[cfg(feature = "fault-injection")]
+    faults: ShardFaults,
     stats: ServeStats,
 }
 
 impl ShardWorker {
     fn new(
         shard: usize,
-        mut vault: Vault,
+        vault: Vault,
         features: Arc<DenseMatrix>,
-        config: &ServeConfig,
+        wcfg: WorkerConfig,
+        health: Arc<HealthBoard>,
+        retained: RecoveryHandle,
+        #[cfg(feature = "fault-injection")] faults: ShardFaults,
     ) -> Self {
-        let session_count = config.sessions.max(1);
-        let sessions: Vec<tee::EnclaveSession> =
-            (0..session_count).map(|_| vault.open_session()).collect();
-        let mut stats = ServeStats::default();
-        let session_slots = sessions
-            .iter()
-            .map(|s| {
-                stats.sessions.push(SessionStats {
-                    id: s.id().0,
-                    ..Default::default()
-                });
-                stats.sessions.len() - 1
-            })
-            .collect();
-        let epoch = vault.epoch();
-        Self {
+        let mut worker = Self {
             shard,
-            vault,
+            vault: None,
             features,
-            sessions,
-            session_slots,
-            cache: LruCache::new(config.cache_capacity),
-            epoch,
+            sessions: Vec::new(),
+            session_slots: Vec::new(),
+            cache: LruCache::new(wcfg.cache_capacity),
+            epoch: 0,
+            retained,
+            previous: None,
+            batch_seq: 0,
             deploys: 0,
-            stats,
-        }
-    }
-
-    /// The shard main loop: service control between batches, process
-    /// batches until the queue is closed and drained, then return the
-    /// vault and this shard's statistics (with its [`ShardStats`]
-    /// entry filled in).
-    fn run(
-        mut self,
-        queue: &AdmissionQueue,
-        control: &Receiver<ShardControl>,
-    ) -> (Vault, ServeStats) {
-        loop {
-            // Hot-swap deploys install strictly *between* batches:
-            // whatever was in flight drained on the old epoch.
-            while let Ok(ShardControl::Deploy {
-                snapshot,
-                seal_key,
-                ack,
-            }) = control.try_recv()
-            {
-                let _ = ack.send(self.install(&snapshot, seal_key));
-            }
-            match queue.poll_batch(CONTROL_POLL) {
-                BatchPoll::Batch(batch, reason) => self.process(batch, reason),
-                BatchPoll::Idle => continue,
-                BatchPoll::Drained => break,
-            }
-        }
-        // Late deploys that arrived after the drain finished cannot be
-        // honoured; fail them instead of leaving the caller hanging.
-        while let Ok(ShardControl::Deploy { ack, .. }) = control.try_recv() {
-            let _ = ack.send(Err(ServeError::Closed));
-        }
-        let shard_stats = ShardStats {
-            shard: self.shard,
-            requests: self.stats.requests,
-            answered_nodes: self.stats.answered_nodes,
-            batches: self.stats.batches,
-            enclave_batches: self.stats.enclave_batches,
-            full_flushes: self.stats.full_flushes,
-            deadline_flushes: self.stats.deadline_flushes,
-            drain_flushes: self.stats.drain_flushes,
-            failed_batches: self.stats.failed_batches,
-            deploys: self.deploys,
-            sessions: self.stats.sessions.clone(),
+            wcfg,
+            health,
+            #[cfg(feature = "fault-injection")]
+            faults,
+            stats: ServeStats::default(),
         };
-        self.stats.shards = vec![shard_stats];
-        (self.vault, self.stats)
+        worker.adopt(vault);
+        worker
     }
 
-    /// Restores the snapshot into a fresh replica and swaps it in. On
-    /// failure the old vault keeps serving untouched.
-    fn install(&mut self, snapshot: &VaultSnapshot, seal_key: SealKey) -> Result<u64, ServeError> {
-        let mut vault = Vault::restore(snapshot, seal_key).map_err(ServeError::Vault)?;
-        // Epoch numbers are only unique within the process that minted
-        // them; a snapshot shipped in from another worker could carry
-        // an epoch this cache already holds entries for — under a
-        // different model. Dropping the cache outright (instead of
-        // trusting the epoch key) makes the no-stale-answer guarantee
-        // unconditional; post-swap entries for the old epoch were dead
-        // weight anyway.
-        self.cache.clear();
-        let sessions: Vec<tee::EnclaveSession> = (0..self.sessions.len())
+    /// Swaps `vault` in as this shard's serving replica: opens fresh
+    /// enclave sessions (appending their stat slots), clears the result
+    /// cache, and adopts the vault's epoch. Used at startup, on
+    /// hot-swap install, on rollback, and on supervisor restore.
+    fn adopt(&mut self, mut vault: Vault) {
+        let sessions: Vec<tee::EnclaveSession> = (0..self.wcfg.sessions)
             .map(|_| vault.open_session())
             .collect();
         self.session_slots = sessions
@@ -752,17 +1080,175 @@ impl ShardWorker {
                 self.stats.sessions.len() - 1
             })
             .collect();
+        // Epoch numbers are only unique within the process that minted
+        // them; a snapshot shipped in from another worker could carry
+        // an epoch this cache already holds entries for — under a
+        // different model. Dropping the cache outright (instead of
+        // trusting the epoch key) makes the no-stale-answer guarantee
+        // unconditional; post-swap entries for the old epoch were dead
+        // weight anyway.
+        self.cache.clear();
         self.epoch = vault.epoch();
-        self.vault = vault;
+        self.vault = Some(vault);
         self.sessions = sessions;
-        self.deploys += 1;
-        Ok(self.epoch)
     }
 
-    /// Executes one flushed batch: resolve cached nodes, run the unique
-    /// remainder through the least-loaded enclave session, respond to
-    /// every request.
-    fn process(&mut self, batch: Vec<PendingRequest>, reason: FlushReason) {
+    /// The shard main loop: service control between batches, process
+    /// batches until the queue is closed and drained, then return the
+    /// vault (if the shard is alive) and this shard's statistics (with
+    /// its [`ShardStats`] entry filled in).
+    fn run(
+        mut self,
+        queue: &AdmissionQueue,
+        control: &Receiver<ShardControl>,
+    ) -> (Option<Vault>, ServeStats) {
+        loop {
+            // Hot-swap deploys and rollbacks install strictly *between*
+            // batches: whatever was in flight drained on the old epoch.
+            while let Ok(message) = control.try_recv() {
+                self.control(message);
+            }
+            match queue.poll_batch(CONTROL_POLL) {
+                BatchPoll::Batch(batch, reason) => self.handle_batch(batch, reason),
+                BatchPoll::Idle => continue,
+                BatchPoll::Drained => break,
+            }
+        }
+        // Late control messages that arrived after the drain finished
+        // cannot be honoured; fail them instead of leaving the caller
+        // hanging.
+        while let Ok(message) = control.try_recv() {
+            match message {
+                ShardControl::Deploy { ack, .. } | ShardControl::Rollback { ack } => {
+                    let _ = ack.send(Err(ServeError::Closed));
+                }
+            }
+        }
+        let shard_stats = ShardStats {
+            shard: self.shard,
+            requests: self.stats.requests,
+            answered_nodes: self.stats.answered_nodes,
+            batches: self.stats.batches,
+            enclave_batches: self.stats.enclave_batches,
+            full_flushes: self.stats.full_flushes,
+            deadline_flushes: self.stats.deadline_flushes,
+            drain_flushes: self.stats.drain_flushes,
+            failed_batches: self.stats.failed_batches,
+            panics_caught: self.stats.panics_caught,
+            restarts: self.stats.shard_restarts,
+            rollbacks: self.stats.deploy_rollbacks,
+            timed_out: self.stats.timed_out_requests,
+            deploys: self.deploys,
+            sessions: self.stats.sessions.clone(),
+        };
+        self.stats.shards = vec![shard_stats];
+        (self.vault.take(), self.stats)
+    }
+
+    /// Services one control message, acking the outcome.
+    fn control(&mut self, message: ShardControl) {
+        match message {
+            ShardControl::Deploy {
+                snapshot,
+                seal_key,
+                ack,
+            } => {
+                let _ = ack.send(self.install(&snapshot, seal_key));
+            }
+            ShardControl::Rollback { ack } => {
+                let _ = ack.send(self.rollback());
+            }
+        }
+    }
+
+    /// Restores the snapshot into a fresh replica (retrying per
+    /// [`ServeConfig::deploy_retries`] with doubling backoff) and swaps
+    /// it in, retaining it for crash recovery and keeping the previous
+    /// handle as the rollback target. On failure the old replica keeps
+    /// serving untouched. Installing into a down shard resurrects it.
+    fn install(
+        &mut self,
+        snapshot: &Arc<VaultSnapshot>,
+        seal_key: SealKey,
+    ) -> Result<u64, ServeError> {
+        let mut attempts_left = self.wcfg.deploy_retries;
+        let mut backoff = DEPLOY_RETRY_BACKOFF;
+        loop {
+            let restored = self.try_restore(snapshot, seal_key);
+            match restored {
+                Ok(vault) => {
+                    let was_down = self.vault.is_none();
+                    self.previous = Some(self.retained.clone());
+                    self.retained = RecoveryHandle::from_shared(Arc::clone(snapshot), seal_key);
+                    self.adopt(vault);
+                    self.deploys += 1;
+                    if was_down {
+                        self.health.set(self.shard, ShardHealth::Degraded);
+                    }
+                    return Ok(self.epoch);
+                }
+                Err(error) => {
+                    attempts_left -= 1;
+                    if attempts_left == 0 {
+                        return Err(ServeError::Vault(error));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(DEPLOY_RETRY_BACKOFF_CAP);
+                }
+            }
+        }
+    }
+
+    /// One snapshot-restore attempt, with the fault-injection hook for
+    /// scheduled install failures.
+    fn try_restore(
+        &mut self,
+        snapshot: &Arc<VaultSnapshot>,
+        seal_key: SealKey,
+    ) -> Result<Vault, gnnvault::VaultError> {
+        #[cfg(feature = "fault-injection")]
+        if self.faults.take_deploy_failure() {
+            return Err(gnnvault::VaultError::Snapshot {
+                reason: format!("injected fault: FailDeploy on shard {}", self.shard),
+            });
+        }
+        Vault::restore(snapshot, seal_key)
+    }
+
+    /// Reinstalls the epoch retained before the last install — the
+    /// compensation step of an all-or-nothing deploy. Consumes the
+    /// rollback target: a deploy that never installed here has nothing
+    /// to roll back (acked as an error, which the engine ignores).
+    fn rollback(&mut self) -> Result<u64, ServeError> {
+        let Some(previous) = self.previous.take() else {
+            return Err(ServeError::Rejected {
+                reason: format!("shard {} has no previous epoch to roll back to", self.shard),
+            });
+        };
+        match previous.restore() {
+            Ok(vault) => {
+                let was_down = self.vault.is_none();
+                self.retained = previous;
+                self.adopt(vault);
+                self.stats.deploy_rollbacks += 1;
+                if was_down {
+                    self.health.set(self.shard, ShardHealth::Degraded);
+                }
+                Ok(self.epoch)
+            }
+            Err(error) => {
+                self.previous = Some(previous);
+                Err(ServeError::Vault(error))
+            }
+        }
+    }
+
+    /// Executes one flushed batch under supervision: shed stale
+    /// requests, run the computation inside `catch_unwind`, respond to
+    /// every request with labels or a typed error, and recover the
+    /// shard if the computation panicked.
+    fn handle_batch(&mut self, mut batch: Vec<PendingRequest>, reason: FlushReason) {
+        self.batch_seq += 1;
         self.stats.batches += 1;
         match reason {
             FlushReason::Full => self.stats.full_flushes += 1,
@@ -770,13 +1256,143 @@ impl ShardWorker {
             FlushReason::Drain => self.stats.drain_flushes += 1,
         }
 
+        // A down shard answers typed failures immediately — queued
+        // requests drain fast instead of hanging behind a dead vault.
+        if self.vault.is_none() {
+            for request in batch {
+                self.stats.requests += 1;
+                request.respond(Err(ServeError::ShardFailed { shard: self.shard }));
+            }
+            return;
+        }
+
+        // Per-request timeout: a request that already overstayed its
+        // budget is dropped *before* spending enclave work on it.
+        if self.wcfg.request_timeout > Duration::ZERO {
+            let timeout = self.wcfg.request_timeout;
+            let mut live = Vec::with_capacity(batch.len());
+            for request in batch {
+                let waited = request.waited();
+                if waited > timeout {
+                    self.stats.requests += 1;
+                    self.stats.timed_out_requests += 1;
+                    request.respond(Err(ServeError::TimedOut { waited }));
+                } else {
+                    live.push(request);
+                }
+            }
+            batch = live;
+            if batch.is_empty() {
+                return;
+            }
+        }
+
+        // Injected stall: simulates slow enclave compute (after
+        // admission filtering, like the real thing).
+        #[cfg(feature = "fault-injection")]
+        if let Some(delay) = self.faults.slow_delay(self.batch_seq) {
+            std::thread::sleep(delay);
+        }
+        #[cfg(feature = "fault-injection")]
+        let inject_panic = self.faults.should_panic(self.batch_seq);
+
+        // Supervision boundary: the computation may panic (a vault bug,
+        // or an injected fault); responding happens outside it, so the
+        // batch's requests are never lost with the unwound stack.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            if inject_panic {
+                panic!(
+                    "injected fault: PanicAt {{ shard: {}, batch_n: {} }}",
+                    self.shard, self.batch_seq
+                );
+            }
+            self.compute(&batch)
+        }));
+        match outcome {
+            Ok(results) => {
+                debug_assert_eq!(results.len(), batch.len());
+                #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
+                let mut responses: Vec<(
+                    PendingRequest,
+                    Result<Vec<ClassLabel>, ServeError>,
+                )> = batch.into_iter().zip(results).collect();
+                // Injected answer drop: the work was done, but the
+                // first response is lost — its client's ticket resolves
+                // through the disconnect path.
+                #[cfg(feature = "fault-injection")]
+                if self.faults.should_drop(self.batch_seq) && !responses.is_empty() {
+                    let (request, _lost) = responses.remove(0);
+                    self.stats.requests += 1;
+                    drop(request);
+                }
+                for (request, result) in responses {
+                    self.stats.requests += 1;
+                    if let Ok(labels) = &result {
+                        self.stats.answered_nodes += labels.len() as u64;
+                    }
+                    request.respond(result);
+                }
+                // A completed batch proves a recovered shard out.
+                if self.health.state(self.shard) == ShardHealth::Degraded {
+                    self.health.set(self.shard, ShardHealth::Healthy);
+                }
+            }
+            Err(_) => {
+                // The replica's invariants may be torn mid-batch:
+                // answer the batch with a typed failure, discard the
+                // replica, and restore from the retained snapshot.
+                self.stats.panics_caught += 1;
+                self.stats.failed_batches += 1;
+                for request in batch {
+                    self.stats.requests += 1;
+                    request.respond(Err(ServeError::ShardFailed { shard: self.shard }));
+                }
+                self.recover();
+            }
+        }
+    }
+
+    /// The supervisor's restart path: mark the shard down, discard the
+    /// poisoned replica, and restore from the retained snapshot under
+    /// capped exponential backoff. Exhausting the attempts leaves the
+    /// shard permanently down (routed around; queued requests answer
+    /// [`ServeError::ShardFailed`]) until a deploy resurrects it.
+    fn recover(&mut self) {
+        self.health.set(self.shard, ShardHealth::Down);
+        self.vault = None;
+        self.sessions.clear();
+        self.session_slots.clear();
+        self.cache.clear();
+        let mut backoff = self.wcfg.restart_backoff;
+        for _ in 0..self.wcfg.max_restart_attempts {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(RESTART_BACKOFF_CAP);
+            match self.retained.restore() {
+                Ok(vault) => {
+                    self.adopt(vault);
+                    self.stats.shard_restarts += 1;
+                    self.health.set(self.shard, ShardHealth::Degraded);
+                    return;
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Computes one batch's per-request results: resolve cached nodes,
+    /// run the unique remainder through the least-loaded enclave
+    /// session. Pure compute — responding is the caller's job, so a
+    /// panic in here can never strand the batch's tickets.
+    fn compute(&mut self, batch: &[PendingRequest]) -> Vec<Result<Vec<ClassLabel>, ServeError>> {
+        let vault = self.vault.as_mut().expect("compute requires a live vault");
         // Resolve what the cache already knows; collect the unique
         // remainder for the enclave.
         let mut resolved: HashMap<usize, ClassLabel> = HashMap::new();
         let mut needed: HashSet<usize> = HashSet::new();
         let mut need: Vec<usize> = Vec::new();
         let mut occurrences = 0u64;
-        for request in &batch {
+        for request in batch {
             for &node in request.nodes() {
                 occurrences += 1;
                 if resolved.contains_key(&node) || needed.contains(&node) {
@@ -799,11 +1415,8 @@ impl ShardWorker {
             let session = (0..self.sessions.len())
                 .min_by_key(|&s| self.stats.sessions[self.session_slots[s]].accounted_ns)
                 .expect("at least one session");
-            let transitions_before = self.vault.enclave_transitions();
-            match self
-                .vault
-                .infer_batch(&mut self.sessions[session], &self.features, &need)
-            {
+            let transitions_before = vault.enclave_transitions();
+            match vault.infer_batch(&mut self.sessions[session], &self.features, &need) {
                 Ok((labels, report)) => {
                     for (&node, label) in need.iter().zip(labels) {
                         resolved.insert(node, label);
@@ -822,24 +1435,24 @@ impl ShardWorker {
                     // transition stats meter-exact.
                     self.stats.failed_batches += 1;
                     self.stats.enclave_transitions +=
-                        self.vault.enclave_transitions() - transitions_before;
-                    for request in batch {
-                        self.stats.requests += 1;
-                        let labels: Option<Vec<ClassLabel>> = request
-                            .nodes()
-                            .iter()
-                            .map(|node| resolved.get(node).copied())
-                            .collect();
-                        match labels {
-                            Some(labels) => {
-                                self.stats.answered_nodes += labels.len() as u64;
-                                self.stats.cache_hits += labels.len() as u64;
-                                request.respond(Ok(labels));
+                        vault.enclave_transitions() - transitions_before;
+                    return batch
+                        .iter()
+                        .map(|request| {
+                            let labels: Option<Vec<ClassLabel>> = request
+                                .nodes()
+                                .iter()
+                                .map(|node| resolved.get(node).copied())
+                                .collect();
+                            match labels {
+                                Some(labels) => {
+                                    self.stats.cache_hits += labels.len() as u64;
+                                    Ok(labels)
+                                }
+                                None => Err(ServeError::Vault(error.clone())),
                             }
-                            None => request.respond(Err(ServeError::Vault(error.clone()))),
-                        }
-                    }
-                    return;
+                        })
+                        .collect();
                 }
             }
         }
@@ -849,16 +1462,16 @@ impl ShardWorker {
         // else was cache- or batch-local.
         self.stats.cache_misses += need.len() as u64;
         self.stats.cache_hits += occurrences - need.len() as u64;
-        for request in batch {
-            let labels = request
-                .nodes()
-                .iter()
-                .map(|node| resolved[node])
-                .collect::<Vec<_>>();
-            self.stats.requests += 1;
-            self.stats.answered_nodes += labels.len() as u64;
-            request.respond(Ok(labels));
-        }
+        batch
+            .iter()
+            .map(|request| {
+                Ok(request
+                    .nodes()
+                    .iter()
+                    .map(|node| resolved[node])
+                    .collect::<Vec<_>>())
+            })
+            .collect()
     }
 }
 
@@ -869,14 +1482,23 @@ impl ShardWorker {
 /// before returning, so no worker thread can outlive the call. Useful
 /// for tests and offline (batch-file) scoring; long-running deployments
 /// should drive [`ServingEngine`] directly.
+///
+/// # Errors
+///
+/// Propagates [`ServingEngine::start`] failures.
+///
+/// # Panics
+///
+/// Panics if every shard died permanently during the run (possible only
+/// with an injected fault plan) — the vault to return no longer exists.
 #[allow(clippy::type_complexity)]
 pub fn serve_once(
     vault: Vault,
     features: DenseMatrix,
     config: ServeConfig,
     requests: &[Vec<usize>],
-) -> (Vec<Result<Vec<ClassLabel>, ServeError>>, Vault, ServeStats) {
-    let engine = ServingEngine::start(vault, features, config);
+) -> Result<(Vec<Result<Vec<ClassLabel>, ServeError>>, Vault, ServeStats), ServeError> {
+    let engine = ServingEngine::start(vault, features, config)?;
     let handle = engine.handle();
     let tickets: Vec<Result<Ticket, ServeError>> = requests
         .iter()
@@ -887,21 +1509,25 @@ pub fn serve_once(
         .map(|ticket| ticket.and_then(Ticket::wait))
         .collect();
     let (vault, stats) = engine.shutdown();
-    (results, vault, stats)
+    let vault = vault.expect("serve_once engine kept at least one shard alive");
+    Ok((results, vault, stats))
 }
 
 /// Builds a [`ServeConfig`] tuned for latency-insensitive bulk scoring:
 /// large batches, a generous deadline, one shard (maximal per-batch
-/// amortization), and a cache sized to the corpus.
+/// amortization), a cache sized to the corpus, and load shedding
+/// disabled (bulk submitters would rather queue than retry).
 pub fn bulk_config(corpus_nodes: usize) -> ServeConfig {
     ServeConfig {
         policy: BatchPolicy {
             max_batch_nodes: 512,
             max_delay: Duration::from_millis(20),
             max_queue_requests: 65_536,
+            shed_high_water: 65_536,
         },
         sessions: 2,
         cache_capacity: corpus_nodes,
         shards: 1,
+        ..ServeConfig::default()
     }
 }

@@ -1,7 +1,15 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Error type for the serving engine.
+///
+/// Every admitted request resolves to labels or to exactly one of these
+/// variants — never a hang. The variants split into *admission* errors
+/// (`Rejected`, `Overloaded`, `Closed`: the request never entered a
+/// batch queue and can be retried immediately or after the hint) and
+/// *execution* errors (`Vault`, `ShardFailed`, `TimedOut`: the request
+/// was admitted but could not be answered).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// Admission control refused the request (queue full, empty node
@@ -11,9 +19,42 @@ pub enum ServeError {
         /// Why the request was refused.
         reason: String,
     },
-    /// The engine has shut down (or its worker died); no further
-    /// requests can be answered.
+    /// Load shedding: the shard's queue depth crossed its high-water
+    /// mark ([`BatchPolicy::shed_high_water`](crate::BatchPolicy)), so
+    /// the request was turned away *before* the hard cap to keep
+    /// latency bounded. Unlike [`ServeError::Rejected`], this is purely
+    /// a load condition — retry after the hint.
+    Overloaded {
+        /// Requests pending on the shard when the request was shed.
+        queued: usize,
+        /// Estimated time until the backlog drains below the high-water
+        /// mark — a hint, not a guarantee.
+        retry_after: Duration,
+    },
+    /// The request waited in the queue longer than the engine's
+    /// per-request timeout
+    /// ([`ServeConfig::request_timeout`](crate::ServeConfig)) and was
+    /// dropped by the worker instead of being answered stale.
+    TimedOut {
+        /// How long the request had waited when the worker gave up on
+        /// it.
+        waited: Duration,
+    },
+    /// The engine has shut down; no further requests can be answered.
     Closed,
+    /// The shard serving this request panicked mid-batch (or is down
+    /// and draining). Only the batch in flight is lost: the supervisor
+    /// restores the shard from its retained snapshot, so a retry is
+    /// expected to succeed once the shard is healthy again.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+    },
+    /// The engine could not be started (worker thread spawn failed).
+    StartFailed {
+        /// What went wrong during startup.
+        reason: String,
+    },
     /// The batch this request rode in failed inside the vault.
     Vault(gnnvault::VaultError),
 }
@@ -22,7 +63,23 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            ServeError::Overloaded {
+                queued,
+                retry_after,
+            } => write!(
+                f,
+                "shard overloaded: {queued} requests queued; retry after {retry_after:?}"
+            ),
+            ServeError::TimedOut { waited } => {
+                write!(f, "request timed out after waiting {waited:?}")
+            }
             ServeError::Closed => write!(f, "serving engine is closed"),
+            ServeError::ShardFailed { shard } => {
+                write!(f, "shard {shard} failed while serving the request")
+            }
+            ServeError::StartFailed { reason } => {
+                write!(f, "serving engine failed to start: {reason}")
+            }
             ServeError::Vault(e) => write!(f, "batch failed in the vault: {e}"),
         }
     }
@@ -57,6 +114,28 @@ mod tests {
         assert!(Error::source(&e).is_none());
 
         assert!(ServeError::Closed.to_string().contains("closed"));
+
+        let e = ServeError::Overloaded {
+            queued: 9,
+            retry_after: Duration::from_millis(4),
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains('9'));
+        assert!(Error::source(&e).is_none());
+
+        let e = ServeError::TimedOut {
+            waited: Duration::from_millis(3),
+        };
+        assert!(e.to_string().contains("timed out"));
+
+        let e = ServeError::ShardFailed { shard: 2 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(Error::source(&e).is_none());
+
+        let e = ServeError::StartFailed {
+            reason: "no threads".into(),
+        };
+        assert!(e.to_string().contains("failed to start"));
 
         let e: ServeError = gnnvault::VaultError::InvalidConfig {
             reason: "bad".into(),

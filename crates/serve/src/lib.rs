@@ -30,7 +30,20 @@
 //! [`Vault::infer`](gnnvault::Vault::infer) would return, at any shard
 //! count. A retrained model hot-swaps in with zero downtime through
 //! [`ServingEngine::deploy`], which installs a sealed snapshot across
-//! all shards between batches.
+//! all shards between batches — all-or-nothing, with per-shard retries
+//! and rollback on partial failure.
+//!
+//! The engine is *supervised*: a shard that panics mid-batch fails only
+//! the batch in flight (typed [`ServeError::ShardFailed`]), is marked
+//! down on the shared [`HealthBoard`], restores itself from a retained
+//! sealed snapshot under capped exponential backoff, and is routed
+//! around until it comes back. Overload sheds at a high-water mark
+//! ([`ServeError::Overloaded`] with a retry hint) and stale requests
+//! are dropped by a per-request timeout ([`ServeError::TimedOut`]), so
+//! every admitted request resolves — labels or a typed error, never a
+//! hang. The `faults` module (behind the `fault-injection` cargo
+//! feature) injects deterministic failure schedules to prove all of
+//! this under test.
 //!
 //! # Examples
 //!
@@ -63,12 +76,14 @@
 //!         max_batch_nodes: 16,
 //!         max_delay: Duration::from_millis(1),
 //!         max_queue_requests: 1024,
+//!         ..BatchPolicy::default()
 //!     },
 //!     sessions: 2,
 //!     cache_capacity: 1024,
 //!     shards: 2, // two workers, each owning a snapshot replica
+//!     ..ServeConfig::default()
 //! };
-//! let engine = ServingEngine::start(vault, data.features.clone(), config);
+//! let engine = ServingEngine::start(vault, data.features.clone(), config)?;
 //! let handle = engine.handle();
 //!
 //! // Clients submit from any thread and block on their tickets.
@@ -77,7 +92,11 @@
 //! assert_eq!(a.wait()?.len(), 3);
 //! assert_eq!(b.wait()?.len(), 1);
 //!
-//! let (_vault, stats) = engine.shutdown();
+//! // `shutdown` hands back a surviving vault (`None` only if every
+//! // supervised shard died permanently — impossible without injected
+//! // faults).
+//! let (vault, stats) = engine.shutdown();
+//! assert!(vault.is_some());
 //! // `requests` counts per-shard sub-requests: the routed 3-node
 //! // request may have split across both shards.
 //! assert!(stats.requests >= 2 && stats.requests <= 3);
@@ -95,11 +114,15 @@ mod batcher;
 mod cache;
 mod engine;
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 
 pub use batcher::{AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, PendingRequest, Ticket};
 pub use cache::LruCache;
 pub use engine::{
-    bulk_config, serve_once, Router, ServeConfig, ServeHandle, ServeStats, ServingEngine,
-    SessionStats, ShardStats,
+    bulk_config, serve_once, HealthBoard, Router, ServeConfig, ServeHandle, ServeStats,
+    ServingEngine, SessionStats, ShardHealth, ShardStats,
 };
 pub use error::ServeError;
+#[cfg(feature = "fault-injection")]
+pub use faults::{Fault, FaultPlan};

@@ -1,0 +1,534 @@
+//! Chaos coverage for the fault-tolerant serving runtime, driven by the
+//! deterministic `serve::faults` injection harness (compiled only under
+//! the `fault-injection` feature).
+//!
+//! The contract under test: **every admitted request resolves** —
+//! labels or a typed [`ServeError`] — no matter which shards panic,
+//! stall, drop answers, or refuse a deploy; every *successful* answer
+//! is bit-identical to sequential [`Vault::infer`]; and the recovery
+//! counters in [`ServeStats`] report exactly the injected faults.
+#![cfg(feature = "fault-injection")]
+
+use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault, VaultSnapshot};
+use graph::Graph;
+use linalg::DenseMatrix;
+use nn::TrainConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use serve::faults::{Fault, FaultPlan};
+use serve::{BatchPolicy, Router, ServeConfig, ServeError, ServingEngine, ShardHealth, Ticket};
+use std::sync::{Once, OnceLock};
+use std::time::{Duration, Instant};
+use tee::{ClassLabel, CostModel, OverBudgetPolicy, SealKey};
+
+const N: usize = 16;
+const KEY_A: SealKey = SealKey(7);
+const KEY_B: SealKey = SealKey(99);
+
+/// Silences the default panic printout for *injected* panics only, so
+/// chaos runs don't bury real failures in expected backtrace noise.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Trained-once fixture shared by every chaos test: a sealed snapshot
+/// of model A (restored per test — training dominates the cost, restore
+/// is cheap), its corpus and sequential labels, and a distinguishable
+/// flipped-label model B for deploy/rollback tests.
+struct Fixture {
+    snapshot_a: VaultSnapshot,
+    snapshot_b: VaultSnapshot,
+    features: DenseMatrix,
+    expected_a: Vec<ClassLabel>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (mut vault_a, features) = train_toy_vault(false, KEY_A);
+        let (mut vault_b, _) = train_toy_vault(true, KEY_B);
+        let (expected_a, _) = vault_a.infer(&features).unwrap();
+        let (expected_b, _) = vault_b.infer(&features).unwrap();
+        assert_ne!(
+            expected_a, expected_b,
+            "the two models must answer differently for rollback proofs to bite"
+        );
+        Fixture {
+            snapshot_a: vault_a.snapshot(),
+            snapshot_b: vault_b.snapshot(),
+            features,
+            expected_a,
+        }
+    })
+}
+
+/// A fresh replica of model A (the fixture's serving model).
+fn fresh_vault() -> Vault {
+    Vault::restore(&fixture().snapshot_a, KEY_A).unwrap()
+}
+
+/// Trains and deploys the two-cluster toy model over `N` nodes;
+/// `flipped` inverts the training labels to produce a distinguishable
+/// second model over the same corpus.
+fn train_toy_vault(flipped: bool, seal_key: SealKey) -> (Vault, DenseMatrix) {
+    let half = N / 2;
+    let x = DenseMatrix::from_fn(N, 2, |r, c| {
+        let in_first = r < half;
+        let base = if (c == 0) == in_first { 1.0 } else { 0.0 };
+        base + 0.05 * ((r * 7 + c) % 5) as f32
+    });
+    let labels: Vec<usize> = (0..N)
+        .map(|r| usize::from((r >= half) != flipped))
+        .collect();
+    let train: Vec<usize> = (0..N).step_by(2).collect();
+    let mut edges = Vec::new();
+    for cluster in 0..2 {
+        let offset = cluster * half;
+        for i in 0..half {
+            edges.push((offset + i, offset + (i + 1) % half));
+        }
+    }
+    let real = Graph::from_edges(N, &edges).unwrap();
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.05,
+        weight_decay: 0.0,
+        dropout: 0.0,
+        seed: 0,
+    };
+    let backbone = Backbone::train(
+        &x,
+        &labels,
+        &train,
+        SubstituteKind::Knn { k: 2 },
+        &[8, 4, 2],
+        real.num_edges(),
+        &cfg,
+        1,
+    )
+    .unwrap();
+    let mut rectifier = Rectifier::new(
+        RectifierKind::Series,
+        &[8, 4, 2],
+        &backbone.channel_dims(),
+        2,
+    )
+    .unwrap();
+    let real_adj = graph::normalization::gcn_normalize(&real);
+    let embs = backbone.embeddings(&x).unwrap();
+    rectifier
+        .fit(&real_adj, &embs, &labels, &train, &cfg)
+        .unwrap();
+    let vault = Vault::deploy(
+        backbone,
+        rectifier,
+        &real,
+        tee::SGX_EPC_BYTES,
+        CostModel::default(),
+        OverBudgetPolicy::Fail,
+        seal_key,
+    )
+    .unwrap();
+    (vault, x)
+}
+
+/// One node homed to each of `shards` shards by the engine's router —
+/// the handle that lets a test address a specific shard's batch stream.
+fn node_per_shard(shards: usize) -> Vec<usize> {
+    let router = Router::new(shards);
+    (0..shards)
+        .map(|s| {
+            (0..N)
+                .find(|&node| router.shard_of(node) == s)
+                .unwrap_or_else(|| panic!("no node of {N} routes to shard {s}; enlarge the corpus"))
+        })
+        .collect()
+}
+
+/// Polls the health board until no shard is `Down` (recovery finished).
+fn await_recovery(engine: &ServingEngine, budget: Duration) {
+    let start = Instant::now();
+    while engine.health().states().contains(&ShardHealth::Down) {
+        assert!(
+            start.elapsed() < budget,
+            "shards failed to recover in {budget:?}: {:?}",
+            engine.health().states()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// A policy where every single-node request is its own immediately
+/// flushed batch, making per-shard batch ordinals — the time axis of a
+/// [`FaultPlan`] — deterministic functions of the submission order.
+fn one_request_per_batch_policy() -> BatchPolicy {
+    BatchPolicy {
+        max_batch_nodes: 1,
+        max_delay: Duration::from_secs(3600),
+        max_queue_requests: 1024,
+        shed_high_water: 1024,
+    }
+}
+
+/// The issue's acceptance scenario: a seeded plan panics each of four
+/// shards exactly once and fails one shard's deploy; 100% of admitted
+/// requests are answered (labels or typed error, zero hangs), every
+/// successful label is bit-identical to sequential inference, and the
+/// stats report the injected panic/restart/rollback counts *exactly*.
+#[test]
+fn seeded_chaos_plan_answers_everything_and_counts_exactly() {
+    quiet_injected_panics();
+    let fix = fixture();
+    let shards = 4;
+    let homes = node_per_shard(shards);
+
+    // Batch 2 of every shard panics; shard 2 refuses every install.
+    let mut plan = FaultPlan::new(0xC4A05);
+    for s in 0..shards {
+        plan = plan.with_fault(Fault::PanicAt {
+            shard: s,
+            batch_n: 2,
+        });
+    }
+    plan = plan.with_fault(Fault::FailDeploy {
+        shard: 2,
+        attempts: 99,
+    });
+
+    let engine = ServingEngine::start(
+        fresh_vault(),
+        fix.features.clone(),
+        ServeConfig {
+            policy: one_request_per_batch_policy(),
+            sessions: 2,
+            cache_capacity: 64,
+            shards,
+            restart_backoff: Duration::from_millis(1),
+            max_restart_attempts: 5,
+            deploy_retries: 2,
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+    let wait = |ticket: Ticket| {
+        ticket
+            .wait_timeout(Duration::from_secs(30))
+            .expect("an admitted chaos request must resolve, not hang")
+    };
+
+    // Batch 1 per shard: healthy serving, bit-identical labels.
+    for &node in &homes {
+        assert_eq!(
+            wait(handle.submit_one(node).unwrap()).unwrap(),
+            vec![fix.expected_a[node]]
+        );
+    }
+    // Batch 2 per shard: the injected panic fails exactly that batch
+    // with a typed error naming the shard.
+    for (s, &node) in homes.iter().enumerate() {
+        match wait(handle.submit_one(node).unwrap()) {
+            Err(ServeError::ShardFailed { shard }) => assert_eq!(shard, s),
+            other => panic!("shard {s} batch 2 must fail typed, got {other:?}"),
+        }
+    }
+    // Supervision restores every shard from its retained snapshot.
+    await_recovery(&engine, Duration::from_secs(10));
+    // Batch 3 per shard: recovered replicas answer bit-identically.
+    for &node in &homes {
+        assert_eq!(
+            wait(handle.submit_one(node).unwrap()).unwrap(),
+            vec![fix.expected_a[node]]
+        );
+    }
+
+    // All-or-nothing deploy of model B: shard 2's injected failures
+    // outlast the retry budget, so the three shards that installed are
+    // rolled back and the error surfaces the injected cause.
+    match engine.deploy(&fix.snapshot_b, KEY_B) {
+        Err(ServeError::Vault(e)) => {
+            assert!(e.to_string().contains("injected fault"), "{e}")
+        }
+        other => panic!("partially failing deploy must error, got {other:?}"),
+    }
+    // After rollback the *old* model answers everywhere — one request
+    // spanning every node proves no shard kept model B.
+    let all_labels = wait(handle.submit((0..N).collect()).unwrap()).unwrap();
+    assert_eq!(
+        all_labels, fix.expected_a,
+        "rollback must restore model A on every shard"
+    );
+
+    let (vault, stats) = engine.shutdown();
+    assert!(
+        vault.is_some(),
+        "every shard survived: panics were recovered, the failed deploy rolled back"
+    );
+    // Exact accounting of the injected faults:
+    assert_eq!(stats.panics_caught, 4, "one caught panic per shard");
+    assert_eq!(stats.shard_restarts, 4, "one supervised restore per shard");
+    assert_eq!(
+        stats.deploy_rollbacks, 3,
+        "the three installed shards rolled back"
+    );
+    assert_eq!(stats.failed_batches, 4, "only the panicked batches failed");
+    assert_eq!(stats.timed_out_requests, 0);
+    assert_eq!(stats.requests_shed, 0);
+    assert_eq!(
+        stats.rerouted_subrequests, 0,
+        "no request was submitted while a shard was down"
+    );
+    for shard in &stats.shards {
+        assert_eq!(shard.panics_caught, 1, "shard {}", shard.shard);
+        assert_eq!(shard.restarts, 1, "shard {}", shard.shard);
+        if shard.shard == 2 {
+            assert_eq!(shard.deploys, 0, "the refusing shard never installed");
+            assert_eq!(shard.rollbacks, 0);
+        } else {
+            assert_eq!(
+                shard.deploys, 1,
+                "shard {} installed before rollback",
+                shard.shard
+            );
+            assert_eq!(shard.rollbacks, 1, "shard {}", shard.shard);
+        }
+    }
+}
+
+/// Satellite regression: killing a worker mid-batch must resolve the
+/// in-flight ticket to [`ServeError::ShardFailed`] — never leave the
+/// client hanging on a responder that unwound with the worker's stack —
+/// and the shard must come back and serve again.
+#[test]
+fn killed_worker_mid_batch_fails_the_ticket_and_recovers() {
+    quiet_injected_panics();
+    let fix = fixture();
+    let plan = FaultPlan::new(1).with_fault(Fault::PanicAt {
+        shard: 0,
+        batch_n: 1,
+    });
+    let engine = ServingEngine::start(
+        fresh_vault(),
+        fix.features.clone(),
+        ServeConfig {
+            policy: one_request_per_batch_policy(),
+            sessions: 1,
+            cache_capacity: 0,
+            shards: 1,
+            restart_backoff: Duration::from_millis(1),
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+    let result = handle
+        .submit(vec![0, 1, 2])
+        .unwrap()
+        .wait_timeout(Duration::from_secs(30))
+        .expect("the killed worker's ticket must resolve, not hang");
+    assert_eq!(result, Err(ServeError::ShardFailed { shard: 0 }));
+    await_recovery(&engine, Duration::from_secs(10));
+    // The restored replica serves the same model, bit for bit.
+    let labels = handle.submit(vec![0, 1, 2]).unwrap().wait().unwrap();
+    assert_eq!(
+        labels,
+        vec![fix.expected_a[0], fix.expected_a[1], fix.expected_a[2]]
+    );
+    let (vault, stats) = engine.shutdown();
+    assert!(vault.is_some(), "the shard recovered before shutdown");
+    assert_eq!(stats.panics_caught, 1);
+    assert_eq!(stats.shard_restarts, 1);
+}
+
+/// While a shard is down, handles route its nodes to a live shard: the
+/// request is answered immediately — with the identical label, since
+/// every replica serves the same model — instead of queueing behind the
+/// restart backoff.
+#[test]
+fn requests_reroute_around_a_down_shard() {
+    quiet_injected_panics();
+    let fix = fixture();
+    let shards = 2;
+    let homes = node_per_shard(shards);
+    let plan = FaultPlan::new(2).with_fault(Fault::PanicAt {
+        shard: 1,
+        batch_n: 1,
+    });
+    let engine = ServingEngine::start(
+        fresh_vault(),
+        fix.features.clone(),
+        ServeConfig {
+            policy: one_request_per_batch_policy(),
+            sessions: 1,
+            cache_capacity: 0,
+            shards,
+            // A long first backoff holds shard 1 down while the test
+            // observes rerouting.
+            restart_backoff: Duration::from_millis(500),
+            max_restart_attempts: 2,
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+
+    // Trip shard 1's batch-1 panic.
+    let result = handle
+        .submit_one(homes[1])
+        .unwrap()
+        .wait_timeout(Duration::from_secs(30))
+        .expect("no hang");
+    assert_eq!(result, Err(ServeError::ShardFailed { shard: 1 }));
+    // Wait until the supervisor has flagged the shard down.
+    let start = Instant::now();
+    while engine.health().state(1) != ShardHealth::Down {
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shard 1 never went down"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // A shard-1-homed request is now served by shard 0 — same label,
+    // answered well inside the 500 ms backoff window.
+    let labels = handle
+        .submit_one(homes[1])
+        .unwrap()
+        .wait_timeout(Duration::from_secs(10))
+        .expect("rerouted request must not wait for the down shard")
+        .unwrap();
+    assert_eq!(labels, vec![fix.expected_a[homes[1]]]);
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.rerouted_subrequests, 1);
+    assert_eq!(stats.panics_caught, 1);
+    // Shard 0 answered its neighbour's node.
+    assert_eq!(stats.shards[0].answered_nodes, 1);
+}
+
+/// An injected slow batch makes the *next* batch's request overstay its
+/// queue-time budget: the slow batch's own request is answered (it was
+/// fresh when its batch flushed), the one queued behind it is dropped
+/// with [`ServeError::TimedOut`].
+#[test]
+fn slow_batch_times_out_only_the_requests_queued_behind_it() {
+    quiet_injected_panics();
+    let fix = fixture();
+    let plan = FaultPlan::new(3).with_fault(Fault::SlowBatch {
+        shard: 0,
+        batch_n: 1,
+        delay: Duration::from_millis(300),
+    });
+    let engine = ServingEngine::start(
+        fresh_vault(),
+        fix.features.clone(),
+        ServeConfig {
+            policy: one_request_per_batch_policy(),
+            sessions: 1,
+            cache_capacity: 0,
+            shards: 1,
+            request_timeout: Duration::from_millis(100),
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+    let first = handle.submit_one(0).unwrap();
+    let second = handle.submit_one(1).unwrap();
+    // Batch 1 stalls 300 ms but its request was fresh at flush time.
+    assert_eq!(
+        first
+            .wait_timeout(Duration::from_secs(30))
+            .expect("no hang")
+            .unwrap(),
+        vec![fix.expected_a[0]]
+    );
+    // Batch 2's request waited out the whole stall: over budget.
+    match second
+        .wait_timeout(Duration::from_secs(30))
+        .expect("no hang")
+    {
+        Err(ServeError::TimedOut { waited }) => {
+            assert!(waited >= Duration::from_millis(100))
+        }
+        other => panic!("the queued request must time out, got {other:?}"),
+    }
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.timed_out_requests, 1);
+    assert_eq!(stats.answered_nodes, 1);
+    assert_eq!(stats.panics_caught, 0, "a slow batch is not a crash");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: under a *random* seeded fault plan (panics, stalls,
+    /// dropped answers, failing deploys across 4 shards), every
+    /// admitted request resolves — labels or a typed error, zero hangs
+    /// — and every successful label is bit-identical to sequential
+    /// inference. Deploying the engine's own snapshot mid-storm keeps
+    /// the model invariant whether the all-or-nothing deploy commits or
+    /// rolls back, so the bit-identity check holds across it.
+    #[test]
+    fn random_fault_plans_never_hang_and_never_corrupt_answers(seed in proptest::any::<u64>()) {
+        quiet_injected_panics();
+        let fix = fixture();
+        let shards = 4;
+        let plan = FaultPlan::random(seed, shards, 6);
+        let engine = ServingEngine::start(
+            fresh_vault(),
+            fix.features.clone(),
+            ServeConfig {
+                policy: one_request_per_batch_policy(),
+                sessions: 2,
+                cache_capacity: 32,
+                shards,
+                restart_backoff: Duration::from_millis(1),
+                max_restart_attempts: 5,
+                deploy_retries: 2,
+                fault_plan: Some(plan),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = engine.handle();
+        let mut admitted: Vec<(usize, Ticket)> = Vec::new();
+        for i in 0..24 {
+            let node = (seed as usize).wrapping_add(i * 5) % N;
+            admitted.push((node, handle.submit_one(node).unwrap()));
+        }
+        // A mid-storm deploy of the very model being served: commit and
+        // rollback are indistinguishable to clients.
+        let _ = engine.deploy(&fix.snapshot_a, KEY_A);
+        for i in 0..24 {
+            let node = (seed as usize).wrapping_add(3 + i * 7) % N;
+            admitted.push((node, handle.submit_one(node).unwrap()));
+        }
+        let (_, stats) = engine.shutdown();
+        for (node, ticket) in admitted {
+            let resolved = ticket.wait_timeout(Duration::from_secs(30));
+            prop_assert!(resolved.is_some(), "request for node {node} hung");
+            if let Ok(labels) = resolved.unwrap() {
+                prop_assert_eq!(&labels, &vec![fix.expected_a[node]]);
+            }
+        }
+        // Supervision accounting stays coherent even under random
+        // schedules: a restart requires a caught panic.
+        prop_assert!(stats.shard_restarts <= stats.panics_caught);
+    }
+}

@@ -1,14 +1,18 @@
 //! Concurrency and correctness coverage for the serving engine:
 //! batched answers must be bit-identical to sequential per-node
 //! inference, cache hits must skip the enclave entirely (asserted
-//! through the enclave meter's transition counter), and the deadline
-//! bound must flush partial batches.
+//! through the enclave meter's transition counter), the deadline
+//! bound must flush partial batches, and the graceful-degradation
+//! paths (load shedding, per-request timeouts, start failures) must
+//! resolve with typed errors. Crash/recovery behaviour is exercised
+//! separately in `tests/chaos.rs` behind the `fault-injection`
+//! feature.
 
 use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
 use graph::Graph;
 use linalg::DenseMatrix;
 use nn::TrainConfig;
-use serve::{BatchPolicy, ServeConfig, ServeError, ServingEngine};
+use serve::{BatchPolicy, ServeConfig, ServeError, ServingEngine, ShardHealth};
 use std::time::Duration;
 use tee::{ClassLabel, CostModel, OverBudgetPolicy, SealKey};
 
@@ -97,12 +101,15 @@ fn batched_serving_is_bit_identical_to_sequential_infer() {
                     max_batch_nodes: 8,
                     max_delay: Duration::from_millis(1),
                     max_queue_requests: 256,
+                    ..BatchPolicy::default()
                 },
                 sessions: 3,
                 cache_capacity: 64,
                 shards: 1,
+                ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let handle = engine.handle();
         let tickets: Vec<_> = (0..x.rows())
             .map(|node| handle.submit_one(node).unwrap())
@@ -140,13 +147,16 @@ fn batching_amortizes_enclave_transitions_below_per_node_cost() {
                 max_batch_nodes: 32,
                 max_delay: Duration::from_millis(1),
                 max_queue_requests: 64,
+                ..BatchPolicy::default()
             },
             sessions: 1,
             cache_capacity: 0, // isolate batching from caching
             shards: 1,
+            ..ServeConfig::default()
         },
         &[(0..32).collect::<Vec<_>>()],
-    );
+    )
+    .unwrap();
     assert_eq!(results.len(), 1);
     assert_eq!(results[0].as_ref().unwrap().len(), 32);
     assert_eq!(stats.enclave_batches, 1);
@@ -172,12 +182,15 @@ fn cache_hits_skip_enclave_transitions() {
                 max_batch_nodes: 4,
                 max_delay: Duration::from_millis(1),
                 max_queue_requests: 256,
+                ..BatchPolicy::default()
             },
             sessions: 2,
             cache_capacity: 256,
             shards: 1,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let handle = engine.handle();
 
     // Warm the cache, then hammer the same nodes.
@@ -187,6 +200,7 @@ fn cache_hits_skip_enclave_transitions() {
         assert_eq!(again, first, "cache must return identical labels");
     }
     let (vault, stats) = engine.shutdown();
+    let vault = vault.expect("the only shard never crashed");
 
     // The meter's transition counter proves repeats never re-entered
     // the enclave: total ECALLs equal exactly one batch's worth.
@@ -210,12 +224,15 @@ fn deadline_flush_fires_on_a_partial_batch() {
                 max_batch_nodes: 10_000,
                 max_delay: Duration::from_millis(25),
                 max_queue_requests: 256,
+                ..BatchPolicy::default()
             },
             sessions: 1,
             cache_capacity: 0,
             shards: 1,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let handle = engine.handle();
     let ticket = handle.submit_one(3).unwrap();
     let answered = ticket
@@ -242,12 +259,15 @@ fn concurrent_clients_get_consistent_answers() {
                 max_batch_nodes: 16,
                 max_delay: Duration::from_millis(2),
                 max_queue_requests: 4096,
+                ..BatchPolicy::default()
             },
             sessions: 4,
             cache_capacity: 512,
             shards: 1,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let mut clients = Vec::new();
     for t in 0..6 {
@@ -281,7 +301,7 @@ fn concurrent_clients_get_consistent_answers() {
 #[test]
 fn admission_control_and_validation_reject_cleanly() {
     let (vault, x, _) = toy_vault(6, RectifierKind::Series);
-    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default());
+    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default()).unwrap();
     let handle = engine.handle();
 
     assert!(matches!(
@@ -302,9 +322,118 @@ fn admission_control_and_validation_reject_cleanly() {
 }
 
 #[test]
+fn start_rejects_a_mismatched_corpus_with_a_typed_error() {
+    // A corpus whose row count disagrees with the deployed graph used
+    // to panic the engine at startup; it must now surface as a typed,
+    // recoverable error with nothing left running.
+    let (vault, _, _) = toy_vault(6, RectifierKind::Series);
+    let wrong_corpus = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32);
+    let result = ServingEngine::start(vault, wrong_corpus, ServeConfig::default());
+    match result {
+        Err(ServeError::Rejected { reason }) => {
+            assert!(
+                reason.contains("4") && reason.contains("6"),
+                "rejection names both sizes: {reason}"
+            );
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn load_shedding_turns_overload_into_typed_retry_hints() {
+    let (vault, x, _) = toy_vault(8, RectifierKind::Series);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                // Nothing flushes until shutdown: the queue only grows.
+                max_batch_nodes: 10_000,
+                max_delay: Duration::from_secs(3600),
+                max_queue_requests: 64,
+                shed_high_water: 2,
+            },
+            sessions: 1,
+            cache_capacity: 0,
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+    let a = handle.submit_one(0).unwrap();
+    let b = handle.submit_one(1).unwrap();
+    // Queue depth is at the high-water mark: the next submission is
+    // shed with a retry hint instead of deepening the backlog.
+    match handle.submit_one(2) {
+        Err(ServeError::Overloaded {
+            queued,
+            retry_after,
+        }) => {
+            assert_eq!(queued, 2);
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Every shard is healthy the whole time — shedding is a load
+    // condition, not a failure.
+    assert_eq!(engine.health().states(), vec![ShardHealth::Healthy]);
+    let (_, stats) = engine.shutdown();
+    // The admitted requests still drained and were answered.
+    assert_eq!(a.wait().unwrap().len(), 1);
+    assert_eq!(b.wait().unwrap().len(), 1);
+    assert_eq!(stats.requests_shed, 1);
+    assert_eq!(stats.requests, 2);
+}
+
+#[test]
+fn request_timeout_drops_stale_requests_with_a_typed_error() {
+    let (vault, x, _) = toy_vault(8, RectifierKind::Series);
+    let timeout = Duration::from_millis(20);
+    let engine = ServingEngine::start(
+        vault,
+        x.clone(),
+        ServeConfig {
+            policy: BatchPolicy {
+                // Nothing flushes until the shutdown drain, so every
+                // request is long past its budget when examined.
+                max_batch_nodes: 10_000,
+                max_delay: Duration::from_secs(3600),
+                max_queue_requests: 256,
+                ..BatchPolicy::default()
+            },
+            sessions: 1,
+            cache_capacity: 0,
+            shards: 1,
+            request_timeout: timeout,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+    let tickets: Vec<_> = (0..3).map(|n| handle.submit_one(n).unwrap()).collect();
+    std::thread::sleep(timeout * 4);
+    let (_, stats) = engine.shutdown();
+    for ticket in tickets {
+        match ticket.wait() {
+            Err(ServeError::TimedOut { waited }) => assert!(waited > timeout),
+            other => panic!("stale request must time out, got {other:?}"),
+        }
+    }
+    assert_eq!(stats.timed_out_requests, 3);
+    assert_eq!(stats.requests, 3, "timed-out requests are still requests");
+    assert_eq!(stats.answered_nodes, 0);
+    assert_eq!(
+        stats.enclave_batches, 0,
+        "no enclave work for stale requests"
+    );
+}
+
+#[test]
 fn dropping_the_engine_unparks_the_worker() {
     let (vault, x, _) = toy_vault(6, RectifierKind::Series);
-    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default());
+    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default()).unwrap();
     let handle = engine.handle();
     let ticket = handle.submit_one(0).unwrap();
     // No shutdown: Drop must close the queue so the worker drains the
@@ -327,7 +456,7 @@ fn failed_batches_error_cleanly_and_stay_meter_exact() {
     drop(probe);
     let (vault, x, _) = toy_vault_with_budget(8, RectifierKind::Series, resident + 16);
 
-    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default());
+    let engine = ServingEngine::start(vault, x.clone(), ServeConfig::default()).unwrap();
     let handle = engine.handle();
     for _ in 0..2 {
         let result = handle.submit_one(0).unwrap().wait();
@@ -337,9 +466,14 @@ fn failed_batches_error_cleanly_and_stay_meter_exact() {
         );
     }
     let (vault, stats) = engine.shutdown();
+    let vault = vault.expect("vault errors are typed failures, not crashes");
     assert_eq!(stats.failed_batches, 2);
     assert_eq!(stats.enclave_batches, 0);
     assert_eq!(stats.answered_nodes, 0);
+    // A vault error is not a panic: the shard never went through
+    // supervision recovery.
+    assert_eq!(stats.panics_caught, 0);
+    assert_eq!(stats.shard_restarts, 0);
     // The failed attempts' ECALLs are still accounted: engine stats and
     // the vault's own lifetime counter agree exactly.
     assert!(stats.enclave_transitions > 0);
@@ -359,13 +493,16 @@ fn stats_account_every_batch_through_the_meter() {
                 max_batch_nodes: 4,
                 max_delay: Duration::from_millis(1),
                 max_queue_requests: 256,
+                ..BatchPolicy::default()
             },
             sessions: 2,
             cache_capacity: 0, // every batch enters the enclave
             shards: 1,
+            ..ServeConfig::default()
         },
         &(0..16).map(|n| vec![n]).collect::<Vec<_>>(),
-    );
+    )
+    .unwrap();
     assert!(results.iter().all(|r| r.is_ok()));
     // With caching off, every flushed batch became an enclave batch and
     // the engine's aggregate equals the vault's own lifetime counter.
@@ -474,13 +611,16 @@ fn sharded_engine_is_bit_identical_to_sequential_infer() {
                     max_batch_nodes: 8,
                     max_delay: Duration::from_millis(1),
                     max_queue_requests: 256,
+                    ..BatchPolicy::default()
                 },
                 sessions: 2,
                 cache_capacity: 64,
                 shards,
+                ..ServeConfig::default()
             },
             &requests,
-        );
+        )
+        .unwrap();
         for (request, result) in requests.iter().zip(&results) {
             let labels = result.as_ref().unwrap();
             let want: Vec<ClassLabel> = request.iter().map(|&n| expected[n]).collect();
@@ -511,12 +651,15 @@ fn client_storm_routes_across_shards_consistently() {
                 max_batch_nodes: 16,
                 max_delay: Duration::from_millis(2),
                 max_queue_requests: 4096,
+                ..BatchPolicy::default()
             },
             sessions: 2,
             cache_capacity: 512,
             shards: 4,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(engine.num_shards(), 4);
 
     let mut clients = Vec::new();
@@ -542,6 +685,9 @@ fn client_storm_routes_across_shards_consistently() {
     assert_eq!(stats.cache_misses, 24);
     assert_eq!(stats.cache_hits, 216);
     assert_eq!(stats.shards.len(), 4);
+    // Nothing failed, so nothing was re-routed off its home shard.
+    assert_eq!(stats.rerouted_subrequests, 0);
+    assert_eq!(stats.panics_caught, 0);
     // Aggregates are exactly the sum of the per-shard breakdown.
     assert_eq!(
         stats.shards.iter().map(|s| s.requests).sum::<u64>(),
@@ -565,12 +711,15 @@ fn per_shard_stats_expose_flush_reason_balance() {
                 max_batch_nodes: 4,
                 max_delay: Duration::from_millis(1),
                 max_queue_requests: 256,
+                ..BatchPolicy::default()
             },
             sessions: 1,
             cache_capacity: 0,
             shards: 2,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let handle = engine.handle();
     let tickets: Vec<_> = (0..16)
         .map(|node| handle.submit_one(node).unwrap())
@@ -588,6 +737,10 @@ fn per_shard_stats_expose_flush_reason_balance() {
             "shard {i}: every batch has exactly one flush reason"
         );
         assert_eq!(shard.deploys, 0);
+        assert_eq!(shard.panics_caught, 0);
+        assert_eq!(shard.restarts, 0);
+        assert_eq!(shard.rollbacks, 0);
+        assert_eq!(shard.timed_out, 0);
     }
     // The per-shard flush counts decompose the aggregates exactly.
     assert_eq!(
@@ -625,12 +778,15 @@ fn shutdown_under_load_answers_every_admitted_request() {
                     max_batch_nodes: 10_000,
                     max_delay: Duration::from_secs(3600),
                     max_queue_requests: 4096,
+                    ..BatchPolicy::default()
                 },
                 sessions: 2,
                 cache_capacity: 64,
                 shards,
+                ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let mut clients = Vec::new();
         for t in 0..4 {
             let handle = engine.handle();
@@ -702,12 +858,15 @@ fn hot_swap_deploys_new_epoch_without_dropping_or_mixing_responses() {
                 max_batch_nodes: 8,
                 max_delay: Duration::from_millis(1),
                 max_queue_requests: 4096,
+                ..BatchPolicy::default()
             },
             sessions: 2,
             cache_capacity: 256,
             shards: 2,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     // Clients hammer the engine before, during, and after the swap.
     // Every response must be exactly one model's answer — never a blend
@@ -754,6 +913,7 @@ fn hot_swap_deploys_new_epoch_without_dropping_or_mixing_responses() {
     }
 
     let (vault, stats) = engine.shutdown();
+    let vault = vault.expect("both shards survived the swap");
     assert_eq!(vault.epoch(), epoch_b, "shard 0 now owns the new model");
     assert_eq!(stats.shards.len(), 2);
     for shard in &stats.shards {
@@ -762,6 +922,7 @@ fn hot_swap_deploys_new_epoch_without_dropping_or_mixing_responses() {
             "shard {} installed the epoch",
             shard.shard
         );
+        assert_eq!(shard.rollbacks, 0, "a clean deploy rolls nothing back");
         // The swap reopened sessions: old and new generations are both
         // reported.
         assert_eq!(shard.sessions.len(), 4);
@@ -784,9 +945,13 @@ fn deploy_rejects_bad_snapshots_and_keeps_serving() {
         x.clone(),
         ServeConfig {
             shards: 2,
+            // One install attempt per shard: this test wants the
+            // failure itself, not the retry ladder.
+            deploy_retries: 1,
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     // Wrong corpus size: rejected outright.
     assert!(matches!(
@@ -810,7 +975,11 @@ fn deploy_rejects_bad_snapshots_and_keeps_serving() {
     let (_, stats) = engine.shutdown();
     for shard in &stats.shards {
         assert_eq!(shard.deploys, 0);
+        // No shard installed, so the all-or-nothing deploy had nothing
+        // to roll back.
+        assert_eq!(shard.rollbacks, 0);
     }
+    assert_eq!(stats.deploy_rollbacks, 0);
 }
 
 #[test]
@@ -831,12 +1000,15 @@ fn install_drops_the_cache_even_under_an_epoch_collision() {
                 max_batch_nodes: 4,
                 max_delay: Duration::from_millis(1),
                 max_queue_requests: 256,
+                ..BatchPolicy::default()
             },
             sessions: 1,
             cache_capacity: 256,
             shards: 1,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let handle = engine.handle();
     handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap();
     handle.submit(vec![0, 1, 2, 3]).unwrap().wait().unwrap(); // all hits

@@ -91,12 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_batch_nodes: 64,
                 max_delay: Duration::from_millis(2),
                 max_queue_requests: 8192,
+                ..BatchPolicy::default()
             },
             sessions: 2,
             cache_capacity,
             shards,
+            ..ServeConfig::default()
         };
-        let engine = ServingEngine::start(vault, data.features.clone(), config);
+        let engine = ServingEngine::start(vault, data.features.clone(), config)?;
         let start = Instant::now();
         let mut clients = Vec::new();
         for c in 0..CLIENTS {
@@ -118,7 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let elapsed = start.elapsed();
         let (returned_vault, stats) = engine.shutdown();
-        vault = returned_vault;
+        vault = returned_vault.expect("no faults injected: every shard survives");
 
         println!(
             "\nserving engine, {} ({} queries, {} clients):",
@@ -137,6 +139,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.deadline_flushes,
             stats.drain_flushes,
             stats.cache_hit_rate() * 100.0,
+        );
+        println!(
+            "  recovery: {} panics caught, {} restarts, {} rollbacks | {} shed, {} rerouted, {} timed out",
+            stats.panics_caught,
+            stats.shard_restarts,
+            stats.deploy_rollbacks,
+            stats.requests_shed,
+            stats.rerouted_subrequests,
+            stats.timed_out_requests,
         );
         for shard in &stats.shards {
             println!(
@@ -178,7 +189,7 @@ hot swap: sealed snapshot is {} KiB (epoch {})",
             cache_capacity: num_nodes,
             ..ServeConfig::default()
         },
-    );
+    )?;
     let handle = engine.handle();
     handle.submit(vec![0, 1, 2])?.wait()?;
     // NOTE: restoring the snapshot installs a *replica of the same
