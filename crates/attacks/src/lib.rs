@@ -15,6 +15,13 @@
 //! - `Mbase`: embeddings of a feature-only MLP — the no-graph baseline
 //!   the defense aims to match.
 //!
+//! The [`online`] module additionally runs the attack *through a
+//! serving engine* ([`OnlineLinkAudit`]): the same probe pairs, but
+//! submitted as real attributed requests so batching, caching,
+//! sharding, and the engine's abuse sentinel all sit between the
+//! attacker and the answer — the continuous audit of the serving-path
+//! protection claim.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,10 +46,12 @@
 #![warn(missing_docs)]
 
 mod linksteal;
+pub mod online;
 mod similarity;
 mod supervised;
 pub mod surface;
 
 pub use linksteal::{AttackError, LinkStealingAttack};
+pub use online::{OnlineAuditOutcome, OnlineLinkAudit};
 pub use similarity::{PairScorer, SimilarityMetric};
 pub use supervised::SupervisedLinkAttack;

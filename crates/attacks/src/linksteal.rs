@@ -86,28 +86,22 @@ impl LinkStealingAttack {
         self.metric
     }
 
-    /// Runs the attack against `target` using the observable
-    /// `embeddings` (one matrix per layer the attacker can see).
+    /// Samples the attack's balanced labeled probe set against
+    /// `target`: up to the per-class budget of connected pairs
+    /// (`is_edge = true`, a deterministic partial Fisher–Yates over the
+    /// edge list) followed by as many rejection-sampled non-edges
+    /// (`is_edge = false`). Fully determined by `(target, seed,
+    /// budget)` — the same triples an offline [`run`](Self::run) scores,
+    /// exposed so an *online* audit (the `online` module) can push the
+    /// identical probe set through a serving engine.
     ///
     /// # Errors
     ///
-    /// Returns [`AttackError::InvalidInput`] when the surface is empty,
-    /// row counts disagree with the graph, or the graph has no edges or
-    /// no non-edges to sample.
-    pub fn run(&self, target: &Graph, embeddings: &[DenseMatrix]) -> Result<f64, AttackError> {
+    /// Returns [`AttackError::InvalidInput`] when the graph has no
+    /// edges, is complete (no negatives exist), or no negative pair
+    /// could be sampled.
+    pub fn sample_pairs(&self, target: &Graph) -> Result<Vec<(usize, usize, bool)>, AttackError> {
         let n = target.num_nodes();
-        if embeddings.is_empty() {
-            return Err(AttackError::InvalidInput {
-                reason: "attack surface has no embeddings".into(),
-            });
-        }
-        for e in embeddings {
-            if e.rows() != n {
-                return Err(AttackError::InvalidInput {
-                    reason: format!("embedding has {} rows for {n} nodes", e.rows()),
-                });
-            }
-        }
         if target.num_edges() == 0 {
             return Err(AttackError::InvalidInput {
                 reason: "target graph has no edges to steal".into(),
@@ -157,20 +151,46 @@ impl LinkStealingAttack {
                 reason: "could not sample any negative pairs".into(),
             });
         }
+        Ok(positives
+            .into_iter()
+            .map(|(u, v)| (u, v, true))
+            .chain(negatives.into_iter().map(|(u, v)| (u, v, false)))
+            .collect())
+    }
+
+    /// Runs the attack against `target` using the observable
+    /// `embeddings` (one matrix per layer the attacker can see).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidInput`] when the surface is empty,
+    /// row counts disagree with the graph, or the graph has no edges or
+    /// no non-edges to sample.
+    pub fn run(&self, target: &Graph, embeddings: &[DenseMatrix]) -> Result<f64, AttackError> {
+        let n = target.num_nodes();
+        if embeddings.is_empty() {
+            return Err(AttackError::InvalidInput {
+                reason: "attack surface has no embeddings".into(),
+            });
+        }
+        for e in embeddings {
+            if e.rows() != n {
+                return Err(AttackError::InvalidInput {
+                    reason: format!("embedding has {} rows for {n} nodes", e.rows()),
+                });
+            }
+        }
+        let pairs = self.sample_pairs(target)?;
 
         // Per-node terms (norms, normalized rows) are precomputed once;
         // each pair is then a single dot product for the decomposable
         // metrics.
         let scorer = PairScorer::new(self.metric, embeddings);
-        let mut scores = Vec::with_capacity(positives.len() + negatives.len());
-        let mut labels = Vec::with_capacity(scores.capacity());
-        for &(u, v) in &positives {
+        let mut scores = Vec::with_capacity(pairs.len());
+        let mut labels = Vec::with_capacity(pairs.len());
+        for &(u, v, is_edge) in &pairs {
             scores.push(scorer.score_mean(u, v));
-            labels.push(true);
-        }
-        for &(u, v) in &negatives {
-            scores.push(scorer.score_mean(u, v));
-            labels.push(false);
+            labels.push(is_edge);
         }
         Ok(metrics::roc_auc(&scores, &labels)?)
     }

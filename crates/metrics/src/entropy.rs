@@ -1,0 +1,121 @@
+//! Shannon entropy over empirical count distributions.
+//!
+//! Used by the serving engine's abuse sentinel to score how uniform a
+//! session's recent query stream is: benign production traffic is
+//! skewed (a few hot items dominate), while an extraction sweep touches
+//! nodes near-uniformly and pushes the window entropy toward its
+//! maximum.
+
+use crate::MetricError;
+
+/// Shannon entropy, in bits, of the empirical distribution described by
+/// `counts` (zero counts are ignored).
+///
+/// The result depends only on the multiset of counts, but the summation
+/// *order* is the caller's: iterate counts in a deterministic order
+/// (e.g. sorted by key) when bit-identical results across runs matter.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Empty`] when every count is zero.
+///
+/// # Examples
+///
+/// ```
+/// // Four equally likely outcomes: 2 bits.
+/// let h = metrics::shannon_entropy_bits(&[5, 5, 5, 5]).unwrap();
+/// assert!((h - 2.0).abs() < 1e-12);
+/// // A degenerate distribution carries no information.
+/// assert_eq!(metrics::shannon_entropy_bits(&[9]).unwrap(), 0.0);
+/// ```
+pub fn shannon_entropy_bits(counts: &[u64]) -> Result<f64, MetricError> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Err(MetricError::Empty);
+    }
+    let total = total as f64;
+    let mut h = 0.0f64;
+    for &c in counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / total;
+        h -= p * p.log2();
+    }
+    // Clamp the tiny negative rounding residue a one-outcome
+    // distribution can produce.
+    Ok(h.max(0.0))
+}
+
+/// [`shannon_entropy_bits`] normalized by the window size: `H /
+/// log2(window)`, clamped to `[0, 1]`.
+///
+/// `1.0` means the window is a uniform spread over as many distinct
+/// outcomes as it has slots (the extraction-sweep signature); skewed
+/// traffic lands well below it. `window` is the number of observations
+/// the counts were collected over (usually `counts.iter().sum()`), kept
+/// explicit so partially filled windows normalize against their
+/// configured capacity.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Empty`] when every count is zero or `window
+/// < 2` (no spread is expressible).
+///
+/// # Examples
+///
+/// ```
+/// let uniform = metrics::normalized_entropy(&[1; 256], 256).unwrap();
+/// assert!((uniform - 1.0).abs() < 1e-12);
+/// let skewed = metrics::normalized_entropy(&[253, 1, 1, 1], 256).unwrap();
+/// assert!(skewed < 0.2);
+/// ```
+pub fn normalized_entropy(counts: &[u64], window: usize) -> Result<f64, MetricError> {
+    if window < 2 {
+        return Err(MetricError::Empty);
+    }
+    let h = shannon_entropy_bits(counts)?;
+    Ok((h / (window as f64).log2()).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_hits_the_maximum() {
+        let h = shannon_entropy_bits(&[3; 8]).unwrap();
+        assert!((h - 3.0).abs() < 1e-12);
+        assert!((normalized_entropy(&[1; 8], 8).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counts_are_ignored() {
+        let with_zeros = shannon_entropy_bits(&[4, 0, 4, 0]).unwrap();
+        let without = shannon_entropy_bits(&[4, 4]).unwrap();
+        assert_eq!(with_zeros, without);
+    }
+
+    #[test]
+    fn skew_lowers_entropy() {
+        let uniform = shannon_entropy_bits(&[10, 10, 10, 10]).unwrap();
+        let skewed = shannon_entropy_bits(&[37, 1, 1, 1]).unwrap();
+        assert!(skewed < uniform);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(shannon_entropy_bits(&[]).is_err());
+        assert!(shannon_entropy_bits(&[0, 0]).is_err());
+        assert!(normalized_entropy(&[1], 1).is_err());
+        assert_eq!(shannon_entropy_bits(&[42]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_order() {
+        let counts = [7u64, 3, 3, 1, 250, 9];
+        let a = shannon_entropy_bits(&counts).unwrap();
+        let b = shannon_entropy_bits(&counts).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "same order, bit-identical");
+    }
+}

@@ -12,6 +12,7 @@
 //! [`BatchPolicy::max_queue_requests`] it rejects outright — either way
 //! latency stays bounded instead of growing without limit.
 
+use crate::sentinel::ClientId;
 use crate::ServeError;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -85,6 +86,7 @@ pub enum BatchPoll {
 #[derive(Debug)]
 pub struct PendingRequest {
     nodes: Vec<usize>,
+    client: ClientId,
     enqueued_at: Instant,
     responder: Sender<Result<Vec<ClassLabel>, ServeError>>,
 }
@@ -93,6 +95,13 @@ impl PendingRequest {
     /// The node ids this request asks about (in client order).
     pub fn nodes(&self) -> &[usize] {
         &self.nodes
+    }
+
+    /// The session that submitted the request
+    /// ([`ClientId::ANONYMOUS`] for unattributed traffic), so every
+    /// sub-request a worker sees is attributable to its origin.
+    pub fn client(&self) -> ClientId {
+        self.client
     }
 
     /// When the request was admitted.
@@ -326,6 +335,17 @@ impl AdmissionQueue {
     /// shedding high-water mark; [`ServeError::Closed`] after
     /// [`close`](Self::close).
     pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
+        self.submit_as(ClientId::ANONYMOUS, nodes)
+    }
+
+    /// Like [`submit`](Self::submit), but stamps the request with the
+    /// submitting session's identity so the worker (and any abuse
+    /// accounting) can attribute it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_as(&self, client: ClientId, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
         if nodes.is_empty() {
             return Err(ServeError::Rejected {
                 reason: "request contains no query nodes".into(),
@@ -355,6 +375,7 @@ impl AdmissionQueue {
             state.pending_nodes += nodes.len();
             state.pending.push_back(PendingRequest {
                 nodes,
+                client,
                 enqueued_at: Instant::now(),
                 responder,
             });
@@ -569,6 +590,17 @@ mod tests {
         assert_eq!(reason, FlushReason::Drain);
         assert_eq!(batch.len(), 1);
         assert!(queue.next_batch().is_none(), "drained queue signals exit");
+    }
+
+    #[test]
+    fn submissions_carry_their_client_identity() {
+        let queue = AdmissionQueue::new(policy(100, 1, 100));
+        let _a = queue.submit(vec![0]).unwrap();
+        let _b = queue.submit_as(ClientId(42), vec![1]).unwrap();
+        let (batch, _) = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].client(), ClientId::ANONYMOUS);
+        assert_eq!(batch[1].client(), ClientId(42));
     }
 
     #[test]

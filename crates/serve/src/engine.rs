@@ -69,12 +69,29 @@
 //! stale entry can never be served. `deploy` returns `Ok` once every
 //! shard has installed the new epoch: responses to requests submitted
 //! after it returns are answered exclusively by the new model.
+//!
+//! ## Abuse sentinel
+//!
+//! Every submission passes the engine's [`sentinel`](crate::sentinel)
+//! before routing: per-session sliding-window detectors score the query
+//! stream for extraction signatures, and an enforcement ladder
+//! escalates abusive sessions to [`ServeError::RateLimited`] and
+//! [`ServeError::Quarantined`] — both *admission* rejections, issued
+//! before any shard, cache, or enclave sees the request. Attribute
+//! traffic with [`ServeHandle::submit_as`]; unattributed
+//! [`submit`](ServeHandle::submit) calls share the
+//! [`ClientId::ANONYMOUS`] session. The sentinel is engine-global
+//! (shared by all handles), its counters land in
+//! [`ServeStats::sentinel`] at shutdown, and a successful
+//! [`ServingEngine::deploy`] optionally grants amnesty
+//! ([`SentinelConfig::reset_on_deploy`]).
 
 #[cfg(feature = "fault-injection")]
 use crate::faults::{FaultPlan, ShardFaults};
+use crate::sentinel::Sentinel;
 use crate::{
-    AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, LruCache, PendingRequest, ServeError,
-    Ticket,
+    AdmissionQueue, BatchPolicy, BatchPoll, ClientId, FlushReason, LruCache, PendingRequest,
+    SentinelConfig, SentinelStats, ServeError, Ticket,
 };
 use gnnvault::{InferenceReport, RecoveryHandle, Vault, VaultSnapshot};
 use linalg::DenseMatrix;
@@ -104,9 +121,12 @@ const DEPLOY_RETRY_BACKOFF: Duration = Duration::from_millis(1);
 const DEPLOY_RETRY_BACKOFF_CAP: Duration = Duration::from_millis(50);
 
 /// Configuration for [`ServingEngine::start`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(not(feature = "fault-injection"), derive(Copy))]
 pub struct ServeConfig {
+    /// Abuse-sentinel thresholds and mode (see
+    /// [`SentinelConfig`]); defaults to shadow-mode observation.
+    pub sentinel: SentinelConfig,
     /// Batching and admission-control knobs, applied per shard.
     pub policy: BatchPolicy,
     /// Enclave sessions *per shard* to multiplex batches across
@@ -151,9 +171,11 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     /// Default policy, one shard, two enclave sessions, 4096 cached
     /// results, no request timeout, 1 ms base restart backoff with 5
-    /// attempts, and 3 install attempts per shard per deploy.
+    /// attempts, 3 install attempts per shard per deploy, and the
+    /// sentinel in shadow mode with default thresholds.
     fn default() -> Self {
         Self {
+            sentinel: SentinelConfig::default(),
             policy: BatchPolicy::default(),
             sessions: 2,
             cache_capacity: 4096,
@@ -451,6 +473,10 @@ pub struct ServeStats {
     pub sessions: Vec<SessionStats>,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStats>,
+    /// The abuse sentinel's aggregate counters and per-client-session
+    /// breakdown (filled at [`ServingEngine::shutdown`]; per-shard
+    /// stats leave it empty — the sentinel fronts the whole engine).
+    pub sentinel: SentinelStats,
 }
 
 impl ServeStats {
@@ -538,11 +564,33 @@ pub struct ServeHandle {
     num_nodes: usize,
     health: Arc<HealthBoard>,
     front: Arc<FrontStats>,
+    sentinel: Arc<Sentinel>,
 }
 
 impl ServeHandle {
-    /// Submits a multi-node inference request; blocks nowhere. The
-    /// returned labels (via [`Ticket::wait`]) are in request order.
+    /// Submits an *unattributed* multi-node inference request — booked
+    /// under the shared [`ClientId::ANONYMOUS`] sentinel session. See
+    /// [`submit_as`](Self::submit_as), which attributed deployments
+    /// should prefer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit_as`](Self::submit_as).
+    pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
+        self.submit_as(ClientId::ANONYMOUS, nodes)
+    }
+
+    /// Submits a multi-node inference request on behalf of `client`;
+    /// blocks nowhere. The returned labels (via [`Ticket::wait`]) are
+    /// in request order.
+    ///
+    /// The submission first passes the engine's abuse sentinel — which
+    /// updates `client`'s detector state on this thread, *before*
+    /// routing, so sentinel statistics for a fixed trace are identical
+    /// at any shard count — and the client identity is stamped into
+    /// every per-shard sub-request
+    /// ([`PendingRequest::client`](crate::PendingRequest::client)), so
+    /// each one stays attributable wherever it lands.
     ///
     /// Nodes whose home shard is [`ShardHealth::Down`] are routed to
     /// the next live shard (every replica serves the same model, so the
@@ -552,11 +600,14 @@ impl ServeHandle {
     ///
     /// [`ServeError::Rejected`] on empty/out-of-range node lists or a
     /// full shard queue; [`ServeError::Overloaded`] when the shard is
-    /// shedding load; [`ServeError::Closed`] after shutdown began.
+    /// shedding load; [`ServeError::RateLimited`] /
+    /// [`ServeError::Quarantined`] when the sentinel (in
+    /// [`SentinelMode::Enforce`](crate::SentinelMode)) rejects the
+    /// session's traffic; [`ServeError::Closed`] after shutdown began.
     /// When a multi-shard submission fails part-way, already-admitted
     /// sub-requests are still answered by their shards, but into a
     /// dropped ticket — the request as a whole fails.
-    pub fn submit(&self, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
+    pub fn submit_as(&self, client: ClientId, nodes: Vec<usize>) -> Result<Ticket, ServeError> {
         if nodes.is_empty() {
             return Err(ServeError::Rejected {
                 reason: "request contains no query nodes".into(),
@@ -567,8 +618,9 @@ impl ServeHandle {
                 reason: format!("query node {bad} out of range for {} nodes", self.num_nodes),
             });
         }
+        self.sentinel.admit(client, &nodes)?;
         if self.router.num_shards() == 1 {
-            return self.track_shed(self.queues[0].submit(nodes));
+            return self.track_shed(self.queues[0].submit_as(client, nodes));
         }
         let total = nodes.len();
         let mut per_shard: Vec<(Vec<usize>, Vec<usize>, bool)> =
@@ -586,7 +638,7 @@ impl ServeHandle {
             if shard_nodes.is_empty() {
                 continue;
             }
-            let ticket = self.track_shed(self.queues[shard].submit(shard_nodes))?;
+            let ticket = self.track_shed(self.queues[shard].submit_as(client, shard_nodes))?;
             if rerouted {
                 self.front.rerouted.fetch_add(1, Ordering::Relaxed);
             }
@@ -595,13 +647,30 @@ impl ServeHandle {
         Ok(Ticket::from_routed_parts(parts, total))
     }
 
-    /// Submits a single-node request (routed to the node's shard).
+    /// Submits a single-node request (routed to the node's shard),
+    /// unattributed.
     ///
     /// # Errors
     ///
     /// Same as [`ServeHandle::submit`].
     pub fn submit_one(&self, node: usize) -> Result<Ticket, ServeError> {
         self.submit(vec![node])
+    }
+
+    /// Submits a single-node request on behalf of `client`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeHandle::submit_as`].
+    pub fn submit_one_as(&self, client: ClientId, node: usize) -> Result<Ticket, ServeError> {
+        self.submit_as(client, vec![node])
+    }
+
+    /// Live snapshot of the engine's sentinel counters (also available
+    /// from [`ServingEngine::sentinel_stats`] and, at shutdown, in
+    /// [`ServeStats::sentinel`]).
+    pub fn sentinel_stats(&self) -> SentinelStats {
+        self.sentinel.stats()
     }
 
     /// Number of nodes in the served deployment (valid ids are
@@ -701,6 +770,7 @@ pub struct ServingEngine {
     num_nodes: usize,
     health: Arc<HealthBoard>,
     front: Arc<FrontStats>,
+    sentinel: Arc<Sentinel>,
 }
 
 impl std::fmt::Debug for ShardSet {
@@ -762,6 +832,11 @@ impl ServingEngine {
         let features = Arc::new(features);
         let health = Arc::new(HealthBoard::new(shard_count));
         let front = Arc::new(FrontStats::default());
+        // The sentinel scores pair probes against the backbone's public
+        // substitute graph — the structure a benign client could learn
+        // from public data anyway.
+        let substitute = vault.backbone().substitute_graph().cloned().map(Arc::new);
+        let sentinel = Arc::new(Sentinel::new(config.sentinel, num_nodes, substitute));
         let wcfg = WorkerConfig::from_config(&config);
 
         // One sealed snapshot of the starting model serves as every
@@ -828,6 +903,7 @@ impl ServingEngine {
             num_nodes,
             health,
             front,
+            sentinel,
         })
     }
 
@@ -844,7 +920,23 @@ impl ServingEngine {
             num_nodes: self.num_nodes,
             health: Arc::clone(&self.health),
             front: Arc::clone(&self.front),
+            sentinel: Arc::clone(&self.sentinel),
         }
+    }
+
+    /// Live snapshot of the abuse sentinel's counters and per-session
+    /// breakdown.
+    pub fn sentinel_stats(&self) -> SentinelStats {
+        self.sentinel.stats()
+    }
+
+    /// Clears every sentinel session's detector state, strikes,
+    /// verdicts, and token buckets — the operator's amnesty lever (also
+    /// pulled automatically by a successful [`deploy`](Self::deploy)
+    /// when [`SentinelConfig::reset_on_deploy`] is set). Aggregate
+    /// counters are monotonic and survive.
+    pub fn reset_sentinel(&self) {
+        self.sentinel.reset();
     }
 
     /// Number of shards serving this deployment.
@@ -942,6 +1034,12 @@ impl ServingEngine {
                 .first()
                 .and_then(|(_, result)| result.as_ref().ok().copied())
                 .expect("engine has at least one shard");
+            // Deploy-time amnesty: a new epoch starts every session at
+            // the bottom of the ladder. Failed (rolled back) deploys
+            // deliberately grant nothing.
+            if self.sentinel.config().reset_on_deploy {
+                self.sentinel.reset();
+            }
             return Ok(epoch);
         };
         // All-or-nothing: compensate the shards that did install.
@@ -994,6 +1092,7 @@ impl ServingEngine {
         }
         merged.requests_shed += self.front.shed.load(Ordering::Relaxed);
         merged.rerouted_subrequests += self.front.rerouted.load(Ordering::Relaxed);
+        merged.sentinel = self.sentinel.stats();
         (first_vault, merged)
     }
 }

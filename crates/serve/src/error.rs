@@ -1,3 +1,4 @@
+use crate::sentinel::ClientId;
 use std::error::Error;
 use std::fmt;
 use std::time::Duration;
@@ -6,10 +7,12 @@ use std::time::Duration;
 ///
 /// Every admitted request resolves to labels or to exactly one of these
 /// variants — never a hang. The variants split into *admission* errors
-/// (`Rejected`, `Overloaded`, `Closed`: the request never entered a
-/// batch queue and can be retried immediately or after the hint) and
-/// *execution* errors (`Vault`, `ShardFailed`, `TimedOut`: the request
-/// was admitted but could not be answered).
+/// (`Rejected`, `Overloaded`, `RateLimited`, `Quarantined`, `Closed`:
+/// the request never entered a batch queue and can be retried
+/// immediately or after the hint — except `Quarantined`, which is
+/// sticky until the sentinel resets) and *execution* errors (`Vault`,
+/// `ShardFailed`, `TimedOut`: the request was admitted but could not be
+/// answered).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// Admission control refused the request (queue full, empty node
@@ -39,6 +42,29 @@ pub enum ServeError {
         /// How long the request had waited when the worker gave up on
         /// it.
         waited: Duration,
+    },
+    /// The sentinel's enforcement ladder has this session rate limited
+    /// ([`SentinelVerdict::RateLimited`](crate::SentinelVerdict)) and
+    /// its token bucket is empty. Purely an admission condition — the
+    /// request touched no shard — and it clears by itself: retry after
+    /// the hint, or stop probing and let the session's strikes decay.
+    RateLimited {
+        /// The session the verdict applies to.
+        client: ClientId,
+        /// Estimated time until the session's token bucket refills one
+        /// token ([`SentinelConfig::rate_limit_refill_per_sec`](crate::SentinelConfig)).
+        retry_after: Duration,
+    },
+    /// The sentinel has quarantined this session
+    /// ([`SentinelVerdict::Quarantined`](crate::SentinelVerdict)): its
+    /// query pattern sustained an extraction signature through rate
+    /// limiting. Every request is rejected before any routing, caching,
+    /// or enclave work until an operator resets the sentinel (or a
+    /// deploy does, with
+    /// [`SentinelConfig::reset_on_deploy`](crate::SentinelConfig)).
+    Quarantined {
+        /// The session the verdict applies to.
+        client: ClientId,
     },
     /// The engine has shut down; no further requests can be answered.
     Closed,
@@ -73,6 +99,17 @@ impl fmt::Display for ServeError {
             ServeError::TimedOut { waited } => {
                 write!(f, "request timed out after waiting {waited:?}")
             }
+            ServeError::RateLimited {
+                client,
+                retry_after,
+            } => write!(
+                f,
+                "{client} is rate limited by the sentinel; retry after {retry_after:?}"
+            ),
+            ServeError::Quarantined { client } => write!(
+                f,
+                "{client} is quarantined for a sustained extraction signature"
+            ),
             ServeError::Closed => write!(f, "serving engine is closed"),
             ServeError::ShardFailed { shard } => {
                 write!(f, "shard {shard} failed while serving the request")
@@ -127,6 +164,21 @@ mod tests {
             waited: Duration::from_millis(3),
         };
         assert!(e.to_string().contains("timed out"));
+
+        let e = ServeError::RateLimited {
+            client: ClientId(12),
+            retry_after: Duration::from_millis(25),
+        };
+        assert!(e.to_string().contains("client-12"));
+        assert!(e.to_string().contains("rate limited"));
+        assert!(Error::source(&e).is_none());
+
+        let e = ServeError::Quarantined {
+            client: ClientId(3),
+        };
+        assert!(e.to_string().contains("client-3"));
+        assert!(e.to_string().contains("quarantined"));
+        assert!(Error::source(&e).is_none());
 
         let e = ServeError::ShardFailed { shard: 2 };
         assert!(e.to_string().contains("shard 2"));

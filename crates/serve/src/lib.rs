@@ -45,6 +45,18 @@
 //! feature) injects deterministic failure schedules to prove all of
 //! this under test.
 //!
+//! The engine is also *defended*: before routing, every submission
+//! passes the [`sentinel`] — per-session ([`ClientId`]) sliding-window
+//! detectors that score the query stream for link-stealing signatures
+//! (fresh-node sweep rate, off-substitute-graph pair probing, window
+//! entropy) and escalate abusive sessions Observe → RateLimited →
+//! Quarantined ([`ServeError::RateLimited`] /
+//! [`ServeError::Quarantined`], both issued before any enclave work).
+//! The default [`SentinelMode::Observe`] only watches and counts;
+//! enforcement is an explicit [`ServeConfig::sentinel`] opt-in. The
+//! `attacks` crate's `online` module drives a real link-stealing attack
+//! through a [`ServeHandle`] as the continuous audit of this defense.
+//!
 //! # Examples
 //!
 //! The serving quickstart (mirrored in the repository README and in
@@ -116,6 +128,7 @@ mod engine;
 mod error;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+pub mod sentinel;
 
 pub use batcher::{AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, PendingRequest, Ticket};
 pub use cache::LruCache;
@@ -126,3 +139,6 @@ pub use engine::{
 pub use error::ServeError;
 #[cfg(feature = "fault-injection")]
 pub use faults::{Fault, FaultPlan};
+pub use sentinel::{
+    ClientId, SentinelConfig, SentinelMode, SentinelSessionStats, SentinelStats, SentinelVerdict,
+};

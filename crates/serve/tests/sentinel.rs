@@ -1,0 +1,361 @@
+//! End-to-end coverage for the serving sentinel: realistic benign
+//! traffic must never be throttled at default thresholds (even under
+//! full enforcement), an extraction sweep must climb the whole ladder
+//! at the admission front door, detector counters must be bit-identical
+//! across shard counts for the same trace, and deploy/reset amnesty
+//! must clear verdicts.
+
+use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
+use graph::Graph;
+use linalg::DenseMatrix;
+use nn::TrainConfig;
+use serve::{
+    BatchPolicy, ClientId, SentinelConfig, SentinelMode, SentinelStats, SentinelVerdict,
+    ServeConfig, ServeError, ServingEngine,
+};
+use std::sync::Arc;
+use std::time::Duration;
+use tee::{CostModel, OverBudgetPolicy, SealKey};
+
+/// Trains and deploys a small two-cluster vault with `n` nodes (same
+/// construction as `tests/engine.rs`, kept local to this suite).
+fn toy_vault(n: usize) -> (Vault, DenseMatrix) {
+    assert!(n >= 6 && n.is_multiple_of(2));
+    let half = n / 2;
+    let x = DenseMatrix::from_fn(n, 2, |r, c| {
+        let in_first = r < half;
+        let base = if (c == 0) == in_first { 1.0 } else { 0.0 };
+        base + 0.05 * ((r * 7 + c) % 5) as f32
+    });
+    let labels: Vec<usize> = (0..n).map(|r| usize::from(r >= half)).collect();
+    let train: Vec<usize> = (0..n).step_by(2).collect();
+    let mut edges = Vec::new();
+    for cluster in 0..2 {
+        let offset = cluster * half;
+        for i in 0..half {
+            edges.push((offset + i, offset + (i + 1) % half));
+        }
+    }
+    let real = Graph::from_edges(n, &edges).unwrap();
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.05,
+        weight_decay: 0.0,
+        dropout: 0.0,
+        seed: 0,
+    };
+    let backbone = Backbone::train(
+        &x,
+        &labels,
+        &train,
+        SubstituteKind::Knn { k: 2 },
+        &[8, 4, 2],
+        real.num_edges(),
+        &cfg,
+        1,
+    )
+    .unwrap();
+    let mut rectifier = Rectifier::new(
+        RectifierKind::Series,
+        &[8, 4, 2],
+        &backbone.channel_dims(),
+        2,
+    )
+    .unwrap();
+    let real_adj = graph::normalization::gcn_normalize(&real);
+    let embs = backbone.embeddings(&x).unwrap();
+    rectifier
+        .fit(&real_adj, &embs, &labels, &train, &cfg)
+        .unwrap();
+    let vault = Vault::deploy(
+        backbone,
+        rectifier,
+        &real,
+        tee::SGX_EPC_BYTES,
+        CostModel::default(),
+        OverBudgetPolicy::Fail,
+        SealKey(7),
+    )
+    .unwrap();
+    (vault, x)
+}
+
+fn engine_config(sentinel: SentinelConfig, shards: usize) -> ServeConfig {
+    ServeConfig {
+        sentinel,
+        policy: BatchPolicy {
+            max_batch_nodes: 16,
+            max_delay: Duration::from_millis(1),
+            max_queue_requests: 8192,
+            shed_high_water: 8192, // shedding off: isolate sentinel behaviour
+        },
+        sessions: 2,
+        cache_capacity: 256,
+        shards,
+        ..ServeConfig::default()
+    }
+}
+
+/// A sentinel config that escalates quickly and deterministically (no
+/// token refill), for the enforcement-path tests.
+fn strict_sentinel() -> SentinelConfig {
+    SentinelConfig {
+        mode: SentinelMode::Enforce,
+        window: 32,
+        min_distinct_nodes: 16,
+        strikes_to_rate_limit: 4,
+        strikes_to_quarantine: 12,
+        rate_limit_burst: 2.0,
+        rate_limit_refill_per_sec: 0.0,
+        ..SentinelConfig::default()
+    }
+}
+
+/// Satellite: a 6-thread storm of realistic traffic — hot-item heavy,
+/// small working sets, repeat pair lookups — must finish with zero
+/// RateLimited/Quarantined errors at *default* thresholds, even with
+/// enforcement switched on.
+#[test]
+fn benign_storm_is_never_limited_at_default_thresholds() {
+    let n = 64;
+    let (vault, x) = toy_vault(n);
+    let engine = ServingEngine::start(
+        vault,
+        x,
+        engine_config(
+            SentinelConfig {
+                mode: SentinelMode::Enforce,
+                ..SentinelConfig::default()
+            },
+            2,
+        ),
+    )
+    .unwrap();
+    let handle = Arc::new(engine.handle());
+
+    let threads: Vec<_> = (0..6u64)
+        .map(|t| {
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                let client = ClientId(t + 1);
+                let hot: Vec<usize> = (0..8).map(|i| (i * 7 + t as usize) % 64).collect();
+                let mut tickets = Vec::new();
+                for i in 0..400usize {
+                    // 70% hot-item lookups, a small recurring pair pool
+                    // (related-item queries), and occasional 3-node
+                    // scans of a bounded working set.
+                    let nodes = match i % 10 {
+                        0..=6 => vec![hot[(i * 13) % hot.len()]],
+                        7 | 8 => {
+                            let p = (i / 10) % 8;
+                            vec![(p * 5) % 64, (p * 5 + 1) % 64]
+                        }
+                        _ => {
+                            let base = (t as usize * 9 + i / 16) % 24;
+                            vec![base, (base + 3) % 24, (base + 6) % 24]
+                        }
+                    };
+                    match handle.submit_as(client, nodes) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(e) => panic!("benign client {t} rejected: {e}"),
+                    }
+                }
+                for ticket in tickets {
+                    ticket.wait().unwrap();
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.sentinel.sessions_observed, 6);
+    assert_eq!(stats.sentinel.rate_limited_requests, 0);
+    assert_eq!(stats.sentinel.quarantined_sessions, 0);
+    assert_eq!(stats.sentinel.quarantined_requests, 0);
+    for session in &stats.sentinel.sessions {
+        assert_eq!(
+            session.verdict,
+            SentinelVerdict::Observe,
+            "benign session {:?} escalated: {session:?}",
+            session.client
+        );
+        assert_eq!(session.strikes, 0, "no benign strikes may persist");
+    }
+}
+
+/// Tentpole: an extraction sweep climbs the full ladder — strikes, then
+/// token-bucket rate limiting with a retry-after hint, then sticky
+/// quarantine — all rejected at admission, while an interleaved benign
+/// session on the same engine is untouched.
+#[test]
+fn extraction_sweep_climbs_the_ladder_at_admission() {
+    let n = 64;
+    let (vault, x) = toy_vault(n);
+    let engine = ServingEngine::start(vault, x, engine_config(strict_sentinel(), 2)).unwrap();
+    let handle = engine.handle();
+    let attacker = ClientId(66);
+    let benign = ClientId(7);
+
+    let mut saw_rate_limit = false;
+    let mut quarantined_at = None;
+    let mut tickets = Vec::new();
+    for i in 0..256usize {
+        // Attacker: uniform sweep of the corpus.
+        match handle.submit_one_as(attacker, i % n) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::RateLimited {
+                client,
+                retry_after,
+            }) => {
+                assert_eq!(client, attacker);
+                assert!(retry_after > Duration::ZERO);
+                saw_rate_limit = true;
+            }
+            Err(ServeError::Quarantined { client }) => {
+                assert_eq!(client, attacker);
+                quarantined_at.get_or_insert(i);
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+        // Benign: hot-loop over 4 nodes, never throttled.
+        tickets.push(handle.submit_one_as(benign, i % 4).unwrap());
+    }
+    assert!(saw_rate_limit, "the ladder must pass through rate limiting");
+    let at = quarantined_at.expect("the sweep must end quarantined");
+    assert!(
+        at < 128,
+        "escalation took too long (first rejection at {at})"
+    );
+    // Quarantine is sticky: still rejected, still typed.
+    assert!(matches!(
+        handle.submit_one_as(attacker, 0),
+        Err(ServeError::Quarantined { .. })
+    ));
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.sentinel.quarantined_sessions, 1);
+    assert!(stats.sentinel.rate_limited_requests > 0);
+    assert!(stats.sentinel.quarantined_requests > 0);
+    let attacker_stats = stats
+        .sentinel
+        .sessions
+        .iter()
+        .find(|s| s.client == attacker)
+        .unwrap();
+    assert_eq!(attacker_stats.verdict, SentinelVerdict::Quarantined);
+    assert!(attacker_stats.fresh_rate > 0.0 || attacker_stats.window_entropy > 0.0);
+    let benign_stats = stats
+        .sentinel
+        .sessions
+        .iter()
+        .find(|s| s.client == benign)
+        .unwrap();
+    assert_eq!(benign_stats.verdict, SentinelVerdict::Observe);
+    assert_eq!(benign_stats.rate_limited, 0);
+}
+
+/// Replays one fixed request trace through an engine and returns the
+/// final sentinel stats.
+fn replay_trace(shards: usize) -> SentinelStats {
+    let n = 64;
+    let (vault, x) = toy_vault(n);
+    let engine = ServingEngine::start(vault, x, engine_config(strict_sentinel(), shards)).unwrap();
+    let handle = engine.handle();
+    let mut tickets = Vec::new();
+    for i in 0..512usize {
+        // Three sessions: a sweeper, a pair prober, and a hot-looper.
+        let _ = handle
+            .submit_one_as(ClientId(1), (i * 3) % n)
+            .map(|t| tickets.push(t));
+        let _ = handle
+            .submit_as(ClientId(2), vec![i % n, (i * 11 + 5) % n])
+            .map(|t| tickets.push(t));
+        let _ = handle
+            .submit_one_as(ClientId(3), i % 3)
+            .map(|t| tickets.push(t));
+    }
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    let stats = engine.sentinel_stats();
+    let (_, shutdown_stats) = engine.shutdown();
+    assert_eq!(
+        stats, shutdown_stats.sentinel,
+        "live snapshot and shutdown report must agree once traffic stopped"
+    );
+    stats
+}
+
+/// Satellite: sentinel counters are a pure function of the request
+/// trace — bit-identical (f64 fields included, via exact `PartialEq`)
+/// at 1 vs 4 shards. The CI matrix re-runs this suite under
+/// `LINALG_NUM_THREADS=1` and `=4`, covering pool-width invariance with
+/// the same assertion.
+#[test]
+fn sentinel_counters_are_bit_identical_across_shard_counts() {
+    let one = replay_trace(1);
+    let four = replay_trace(4);
+    assert_eq!(one, four);
+    // Sanity: the trace actually exercised the ladder.
+    assert_eq!(one.sessions_observed, 3);
+    assert!(one.quarantined_sessions >= 1);
+    assert!(one.rate_limited_requests > 0);
+}
+
+/// Tentpole: deploy-time amnesty (`reset_on_deploy`) and the explicit
+/// operator reset both clear verdicts; aggregate counters survive.
+#[test]
+fn deploy_and_reset_grant_amnesty() {
+    let n = 64;
+    let (vault, x) = toy_vault(n);
+    let snapshot = vault.snapshot();
+    let engine = ServingEngine::start(vault, x, engine_config(strict_sentinel(), 1)).unwrap();
+    let handle = engine.handle();
+    let attacker = ClientId(13);
+
+    let quarantine = |handle: &serve::ServeHandle| {
+        let mut tickets = Vec::new();
+        let mut quarantined = false;
+        for i in 0..512usize {
+            match handle.submit_one_as(attacker, i % n) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::RateLimited { .. }) => {}
+                Err(ServeError::Quarantined { .. }) => {
+                    quarantined = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert!(quarantined, "sweep must end quarantined");
+        assert!(matches!(
+            handle.submit_one_as(attacker, 0),
+            Err(ServeError::Quarantined { .. })
+        ));
+    };
+
+    // Operator reset clears the verdict...
+    quarantine(&handle);
+    engine.reset_sentinel();
+    handle.submit_one_as(attacker, 0).unwrap().wait().unwrap();
+
+    // ...and so does a successful deploy (reset_on_deploy default).
+    quarantine(&handle);
+    engine.deploy(&snapshot, SealKey(7)).unwrap();
+    handle.submit_one_as(attacker, 0).unwrap().wait().unwrap();
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(
+        stats.sentinel.quarantined_sessions, 2,
+        "monotonic counters survive both amnesties"
+    );
+}

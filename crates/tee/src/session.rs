@@ -12,9 +12,16 @@
 
 use crate::{EnclaveSim, TeeError, TransferReceipt, UntrustedToEnclave};
 use bytes::Bytes;
+use serde::{Deserialize, Serialize};
 
 /// Identifier of one enclave session, unique within the issuing vault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Hash` lets session ids key per-session accounting maps (e.g. the
+/// serving sentinel's detector state) and the serde derives let them
+/// appear in serialized statistics alongside `serve::ClientId`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct SessionId(pub u64);
 
 /// A long-lived enclave ingress session: a reusable

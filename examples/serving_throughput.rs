@@ -19,7 +19,7 @@
 
 use gnnvault_suite::datasets::{DatasetSpec, SyntheticPlanetoid};
 use gnnvault_suite::gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
-use gnnvault_suite::serve::{BatchPolicy, ServeConfig, ServingEngine};
+use gnnvault_suite::serve::{BatchPolicy, ClientId, ServeConfig, ServingEngine};
 use std::time::{Duration, Instant};
 
 /// Queries per client thread.
@@ -106,9 +106,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let queries: Vec<usize> =
                 stream[c * QUERIES_PER_CLIENT..(c + 1) * QUERIES_PER_CLIENT].to_vec();
             clients.push(std::thread::spawn(move || {
+                // Each client thread is an attributed session, so the
+                // sentinel's per-session detectors see real traffic.
+                let client = ClientId(c as u64 + 1);
                 for node in queries {
                     handle
-                        .submit_one(node)
+                        .submit_one_as(client, node)
                         .expect("admission")
                         .wait()
                         .expect("inference");
@@ -148,6 +151,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.requests_shed,
             stats.rerouted_subrequests,
             stats.timed_out_requests,
+        );
+        println!(
+            "  sentinel: {} sessions observed | {} rate-limited requests, {} quarantined sessions",
+            stats.sentinel.sessions_observed,
+            stats.sentinel.rate_limited_requests,
+            stats.sentinel.quarantined_sessions,
         );
         for shard in &stats.shards {
             println!(

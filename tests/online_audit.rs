@@ -1,0 +1,116 @@
+//! End-to-end online-audit tests: the link-stealing attack driven
+//! through a real serving engine must observe exactly the offline
+//! vault-surface leakage when nothing is blocked, and must be caught by
+//! the sentinel's default thresholds when enforcement is on.
+
+use attacks::{surface, LinkStealingAttack, OnlineLinkAudit, SimilarityMetric};
+use datasets::{DatasetSpec, SyntheticPlanetoid};
+use gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
+use serve::{ClientId, SentinelConfig, SentinelMode, SentinelVerdict, ServeConfig, ServingEngine};
+
+fn audit_fixture() -> (
+    gnnvault::Vault,
+    datasets::CitationDataset,
+    Vec<linalg::DenseMatrix>,
+) {
+    let data = SyntheticPlanetoid::new(DatasetSpec::CORA)
+        .scale(0.03)
+        .seed(5)
+        .generate()
+        .expect("generation");
+    let cfg = pipeline::PipelineConfig {
+        model: ModelConfig::m1(data.num_classes),
+        substitute: SubstituteKind::Knn { k: 2 },
+        rectifier: RectifierKind::Series,
+        epochs: 30,
+        train_original: false,
+        ..Default::default()
+    };
+    let trained = pipeline::train(&data, &cfg).expect("training");
+    let m_gv = surface::gnnvault_surface(&trained.backbone, &data.features).expect("Mgv");
+    let vault = pipeline::deploy(trained, &data).expect("deployment");
+    (vault, data, m_gv)
+}
+
+fn serve_config(mode: SentinelMode, shards: usize) -> ServeConfig {
+    ServeConfig {
+        sentinel: SentinelConfig {
+            mode,
+            ..SentinelConfig::default()
+        },
+        shards,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn observed_online_attack_matches_the_offline_surface_exactly() {
+    let (vault, data, m_gv) = audit_fixture();
+    let attack = LinkStealingAttack::new(SimilarityMetric::Cosine).with_seed(2);
+    let offline_auc = attack.run(&data.graph, &m_gv).expect("offline attack");
+
+    let engine = ServingEngine::start(
+        vault,
+        data.features.clone(),
+        serve_config(SentinelMode::Observe, 2),
+    )
+    .expect("engine");
+    let outcome = OnlineLinkAudit::new(attack)
+        .run(&engine.handle(), &data.graph, &m_gv)
+        .expect("audit");
+    let (_, stats) = engine.shutdown();
+
+    // Shadow mode answers everything, so the online audit scores the
+    // identical probe set the offline attack samples: the AUCs are not
+    // merely close, they are equal.
+    assert_eq!(outcome.pairs_answered, outcome.pairs_planned);
+    assert_eq!(outcome.completion(), 1.0);
+    assert!(!outcome.quarantined);
+    assert_eq!(outcome.rate_limited, 0);
+    assert_eq!(outcome.auc, Some(offline_auc));
+    assert!(outcome.label_agreement_auc.is_some());
+
+    // The probe stream is attributed and visible in the serving stats.
+    let session = stats
+        .sentinel
+        .sessions
+        .iter()
+        .find(|s| s.client == ClientId(0xA0D17))
+        .expect("audit session observed");
+    assert_eq!(session.requests, outcome.pairs_planned as u64);
+    assert_eq!(stats.sentinel.rate_limited_requests, 0);
+    assert_eq!(stats.sentinel.quarantined_requests, 0);
+}
+
+#[test]
+fn enforced_sentinel_quarantines_the_probe_stream_at_default_thresholds() {
+    let (vault, data, m_gv) = audit_fixture();
+    let attack = LinkStealingAttack::new(SimilarityMetric::Cosine).with_seed(2);
+    let engine = ServingEngine::start(
+        vault,
+        data.features.clone(),
+        serve_config(SentinelMode::Enforce, 1),
+    )
+    .expect("engine");
+    let outcome = OnlineLinkAudit::new(attack)
+        .run(&engine.handle(), &data.graph, &m_gv)
+        .expect("audit");
+    let (_, stats) = engine.shutdown();
+
+    assert!(
+        outcome.quarantined,
+        "random pair probing must trip the default thresholds: {outcome:?}"
+    );
+    assert!(
+        outcome.pairs_answered < outcome.pairs_planned,
+        "quarantine must cost the attacker probes"
+    );
+    let session = stats
+        .sentinel
+        .sessions
+        .iter()
+        .find(|s| s.client == ClientId(0xA0D17))
+        .expect("audit session observed");
+    assert_eq!(session.verdict, SentinelVerdict::Quarantined);
+    assert_eq!(stats.sentinel.quarantined_sessions, 1);
+}
