@@ -22,13 +22,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
+use graph::partition::PartitionSpec;
 use graph::{normalization, substitute, Graph};
 use linalg::{
     matmul_a_bt, matmul_at_b, matmul_fused, matmul_naive, matmul_packed, matmul_threaded, pairwise,
     DenseMatrix, Epilogue, SpmmStrategy,
 };
 use nn::{GcnNetwork, TrainConfig};
-use serve::{BatchPolicy, ServeConfig, ServingEngine};
+use serve::{BatchPolicy, ServeConfig, ServingEngine, Topology};
 
 /// Bytes moved by one `m×k · k×n` GEMM call (read A and B, write C).
 fn gemm_bytes(m: usize, k: usize, n: usize) -> u64 {
@@ -366,6 +367,81 @@ fn bench_serving_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serving_partitioned(c: &mut Criterion) {
+    // The same 256-query stream as `serving_sharded`, but with the
+    // private graph block-partitioned across the shards instead of
+    // replicated: shard i holds only partition i's owned nodes plus
+    // their L-hop halo, and routing is an owner lookup. Compare rows
+    // against `serving_sharded` at equal shard counts — answers are
+    // bit-identical, the difference is resident private state. The
+    // per-shard sealed snapshot sizes (printed once per shard count)
+    // quantify that: each partition seals strictly fewer bytes than a
+    // full replica.
+    const QUERIES: usize = 256;
+    let (vault, x) = serving_vault(512);
+    let full_bytes = vault.snapshot().sealed_nbytes();
+    let mut group = c.benchmark_group("serving_partitioned");
+    group.throughput(Throughput::Bytes(
+        (QUERIES * 2 * std::mem::size_of::<u64>()) as u64,
+    ));
+    for &shards in &[1usize, 2, 4] {
+        let spec = PartitionSpec::block(512, shards).expect("partition spec");
+        let per_shard: Vec<usize> = vault
+            .partition_snapshots(&spec)
+            .expect("partition snapshots")
+            .iter()
+            .map(gnnvault::VaultSnapshot::sealed_nbytes)
+            .collect();
+        eprintln!(
+            "serving_partitioned/{shards}: sealed snapshot bytes per shard {per_shard:?} \
+             vs {full_bytes} full-replica (x{shards} when replicated)"
+        );
+        // With ≥ 2 partitions each shard's closure misses part of the
+        // graph, so its snapshot must undercut a full replica's. (A
+        // 1-partition "cut" is the whole graph plus ownership metadata
+        // — there is nothing to save.)
+        assert!(
+            shards == 1 || per_shard.iter().all(|&bytes| bytes < full_bytes),
+            "every partition must seal fewer bytes than a full replica"
+        );
+        let engine = ServingEngine::start(
+            vault.spawn_replica().expect("replica"),
+            x.clone(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch_nodes: 64,
+                    max_delay: std::time::Duration::from_millis(1),
+                    max_queue_requests: 8192,
+                    ..BatchPolicy::default()
+                },
+                sessions: 2,
+                cache_capacity: 0,
+                shards,
+                topology: Topology::Partitioned,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("engine start");
+        let handle = engine.handle();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let tickets: Vec<_> = (0..QUERIES)
+                        .map(|i| handle.submit_one((i * 97) % 512).expect("admission"))
+                        .collect();
+                    for ticket in tickets {
+                        ticket.wait().expect("inference");
+                    }
+                })
+            },
+        );
+        engine.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -378,6 +454,7 @@ criterion_group!(
     bench_substitute_generation_4096,
     bench_pairwise_gram,
     bench_serving_batch,
-    bench_serving_sharded
+    bench_serving_sharded,
+    bench_serving_partitioned
 );
 criterion_main!(benches);

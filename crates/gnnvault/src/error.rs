@@ -21,6 +21,16 @@ pub enum VaultError {
         /// Description of the problem.
         reason: String,
     },
+    /// A partition replica was asked about a node another partition
+    /// owns. Routing layers must send the query to the owner instead.
+    NotOwned {
+        /// The queried node.
+        node: usize,
+        /// The partition that received the query.
+        part: usize,
+        /// Total number of partitions in the deployment.
+        parts: usize,
+    },
 }
 
 impl fmt::Display for VaultError {
@@ -31,6 +41,9 @@ impl fmt::Display for VaultError {
             VaultError::Tee(e) => write!(f, "enclave failure: {e}"),
             VaultError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             VaultError::Snapshot { reason } => write!(f, "invalid vault snapshot: {reason}"),
+            VaultError::NotOwned { node, part, parts } => {
+                write!(f, "node {node} is not owned by partition {part} of {parts}")
+            }
         }
     }
 }
@@ -41,7 +54,9 @@ impl Error for VaultError {
             VaultError::Nn(e) => Some(e),
             VaultError::Graph(e) => Some(e),
             VaultError::Tee(e) => Some(e),
-            VaultError::InvalidConfig { .. } | VaultError::Snapshot { .. } => None,
+            VaultError::InvalidConfig { .. }
+            | VaultError::Snapshot { .. }
+            | VaultError::NotOwned { .. } => None,
         }
     }
 }

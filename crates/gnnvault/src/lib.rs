@@ -71,6 +71,6 @@ pub use error::VaultError;
 pub use model::ModelConfig;
 pub use original::OriginalGnn;
 pub use rectifier::{Rectifier, RectifierKind};
-pub use snapshot::VaultSnapshot;
+pub use snapshot::{SnapshotPartition, VaultSnapshot};
 pub use substitute::SubstituteKind;
 pub use vault::{InferenceReport, RecoveryHandle, Vault};

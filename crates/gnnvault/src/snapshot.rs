@@ -39,6 +39,25 @@
 //! out u64, weight matrix, bias matrix)`, a matrix is `rows u64 | cols
 //! u64 | f32-LE data`, and a graph is `num_nodes u64 | num_edges u64 |
 //! (u,v) u64 pairs`.
+//!
+//! A *per-partition* snapshot (magic `GV_SNAP2`, produced by
+//! [`Vault::snapshot_partition`](crate::Vault::snapshot_partition))
+//! replaces the trailing full real graph with one partition's private
+//! state — the owned-node list, the closure's global-id map, the
+//! full-graph degree vector, and the induced local COO — while keeping
+//! the shared backbone/rectifier weights:
+//!
+//! ```text
+//! magic u64 | epoch u64 | num_global_nodes u64 | part u64 | parts u64
+//! epc_budget u64 | cost u64×4 | policy u8 | backbone | rectifier
+//! owned (global ids) | local_ids (global ids) | original_degrees
+//! local graph
+//! ```
+//!
+//! Restoring it builds a *partial* vault that answers only its owned
+//! nodes — bit-identically to the full vault, because the closure spans
+//! the rectifier's receptive field and normalization uses the original
+//! degrees.
 
 use crate::{Backbone, Rectifier, RectifierKind, SubstituteKind, VaultError};
 use graph::Graph;
@@ -46,8 +65,37 @@ use linalg::DenseMatrix;
 use nn::{ConvKind, GcnNetwork, MlpNetwork};
 use tee::{CostModel, OverBudgetPolicy, Sealed};
 
-/// Format marker at offset 0 of every snapshot payload.
+/// Format marker at offset 0 of every full-vault snapshot payload.
 const MAGIC: u64 = 0x4756_5F53_4E41_5031; // "GV_SNAP1"
+
+/// Format marker of the per-partition snapshot form.
+const MAGIC_PARTITION: u64 = 0x4756_5F53_4E41_5032; // "GV_SNAP2"
+
+/// Which partition a sealed snapshot carries — clear routing metadata
+/// on a [`VaultSnapshot`], mirrored (and cross-checked) inside the
+/// sealed payload. Ownership is a pure function of the node id, so
+/// exposing `part`/`parts` reveals nothing about the private edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPartition {
+    part: usize,
+    parts: usize,
+}
+
+impl SnapshotPartition {
+    pub(crate) fn new(part: usize, parts: usize) -> Self {
+        Self { part, parts }
+    }
+
+    /// This snapshot's partition index.
+    pub fn part(&self) -> usize {
+        self.part
+    }
+
+    /// Total number of partitions in the deployment.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+}
 
 /// A sealed, deployable image of a trained vault.
 ///
@@ -65,6 +113,7 @@ const MAGIC: u64 = 0x4756_5F53_4E41_5031; // "GV_SNAP1"
 pub struct VaultSnapshot {
     epoch: u64,
     num_nodes: usize,
+    partition: Option<SnapshotPartition>,
     sealed: Sealed,
 }
 
@@ -77,9 +126,17 @@ impl VaultSnapshot {
     }
 
     /// Number of nodes in the snapshotted deployment's real graph (and
-    /// therefore the row count the serving corpus must have).
+    /// therefore the row count the serving corpus must have). For a
+    /// per-partition snapshot this is still the *global* node count —
+    /// the corpus is shared across partitions.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// Which partition this snapshot carries, or `None` for a full
+    /// (replica) snapshot.
+    pub fn partition(&self) -> Option<SnapshotPartition> {
+        self.partition
     }
 
     /// Size of the sealed payload in bytes.
@@ -93,6 +150,23 @@ impl VaultSnapshot {
         Self {
             epoch,
             num_nodes,
+            partition: None,
+            sealed,
+        }
+    }
+
+    /// Wraps a sealed per-partition payload (crate-internal; use
+    /// [`Vault::snapshot_partition`](crate::Vault::snapshot_partition)).
+    pub(crate) fn from_partition_parts(
+        epoch: u64,
+        num_nodes: usize,
+        partition: SnapshotPartition,
+        sealed: Sealed,
+    ) -> Self {
+        Self {
+            epoch,
+            num_nodes,
+            partition: Some(partition),
             sealed,
         }
     }
@@ -104,15 +178,33 @@ impl VaultSnapshot {
 }
 
 /// Everything [`Vault::restore`](crate::Vault::restore) needs to rebuild
-/// a deployment from a decoded payload.
+/// a deployment from a decoded payload. For a partition payload,
+/// `real_graph` is the induced *local* graph and `partition` carries the
+/// ownership maps; for a full payload `partition` is `None` and
+/// `num_global_nodes == real_graph.num_nodes()`.
 pub(crate) struct DecodedVault {
     pub epoch: u64,
+    pub num_global_nodes: usize,
     pub epc_budget: usize,
     pub cost: CostModel,
     pub policy: OverBudgetPolicy,
     pub backbone: Backbone,
     pub rectifier: Rectifier,
     pub real_graph: Graph,
+    pub partition: Option<DecodedPartition>,
+}
+
+/// The ownership maps of a decoded per-partition payload.
+pub(crate) struct DecodedPartition {
+    pub part: usize,
+    pub parts: usize,
+    /// Global ids owned by this partition, strictly ascending.
+    pub owned: Vec<usize>,
+    /// Global ids of the closure (`owned ∪ halo`), strictly ascending;
+    /// index in this list is the local id.
+    pub local_ids: Vec<usize>,
+    /// Full-graph degree per local id.
+    pub original_degrees: Vec<usize>,
 }
 
 /// Shorthand for decode failures.
@@ -290,6 +382,59 @@ pub(crate) fn encode(
     w.put_u64(MAGIC);
     w.put_u64(epoch);
     w.put_usize(real_graph.num_nodes());
+    encode_config(&mut w, epc_budget, cost, policy);
+    encode_backbone(&mut w, backbone);
+    encode_rectifier(&mut w, rectifier);
+
+    w.put_usize(real_graph.num_edges());
+    for &(u, v) in real_graph.edges() {
+        w.put_usize(u);
+        w.put_usize(v);
+    }
+    w.buf
+}
+
+/// Borrowed view of one partition's private state, handed to
+/// [`encode_partition`] by `Vault::snapshot_partition`.
+pub(crate) struct PartitionParts<'a> {
+    pub part: usize,
+    pub parts: usize,
+    pub num_global_nodes: usize,
+    pub owned: &'a [usize],
+    pub local_ids: &'a [usize],
+    pub original_degrees: &'a [usize],
+    pub local_graph: &'a Graph,
+}
+
+/// Encodes one partition of a deployment into the `GV_SNAP2` payload
+/// (pre-sealing): shared weights plus only this partition's private
+/// graph state.
+pub(crate) fn encode_partition(
+    epoch: u64,
+    epc_budget: usize,
+    cost: &CostModel,
+    policy: OverBudgetPolicy,
+    backbone: &Backbone,
+    rectifier: &Rectifier,
+    p: &PartitionParts<'_>,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(MAGIC_PARTITION);
+    w.put_u64(epoch);
+    w.put_usize(p.num_global_nodes);
+    w.put_usize(p.part);
+    w.put_usize(p.parts);
+    encode_config(&mut w, epc_budget, cost, policy);
+    encode_backbone(&mut w, backbone);
+    encode_rectifier(&mut w, rectifier);
+    w.put_usizes(p.owned);
+    w.put_usizes(p.local_ids);
+    w.put_usizes(p.original_degrees);
+    w.put_graph(p.local_graph);
+    w.buf
+}
+
+fn encode_config(w: &mut Writer, epc_budget: usize, cost: &CostModel, policy: OverBudgetPolicy) {
     w.put_usize(epc_budget);
     w.put_u64(cost.transition_ns);
     w.put_u64(cost.per_byte_ns);
@@ -299,7 +444,9 @@ pub(crate) fn encode(
         OverBudgetPolicy::Swap => 0,
         OverBudgetPolicy::Fail => 1,
     });
+}
 
+fn encode_backbone(w: &mut Writer, backbone: &Backbone) {
     match backbone {
         Backbone::Gcn {
             network,
@@ -308,7 +455,7 @@ pub(crate) fn encode(
             ..
         } => {
             w.put_u8(0);
-            encode_substitute_kind(&mut w, kind);
+            encode_substitute_kind(w, kind);
             w.put_graph(substitute_graph);
             w.put_usize(network.input_dim());
             w.put_usize(network.num_layers());
@@ -331,7 +478,9 @@ pub(crate) fn encode(
             }
         }
     }
+}
 
+fn encode_rectifier(w: &mut Writer, rectifier: &Rectifier) {
     w.put_u8(match rectifier.kind() {
         RectifierKind::Parallel => 0,
         RectifierKind::Cascaded => 1,
@@ -352,13 +501,6 @@ pub(crate) fn encode(
             w.put_matrix(&p.value);
         }
     }
-
-    w.put_usize(real_graph.num_edges());
-    for &(u, v) in real_graph.edges() {
-        w.put_usize(u);
-        w.put_usize(v);
-    }
-    w.buf
 }
 
 fn encode_substitute_kind(w: &mut Writer, kind: &SubstituteKind) {
@@ -385,14 +527,125 @@ fn encode_substitute_kind(w: &mut Writer, kind: &SubstituteKind) {
 // ---------------------------------------------------------------------
 
 /// Decodes a snapshot payload back into deployment parts, validating
-/// every shape against the reconstructed architecture.
+/// every shape against the reconstructed architecture. Dispatches on
+/// the magic: `GV_SNAP1` (full vault) or `GV_SNAP2` (one partition).
 pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
     let mut r = Reader::new(payload);
-    if r.get_u64()? != MAGIC {
-        return Err(bad("bad magic: not a vault snapshot"));
+    match r.get_u64()? {
+        MAGIC => decode_full(r),
+        MAGIC_PARTITION => decode_partition(r),
+        _ => Err(bad("bad magic: not a vault snapshot")),
     }
+}
+
+fn decode_full(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
     let epoch = r.get_u64()?;
     let num_nodes = r.get_usize()?;
+    let (epc_budget, cost, policy) = decode_config(&mut r)?;
+    let backbone = decode_backbone(&mut r)?;
+    let rectifier = decode_rectifier(&mut r, &backbone)?;
+
+    let num_edges = r.get_usize()?;
+    if num_edges > r.buf.len() / 16 + 1 {
+        return Err(bad(format!("implausible edge count {num_edges}")));
+    }
+    let mut pairs = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        pairs.push((r.get_usize()?, r.get_usize()?));
+    }
+    let real_graph = Graph::from_edges(num_nodes, &pairs).map_err(|e| bad(e.to_string()))?;
+    r.finish()?;
+
+    Ok(DecodedVault {
+        epoch,
+        num_global_nodes: num_nodes,
+        epc_budget,
+        cost,
+        policy,
+        backbone,
+        rectifier,
+        real_graph,
+        partition: None,
+    })
+}
+
+fn decode_partition(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
+    let epoch = r.get_u64()?;
+    let num_global_nodes = r.get_usize()?;
+    let part = r.get_usize()?;
+    let parts = r.get_usize()?;
+    if part >= parts {
+        return Err(bad(format!("partition index {part} out of {parts}")));
+    }
+    let (epc_budget, cost, policy) = decode_config(&mut r)?;
+    let backbone = decode_backbone(&mut r)?;
+    let rectifier = decode_rectifier(&mut r, &backbone)?;
+    let owned = r.get_usizes()?;
+    let local_ids = r.get_usizes()?;
+    let original_degrees = r.get_usizes()?;
+    let local_graph = r.get_graph()?;
+    r.finish()?;
+
+    check_ascending_ids(&owned, num_global_nodes, "owned list")?;
+    check_ascending_ids(&local_ids, num_global_nodes, "closure list")?;
+    if owned.iter().any(|n| local_ids.binary_search(n).is_err()) {
+        return Err(bad("owned node missing from the partition closure"));
+    }
+    if original_degrees.len() != local_ids.len() {
+        return Err(bad(format!(
+            "degree vector has {} entries for a {}-node closure",
+            original_degrees.len(),
+            local_ids.len()
+        )));
+    }
+    if local_graph.num_nodes() != local_ids.len() {
+        return Err(bad(format!(
+            "local graph spans {} nodes but the closure lists {}",
+            local_graph.num_nodes(),
+            local_ids.len()
+        )));
+    }
+    let local_degrees = local_graph.degrees();
+    if local_degrees
+        .iter()
+        .zip(&original_degrees)
+        .any(|(&local, &full)| local > full)
+    {
+        return Err(bad("local degree exceeds the recorded full-graph degree"));
+    }
+
+    Ok(DecodedVault {
+        epoch,
+        num_global_nodes,
+        epc_budget,
+        cost,
+        policy,
+        backbone,
+        rectifier,
+        real_graph: local_graph,
+        partition: Some(DecodedPartition {
+            part,
+            parts,
+            owned,
+            local_ids,
+            original_degrees,
+        }),
+    })
+}
+
+/// Rejects id lists that are not strictly ascending within bounds — the
+/// invariant every ownership/closure lookup (binary search) relies on.
+fn check_ascending_ids(ids: &[usize], bound: usize, what: &str) -> Result<(), VaultError> {
+    if ids.iter().any(|&n| n >= bound) {
+        return Err(bad(format!("{what} references a node beyond {bound}")));
+    }
+    if ids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(bad(format!("{what} is not strictly ascending")));
+    }
+    Ok(())
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<(usize, CostModel, OverBudgetPolicy), VaultError> {
     let epc_budget = r.get_usize()?;
     let cost = CostModel {
         transition_ns: r.get_u64()?,
@@ -406,12 +659,15 @@ pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
         1 => OverBudgetPolicy::Fail,
         t => return Err(bad(format!("unknown over-budget policy tag {t}"))),
     };
+    Ok((epc_budget, cost, policy))
+}
 
-    let backbone = match r.get_u8()? {
+fn decode_backbone(r: &mut Reader<'_>) -> Result<Backbone, VaultError> {
+    Ok(match r.get_u8()? {
         0 => {
-            let kind = decode_substitute_kind(&mut r)?;
+            let kind = decode_substitute_kind(r)?;
             let substitute_graph = r.get_graph()?;
-            let (input_dim, channels, weights) = decode_network_params(&mut r)?;
+            let (input_dim, channels, weights) = decode_network_params(r)?;
             let mut network = GcnNetwork::new(input_dim, &channels, 0)?;
             for (layer, (weight, bias)) in network.layers_mut().iter_mut().zip(weights) {
                 restore_value(layer.weight_mut(), weight, "backbone weight")?;
@@ -426,7 +682,7 @@ pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
             }
         }
         1 => {
-            let (input_dim, channels, weights) = decode_network_params(&mut r)?;
+            let (input_dim, channels, weights) = decode_network_params(r)?;
             let mut network = MlpNetwork::new(input_dim, &channels, 0)?;
             for (layer, (weight, bias)) in network.layers_mut().iter_mut().zip(weights) {
                 restore_value(layer.weight_mut(), weight, "backbone weight")?;
@@ -435,8 +691,10 @@ pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
             Backbone::Mlp { network }
         }
         t => return Err(bad(format!("unknown backbone tag {t}"))),
-    };
+    })
+}
 
+fn decode_rectifier(r: &mut Reader<'_>, backbone: &Backbone) -> Result<Rectifier, VaultError> {
     let kind = match r.get_u8()? {
         0 => RectifierKind::Parallel,
         1 => RectifierKind::Cascaded,
@@ -477,27 +735,7 @@ pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
             restore_value(p, value, "rectifier parameter")?;
         }
     }
-
-    let num_edges = r.get_usize()?;
-    if num_edges > payload.len() / 16 + 1 {
-        return Err(bad(format!("implausible edge count {num_edges}")));
-    }
-    let mut pairs = Vec::with_capacity(num_edges);
-    for _ in 0..num_edges {
-        pairs.push((r.get_usize()?, r.get_usize()?));
-    }
-    let real_graph = Graph::from_edges(num_nodes, &pairs).map_err(|e| bad(e.to_string()))?;
-    r.finish()?;
-
-    Ok(DecodedVault {
-        epoch,
-        epc_budget,
-        cost,
-        policy,
-        backbone,
-        rectifier,
-        real_graph,
-    })
+    Ok(rectifier)
 }
 
 fn decode_substitute_kind(r: &mut Reader<'_>) -> Result<SubstituteKind, VaultError> {
@@ -841,5 +1079,204 @@ mod tests {
             .unseal(SealKey(13).derive("vault-snapshot"))
             .unwrap()
             .to_vec()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn partition_snapshot_roundtrip_answers_owned_nodes_bit_identically(
+            n in 4usize..10,
+            kind_idx in 0usize..3,
+            density in 100u64..700,
+            seed in 0u64..1000,
+            nparts in 2usize..5,
+        ) {
+            use graph::partition::PartitionSpec;
+            let kind = RectifierKind::ALL[kind_idx];
+            let graph = random_graph(n, density, seed);
+            let key = SealKey(seed as u128 + 29);
+            let (mut vault, x) = trained_vault(
+                n, kind, ConvKind::Gcn, SubstituteKind::Knn { k: 1 }, &graph, seed, key,
+            );
+            let (full_labels, _) = vault.infer(&x).unwrap();
+            let spec = PartitionSpec::block(n, nparts).unwrap();
+            let snaps = vault.partition_snapshots(&spec).unwrap();
+            prop_assert_eq!(snaps.len(), nparts);
+            for (part, snap) in snaps.iter().enumerate() {
+                prop_assert_eq!(snap.epoch(), vault.epoch());
+                prop_assert_eq!(snap.num_nodes(), n, "partition snapshots report the global count");
+                let stamp = snap.partition().expect("partition snapshots carry their stamp");
+                prop_assert_eq!(stamp.part(), part);
+                prop_assert_eq!(stamp.parts(), nparts);
+                // The single-partition path seals the identical bytes.
+                prop_assert_eq!(&vault.snapshot_partition(&spec, part).unwrap(), snap);
+
+                let mut partial = Vault::restore(snap, key).unwrap();
+                prop_assert_eq!(partial.epoch(), vault.epoch());
+                prop_assert_eq!(partial.num_nodes(), n);
+                prop_assert_eq!(partial.partition_info(), Some((part, nparts)));
+                let owned: Vec<usize> =
+                    partial.owned_nodes().expect("partial vault").to_vec();
+                prop_assert!(owned.iter().all(|&o| spec.owner_of(o) == part));
+
+                // Owned nodes answer bit-identically to the full vault,
+                // through both the batched and the per-node path.
+                if !owned.is_empty() {
+                    let mut session = partial.open_session();
+                    let (labels, _) = partial.infer_batch(&mut session, &x, &owned).unwrap();
+                    for (label, &o) in labels.iter().zip(&owned) {
+                        prop_assert_eq!(*label, full_labels[o]);
+                    }
+                    let (single, _) = partial.infer_node(&x, owned[0]).unwrap();
+                    prop_assert_eq!(single, full_labels[owned[0]]);
+                }
+
+                // Non-owned nodes fail with the typed routing error on
+                // both paths — never a silently wrong label.
+                if let Some(alien) = (0..n).find(|&m| spec.owner_of(m) != part) {
+                    let mut session = partial.open_session();
+                    prop_assert!(matches!(
+                        partial.infer_batch(&mut session, &x, &[alien]),
+                        Err(VaultError::NotOwned { node, part: p, parts })
+                            if node == alien && p == part && parts == nparts
+                    ));
+                    prop_assert!(matches!(
+                        partial.infer_node(&x, alien),
+                        Err(VaultError::NotOwned { .. })
+                    ));
+                }
+
+                // Full-graph inference is refused outright on a partial
+                // vault (no partition holds every node).
+                prop_assert!(matches!(
+                    partial.infer(&x),
+                    Err(VaultError::InvalidConfig { .. })
+                ));
+
+                // Wrong key: sealing rejects, nothing leaks.
+                prop_assert!(matches!(
+                    Vault::restore(snap, SealKey(key.0 ^ 5)),
+                    Err(VaultError::Tee(TeeError::SealTampered))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_snapshot_rejects_truncation_and_forged_stamps() {
+        use graph::partition::PartitionSpec;
+        let graph = random_graph(6, 500, 11);
+        let key = SealKey(13);
+        let (vault, _) = trained_vault(
+            6,
+            RectifierKind::Series,
+            ConvKind::Gcn,
+            SubstituteKind::Knn { k: 1 },
+            &graph,
+            6,
+            key,
+        );
+        let spec = PartitionSpec::block(6, 2).unwrap();
+        let snap = vault.snapshot_partition(&spec, 0).unwrap();
+        let stamp = snap.partition().unwrap();
+
+        // Every strict prefix of the partition payload fails cleanly.
+        let payload = snap
+            .sealed()
+            .unseal(key.derive("vault-snapshot"))
+            .unwrap()
+            .to_vec();
+        assert!(decode(&payload).is_ok());
+        for len in (0..payload.len()).step_by(37) {
+            assert!(
+                decode(&payload[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+
+        // Clear-metadata stamp disagreeing with the sealed payload is
+        // caught: wrong part index, wrong epoch, and a stamp claiming
+        // the payload is a full snapshot (or vice versa).
+        let forged_part = VaultSnapshot::from_partition_parts(
+            snap.epoch(),
+            snap.num_nodes(),
+            SnapshotPartition::new(1, stamp.parts()),
+            snap.sealed().clone(),
+        );
+        assert!(matches!(
+            Vault::restore(&forged_part, key),
+            Err(VaultError::Snapshot { .. })
+        ));
+        let forged_epoch = VaultSnapshot::from_partition_parts(
+            snap.epoch() + 1,
+            snap.num_nodes(),
+            SnapshotPartition::new(stamp.part(), stamp.parts()),
+            snap.sealed().clone(),
+        );
+        assert!(matches!(
+            Vault::restore(&forged_epoch, key),
+            Err(VaultError::Snapshot { .. })
+        ));
+        let unstamped =
+            VaultSnapshot::from_parts(snap.epoch(), snap.num_nodes(), snap.sealed().clone());
+        assert!(matches!(
+            Vault::restore(&unstamped, key),
+            Err(VaultError::Snapshot { .. })
+        ));
+        let full = vault.snapshot();
+        let full_as_partition = VaultSnapshot::from_partition_parts(
+            full.epoch(),
+            full.num_nodes(),
+            SnapshotPartition::new(0, 2),
+            full.sealed().clone(),
+        );
+        assert!(matches!(
+            Vault::restore(&full_as_partition, key),
+            Err(VaultError::Snapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_snapshots_beat_full_replicas_on_sparse_graphs() {
+        use graph::partition::PartitionSpec;
+        // A 96-node ring: block partitions have small halos (the L-hop
+        // closure of a contiguous arc grows by 2L nodes, not to the
+        // whole graph), so each shard seals a fraction of the edges.
+        let n = 96;
+        let ring: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let graph = Graph::from_edges(n, &ring).unwrap();
+        let key = SealKey(31);
+        let (mut vault, x) = trained_vault(
+            n,
+            RectifierKind::Series,
+            ConvKind::Gcn,
+            SubstituteKind::Knn { k: 1 },
+            &graph,
+            8,
+            key,
+        );
+        let (full_labels, _) = vault.infer(&x).unwrap();
+        let full = vault.snapshot();
+        let spec = PartitionSpec::block(n, 4).unwrap();
+        for (part, snap) in vault.partition_snapshots(&spec).unwrap().iter().enumerate() {
+            assert!(
+                snap.sealed_nbytes() < full.sealed_nbytes(),
+                "partition {part} seals {} bytes, full replica {}",
+                snap.sealed_nbytes(),
+                full.sealed_nbytes()
+            );
+            // The partial vault's own recovery handle restores the same
+            // partial deployment (the serving runtime's crash path).
+            let partial = Vault::restore(snap, key).unwrap();
+            let mut recovered = partial.recovery_handle().restore().unwrap();
+            assert_eq!(recovered.partition_info(), Some((part, 4)));
+            let owned = partial.owned_nodes().unwrap().to_vec();
+            let mut session = recovered.open_session();
+            let (labels, _) = recovered.infer_batch(&mut session, &x, &owned).unwrap();
+            for (label, &o) in labels.iter().zip(&owned) {
+                assert_eq!(*label, full_labels[o]);
+            }
+        }
     }
 }

@@ -1,4 +1,5 @@
 use crate::{snapshot, Backbone, Rectifier, VaultError, VaultSnapshot};
+use graph::partition::PartitionSpec;
 use graph::{normalization, Graph};
 use linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
@@ -71,6 +72,9 @@ pub struct Vault {
     next_session: u64,
     epc_budget: usize,
     policy: OverBudgetPolicy,
+    /// `Some` on a partition replica: `real_graph` is then the induced
+    /// local closure and queries are answerable only for owned nodes.
+    partition: Option<VaultPartition>,
     // --- enclave-private state (never exposed by any accessor) ---
     rectifier: Rectifier,
     real_graph: Graph,
@@ -78,6 +82,35 @@ pub struct Vault {
     enclave: EnclaveSim,
     sealed_artifacts: Vec<(String, Sealed)>,
     seal_key: SealKey,
+}
+
+/// Ownership maps of a partition replica. `part`/`parts` are public
+/// routing metadata; the closure (`local_ids`, whose tail reveals halo
+/// membership and therefore cross-partition adjacency) stays enclave-
+/// private like the rest of the graph state.
+#[derive(Debug, Clone)]
+struct VaultPartition {
+    part: usize,
+    parts: usize,
+    num_global_nodes: usize,
+    /// Global ids owned by this partition, strictly ascending.
+    owned: Vec<usize>,
+    /// Global ids of the closure (`owned ∪ halo`), strictly ascending;
+    /// the index in this list is the local id in `real_graph`.
+    local_ids: Vec<usize>,
+    /// Full-graph degree per local id — the normalization degrees that
+    /// make local aggregation bit-identical to the full graph.
+    original_degrees: Vec<usize>,
+}
+
+impl VaultPartition {
+    fn local_id(&self, global: usize) -> Option<usize> {
+        self.local_ids.binary_search(&global).ok()
+    }
+
+    fn owns(&self, global: usize) -> bool {
+        self.owned.binary_search(&global).is_ok()
+    }
 }
 
 impl Vault {
@@ -103,13 +136,17 @@ impl Vault {
     ) -> Result<Vault, VaultError> {
         let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
         Self::deploy_with_epoch(
-            backbone, rectifier, real_graph, epc_budget, cost, policy, seal_key, epoch,
+            backbone, rectifier, real_graph, epc_budget, cost, policy, seal_key, epoch, None,
         )
     }
 
     /// Deployment body shared by [`Vault::deploy`] (fresh epoch) and
     /// [`Vault::restore`] (the snapshot's epoch, so replicas of one
-    /// snapshot share a cache identity).
+    /// snapshot share a cache identity). With `partition`, `real_graph`
+    /// is the partition's induced closure and normalization uses the
+    /// recorded full-graph degrees — the resident set (COO, degree
+    /// vector, CSR) shrinks to the closure size, which is the memory
+    /// win of partitioned sharding.
     #[allow(clippy::too_many_arguments)]
     fn deploy_with_epoch(
         backbone: Backbone,
@@ -120,6 +157,7 @@ impl Vault {
         policy: OverBudgetPolicy,
         seal_key: SealKey,
         epoch: u64,
+        partition: Option<VaultPartition>,
     ) -> Result<Vault, VaultError> {
         let mut enclave = EnclaveSim::new(epc_budget, cost, policy);
 
@@ -130,7 +168,10 @@ impl Vault {
             "degree vector",
             real_graph.num_nodes() * std::mem::size_of::<u32>(),
         )?;
-        let degrees = real_graph.degrees();
+        let degrees = match &partition {
+            Some(p) => p.original_degrees.clone(),
+            None => real_graph.degrees(),
+        };
         let real_adj = normalization::gcn_normalize_with_degrees(real_graph, &degrees);
         enclave.alloc("normalized adjacency (CSR)", real_adj.nbytes())?;
 
@@ -160,6 +201,7 @@ impl Vault {
             next_session: 0,
             epc_budget,
             policy,
+            partition,
             rectifier,
             real_graph: real_graph.clone(),
             real_adj,
@@ -195,17 +237,155 @@ impl Vault {
     /// # }
     /// ```
     pub fn snapshot(&self) -> VaultSnapshot {
-        let payload = snapshot::encode(
+        match &self.partition {
+            None => {
+                let payload = snapshot::encode(
+                    self.epoch,
+                    self.epc_budget,
+                    self.enclave.cost_model(),
+                    self.policy,
+                    &self.backbone,
+                    &self.rectifier,
+                    &self.real_graph,
+                );
+                let sealed = Sealed::seal(self.seal_key.derive("vault-snapshot"), &payload);
+                VaultSnapshot::from_parts(self.epoch, self.real_graph.num_nodes(), sealed)
+            }
+            // A partition replica re-snapshots as a partition image, so
+            // its recovery handle restores the same partial vault.
+            Some(p) => {
+                let payload = snapshot::encode_partition(
+                    self.epoch,
+                    self.epc_budget,
+                    self.enclave.cost_model(),
+                    self.policy,
+                    &self.backbone,
+                    &self.rectifier,
+                    &snapshot::PartitionParts {
+                        part: p.part,
+                        parts: p.parts,
+                        num_global_nodes: p.num_global_nodes,
+                        owned: &p.owned,
+                        local_ids: &p.local_ids,
+                        original_degrees: &p.original_degrees,
+                        local_graph: &self.real_graph,
+                    },
+                );
+                let sealed = Sealed::seal(self.seal_key.derive("vault-snapshot"), &payload);
+                VaultSnapshot::from_partition_parts(
+                    self.epoch,
+                    p.num_global_nodes,
+                    crate::SnapshotPartition::new(p.part, p.parts),
+                    sealed,
+                )
+            }
+        }
+    }
+
+    /// Seals *one partition* of this deployment: the shared backbone
+    /// and rectifier weights plus only partition `part`'s private graph
+    /// state — its owned nodes, their halo closure at the rectifier's
+    /// receptive-field depth, the full-graph degree vector for the
+    /// closure, and the induced local COO. Restoring the result builds
+    /// a *partial* vault that answers exactly the owned nodes,
+    /// bit-identically to this vault.
+    ///
+    /// The sealed payload is strictly smaller than a full snapshot
+    /// whenever the closure misses part of the graph, which is the
+    /// point: N partitioned shards hold ~1/N of the private state each
+    /// instead of N copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaultError::InvalidConfig`] when called on a vault
+    /// that is itself a partition replica, and
+    /// [`VaultError::Graph`] when `spec` does not match this
+    /// deployment's node count or `part` is out of range.
+    pub fn snapshot_partition(
+        &self,
+        spec: &PartitionSpec,
+        part: usize,
+    ) -> Result<VaultSnapshot, VaultError> {
+        if self.partition.is_some() {
+            return Err(VaultError::InvalidConfig {
+                reason: "cannot re-partition a partition replica; partition the full vault".into(),
+            });
+        }
+        let gp = graph::partition::partition_one(
+            &self.real_graph,
+            spec,
+            part,
+            self.rectifier.num_layers(),
+        )?;
+        Ok(self.seal_graph_partition(&gp))
+    }
+
+    /// Seals every partition of `spec` in one pass (the full-graph
+    /// adjacency scan runs once, not once per partition). Element `i`
+    /// is partition `i`'s snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vault::snapshot_partition`].
+    pub fn partition_snapshots(
+        &self,
+        spec: &PartitionSpec,
+    ) -> Result<Vec<VaultSnapshot>, VaultError> {
+        if self.partition.is_some() {
+            return Err(VaultError::InvalidConfig {
+                reason: "cannot re-partition a partition replica; partition the full vault".into(),
+            });
+        }
+        let parts =
+            graph::partition::partition(&self.real_graph, spec, self.rectifier.num_layers())?;
+        Ok(parts
+            .iter()
+            .map(|gp| self.seal_graph_partition(gp))
+            .collect())
+    }
+
+    /// Restores one partial vault per partition of `spec` — the
+    /// partitioned analogue of [`Vault::spawn_replicas`]. Each result
+    /// shares this vault's epoch and answers only its owned nodes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vault::snapshot_partition`], plus
+    /// [`Vault::restore`] failures on the rebuild.
+    pub fn spawn_partitions(&self, spec: &PartitionSpec) -> Result<Vec<Vault>, VaultError> {
+        self.partition_snapshots(spec)?
+            .iter()
+            .map(|s| Self::restore(s, self.seal_key))
+            .collect()
+    }
+
+    /// Encodes and seals one extracted partition under this vault's
+    /// deployment key.
+    fn seal_graph_partition(&self, gp: &graph::partition::GraphPartition) -> VaultSnapshot {
+        let payload = snapshot::encode_partition(
             self.epoch,
             self.epc_budget,
             self.enclave.cost_model(),
             self.policy,
             &self.backbone,
             &self.rectifier,
-            &self.real_graph,
+            &snapshot::PartitionParts {
+                part: gp.part(),
+                parts: gp.num_parts(),
+                num_global_nodes: self.real_graph.num_nodes(),
+                owned: gp.owned(),
+                local_ids: gp.local_ids(),
+                original_degrees: gp.original_degrees(),
+                local_graph: gp.graph(),
+            },
         );
         let sealed = Sealed::seal(self.seal_key.derive("vault-snapshot"), &payload);
-        VaultSnapshot::from_parts(self.epoch, self.real_graph.num_nodes(), sealed)
+        VaultSnapshot::from_partition_parts(
+            self.epoch,
+            self.real_graph.num_nodes(),
+            crate::SnapshotPartition::new(gp.part(), gp.num_parts()),
+            sealed,
+        )
     }
 
     /// Rehydrates a replica from a sealed snapshot.
@@ -230,13 +410,32 @@ impl Vault {
             .sealed()
             .unseal(seal_key.derive("vault-snapshot"))?;
         let decoded = snapshot::decode(&payload)?;
-        if decoded.epoch != snapshot.epoch()
-            || decoded.real_graph.num_nodes() != snapshot.num_nodes()
-        {
+        if decoded.epoch != snapshot.epoch() || decoded.num_global_nodes != snapshot.num_nodes() {
             return Err(VaultError::Snapshot {
                 reason: "snapshot metadata disagrees with its sealed payload".into(),
             });
         }
+        // The clear partition stamp must agree with the sealed payload:
+        // a partition image relabeled as another partition (or as a full
+        // replica) is a forgery, not a routing mistake.
+        let sealed_stamp = decoded
+            .partition
+            .as_ref()
+            .map(|p| crate::SnapshotPartition::new(p.part, p.parts));
+        if sealed_stamp != snapshot.partition() {
+            return Err(VaultError::Snapshot {
+                reason: "snapshot partition stamp disagrees with its sealed payload".into(),
+            });
+        }
+        let num_global_nodes = decoded.num_global_nodes;
+        let partition = decoded.partition.map(|p| VaultPartition {
+            part: p.part,
+            parts: p.parts,
+            num_global_nodes,
+            owned: p.owned,
+            local_ids: p.local_ids,
+            original_degrees: p.original_degrees,
+        });
         Self::deploy_with_epoch(
             decoded.backbone,
             decoded.rectifier,
@@ -246,6 +445,7 @@ impl Vault {
             decoded.policy,
             seal_key,
             decoded.epoch,
+            partition,
         )
     }
 
@@ -306,9 +506,29 @@ impl Vault {
     /// Number of nodes in the deployed (real) graph; valid query ids
     /// for [`Vault::infer_node`] / [`Vault::infer_batch`] are
     /// `0..num_nodes`. Not a secret: the untrusted world already knows
-    /// it from the feature matrix it runs the backbone on.
+    /// it from the feature matrix it runs the backbone on. A partition
+    /// replica still reports the *global* count — its corpus and query
+    /// id space are shared with every other partition — even though it
+    /// only answers its owned subset.
     pub fn num_nodes(&self) -> usize {
-        self.real_graph.num_nodes()
+        match &self.partition {
+            Some(p) => p.num_global_nodes,
+            None => self.real_graph.num_nodes(),
+        }
+    }
+
+    /// `Some((part, parts))` on a partition replica, `None` on a full
+    /// vault. Public routing metadata.
+    pub fn partition_info(&self) -> Option<(usize, usize)> {
+        self.partition.as_ref().map(|p| (p.part, p.parts))
+    }
+
+    /// The global node ids a partition replica answers (`None` on a
+    /// full vault, which answers everything). Ownership is a pure
+    /// function of the node id — not derived from private edges — so
+    /// exposing the list leaks nothing about the private graph.
+    pub fn owned_nodes(&self) -> Option<&[usize]> {
+        self.partition.as_ref().map(|p| p.owned.as_slice())
     }
 
     /// Bytes currently allocated inside the enclave (resident set plus
@@ -387,6 +607,15 @@ impl Vault {
         &mut self,
         features: &DenseMatrix,
     ) -> Result<(Vec<ClassLabel>, InferenceReport), VaultError> {
+        if let Some(p) = &self.partition {
+            return Err(VaultError::InvalidConfig {
+                reason: format!(
+                    "partition replica {}/{} answers only its owned nodes; \
+                     use infer_batch or infer_node",
+                    p.part, p.parts
+                ),
+            });
+        }
         let meter = self.enclave.meter();
         meter.reset();
         let transitions_before = self.enclave.transitions();
@@ -515,13 +744,25 @@ impl Vault {
                 reason: "empty batch: at least one query node is required".into(),
             });
         }
-        if let Some(&bad) = nodes.iter().find(|&&n| n >= self.real_graph.num_nodes()) {
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= self.num_nodes()) {
             return Err(VaultError::InvalidConfig {
                 reason: format!(
                     "query node {bad} out of range for {} nodes",
-                    self.real_graph.num_nodes()
+                    self.num_nodes()
                 ),
             });
+        }
+        // A partition replica answers only its owned nodes; anything
+        // else is a routing error the caller must surface, not a silent
+        // wrong answer.
+        if let Some(p) = &self.partition {
+            if let Some(&node) = nodes.iter().find(|&&n| !p.owns(n)) {
+                return Err(VaultError::NotOwned {
+                    node,
+                    part: p.part,
+                    parts: p.parts,
+                });
+            }
         }
         let meter = self.enclave.meter();
         meter.reset();
@@ -541,11 +782,31 @@ impl Vault {
         let payloads = session.drain();
         let enclave_embeddings = Self::decode_tap_embeddings(&taps, &payloads, &embeddings)?;
 
+        // Partition replica: select the closure's rows *inside* the
+        // enclave. The untrusted world ships the same full tap set as
+        // always — halo membership is derived from the private edges
+        // and never crosses the boundary.
+        let enclave_embeddings = match &self.partition {
+            Some(p) => {
+                let mut local = Vec::with_capacity(enclave_embeddings.len());
+                for e in &enclave_embeddings {
+                    local.push(e.select_rows(&p.local_ids)?);
+                }
+                local
+            }
+            None => enclave_embeddings,
+        };
+
         // 3. One rectifier pass per batch; transient activations are
         //    allocated (and EPC-accounted) once, not once per query, and
         //    freed even when the forward fails so a failed batch cannot
-        //    degrade the serving enclave.
-        let transient = self.alloc_transient_activations(features.rows())?;
+        //    degrade the serving enclave. On a partition replica the
+        //    buffers shrink to the closure's row count.
+        let forward_rows = match &self.partition {
+            Some(p) => p.local_ids.len(),
+            None => features.rows(),
+        };
+        let transient = self.alloc_transient_activations(forward_rows)?;
         let forward_result = {
             let rectifier = &self.rectifier;
             let real_adj = &self.real_adj;
@@ -557,9 +818,19 @@ impl Vault {
         }
         let forward = forward_result?;
 
-        // 4. Label-only egress for exactly the queried nodes.
+        // 4. Label-only egress for exactly the queried nodes (global
+        //    ids translate to closure rows on a partition replica).
         let all_labels = linalg::ops::argmax_rows(forward.logits());
-        let labels = nodes.iter().map(|&n| ClassLabel(all_labels[n])).collect();
+        let labels = match &self.partition {
+            Some(p) => nodes
+                .iter()
+                .map(|&n| {
+                    let local = p.local_id(n).expect("ownership was validated above");
+                    ClassLabel(all_labels[local])
+                })
+                .collect(),
+            None => nodes.iter().map(|&n| ClassLabel(all_labels[n])).collect(),
+        };
 
         let breakdown = meter.breakdown();
         let get = |phase: Phase| breakdown.get(&phase).copied().unwrap_or_default();
@@ -649,13 +920,22 @@ impl Vault {
         features: &DenseMatrix,
         node: usize,
     ) -> Result<(ClassLabel, InferenceReport), VaultError> {
-        if node >= self.real_graph.num_nodes() {
+        if node >= self.num_nodes() {
             return Err(VaultError::InvalidConfig {
                 reason: format!(
                     "query node {node} out of range for {} nodes",
-                    self.real_graph.num_nodes()
+                    self.num_nodes()
                 ),
             });
+        }
+        if let Some(p) = &self.partition {
+            if !p.owns(node) {
+                return Err(VaultError::NotOwned {
+                    node,
+                    part: p.part,
+                    parts: p.parts,
+                });
+            }
         }
         let meter = self.enclave.meter();
         meter.reset();
@@ -675,20 +955,41 @@ impl Vault {
         let (label, peak) = {
             let rectifier = &self.rectifier;
             let real_graph = &self.real_graph;
+            let partition = self.partition.as_ref();
             let enclave = &self.enclave;
             let out = enclave.run(|| -> Result<ClassLabel, VaultError> {
-                let ego = graph::subgraph::ego_graph(real_graph, node, hops)?;
-                let ego_adj = graph::normalization::gcn_normalize_with_degrees(
-                    &ego.graph,
-                    &ego.original_degrees,
-                );
+                // On a partition replica the ego expansion runs on the
+                // local closure. Distances up to `hops` agree with the
+                // full graph because the closure spans the owned set's
+                // whole receptive field.
+                let center = match partition {
+                    Some(p) => p.local_id(node).expect("ownership was validated above"),
+                    None => node,
+                };
+                let ego = graph::subgraph::ego_graph(real_graph, center, hops)?;
+                let degrees: Vec<usize> = match partition {
+                    Some(p) => ego
+                        .original_ids
+                        .iter()
+                        .map(|&l| p.original_degrees[l])
+                        .collect(),
+                    None => ego.original_degrees.clone(),
+                };
+                let ego_adj =
+                    graph::normalization::gcn_normalize_with_degrees(&ego.graph, &degrees);
+                // Rows to pull from the full decoded tap payloads are
+                // *global* ids; a partition's ego ids are local.
+                let global_rows: Vec<usize> = match partition {
+                    Some(p) => ego.original_ids.iter().map(|&l| p.local_ids[l]).collect(),
+                    None => ego.original_ids.clone(),
+                };
                 let mut ego_embeddings: Vec<DenseMatrix> = embeddings
                     .iter()
                     .map(|e| DenseMatrix::zeros(ego.graph.num_nodes(), e.cols()))
                     .collect();
                 for (&t, payload) in taps.iter().zip(&payloads) {
                     let full = codec::decode_dense(payload)?;
-                    ego_embeddings[t] = full.select_rows(&ego.original_ids)?;
+                    ego_embeddings[t] = full.select_rows(&global_rows)?;
                 }
                 let forward = rectifier.forward(&ego_adj, &ego_embeddings)?;
                 let preds = linalg::ops::argmax_rows(forward.logits());

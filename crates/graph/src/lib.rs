@@ -10,6 +10,9 @@
 //! - [`substitute`]: the three substitute-graph constructions of §IV-C —
 //!   KNN over feature similarity, cosine-similarity thresholding
 //!   (Eq. 2), and random graphs with a target edge budget,
+//! - [`partition`]: deterministic edge-cut partitioning with halos, the
+//!   substrate for sharded deployments that split (rather than
+//!   replicate) the private graph,
 //! - [`stats`]: density and dense-adjacency-size figures (Table I).
 //!
 //! # Examples
@@ -33,6 +36,7 @@
 mod core;
 mod error;
 pub mod normalization;
+pub mod partition;
 pub mod stats;
 pub mod subgraph;
 pub mod substitute;

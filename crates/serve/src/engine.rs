@@ -6,15 +6,31 @@
 //! ## Topology
 //!
 //! [`ServingEngine::start`] spawns [`ServeConfig::shards`] worker
-//! threads. Shard 0 owns the vault it was given; every other shard owns
-//! a replica restored from one shared sealed snapshot
-//! ([`Vault::spawn_replicas`]), so all shards answer from bit-identical
-//! weights under the *same epoch*. Each shard runs the full single-vault
-//! stack — its own [`AdmissionQueue`], its own epoch-keyed [`LruCache`],
-//! and its own set of [`tee::EnclaveSession`]s — and a [`Router`] in
-//! every [`ServeHandle`] assigns each queried node to a shard by a
+//! threads. Under the default [`Topology::Replicated`], shard 0 owns
+//! the vault it was given; every other shard owns a replica restored
+//! from one shared sealed snapshot ([`Vault::spawn_replicas`]), so all
+//! shards answer from bit-identical weights under the *same epoch*.
+//! Each shard runs the full single-vault stack — its own
+//! [`AdmissionQueue`], its own epoch-keyed [`LruCache`], and its own
+//! set of [`tee::EnclaveSession`]s — and a [`Router`] in every
+//! [`ServeHandle`] assigns each queried node to a shard by a
 //! deterministic hash of its id, so repeat queries for a node always
 //! land on the same shard and that shard's cache stays effective.
+//!
+//! Under [`Topology::Partitioned`] the private graph is *partitioned*
+//! instead of replicated ([`Vault::spawn_partitions`]): shard `i` owns
+//! partition `i` of a contiguous-block layout — its owned nodes, their
+//! L-hop halo (L = rectifier depth), and nothing else — so N shards
+//! hold ~1/N of the private state each instead of N full copies, and
+//! each shard's retained recovery snapshot is its own (strictly
+//! smaller) per-partition snapshot. The router becomes an *owner
+//! lookup* over the same [`graph::partition::PartitionSpec`]; because
+//! ownership is a pure function of the node id (never of the private
+//! edges), routing still needs no private data. Labels stay
+//! bit-identical to sequential inference — the halo gives every owned
+//! node its full L-hop receptive field — but a Down shard's nodes have
+//! no substitute holder, so they fail typed instead of re-routing (see
+//! the failure model below).
 //!
 //! ## Threading model
 //!
@@ -48,9 +64,12 @@
 //! (possibly poisoned) replica, marks itself [`ShardHealth::Down`] on
 //! the engine's [`HealthBoard`], and restores a fresh replica from its
 //! retained [`RecoveryHandle`] under capped exponential backoff.
-//! Handles route *new* requests around `Down` shards (trading cache
-//! affinity for availability, counted in
-//! [`ServeStats::rerouted_subrequests`]). Overload sheds at the
+//! Replicated, handles route *new* requests around `Down` shards
+//! (trading cache affinity for availability, counted in
+//! [`ServeStats::rerouted_subrequests`]); partitioned, a `Down` shard's
+//! nodes have no other holder, so their requests stay home and resolve
+//! to the typed `ShardFailed` until the owner recovers or a deploy
+//! resurrects it — never a silently misrouted answer. Overload sheds at the
 //! admission high-water mark ([`ServeError::Overloaded`]), stale
 //! requests are dropped by the per-request timeout
 //! ([`ServeError::TimedOut`]), and [`ServingEngine::deploy`] is
@@ -94,12 +113,13 @@ use crate::{
     SentinelConfig, SentinelStats, ServeError, Ticket,
 };
 use gnnvault::{InferenceReport, RecoveryHandle, Vault, VaultSnapshot};
+use graph::partition::PartitionSpec;
 use linalg::DenseMatrix;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tee::{ClassLabel, SealKey};
 
@@ -120,6 +140,28 @@ const DEPLOY_RETRY_BACKOFF: Duration = Duration::from_millis(1);
 /// Ceiling for the deploy retry backoff.
 const DEPLOY_RETRY_BACKOFF_CAP: Duration = Duration::from_millis(50);
 
+/// How the private real graph is distributed across worker shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// Every shard owns a full vault replica restored from one shared
+    /// sealed snapshot. Any shard can answer any node, so the router
+    /// hashes node ids across shards and a [`ShardHealth::Down`] shard
+    /// is routed around without changing any answer.
+    #[default]
+    Replicated,
+    /// The private graph is edge-cut partitioned
+    /// ([`Vault::spawn_partitions`]): shard `i` owns partition `i` of a
+    /// contiguous-block [`PartitionSpec`] and holds only its owned
+    /// nodes plus an L-hop halo — ~1/N of the private state instead of
+    /// N full copies. Routing becomes an owner lookup
+    /// ([`PartitionSpec::owner_of`]), and because no other shard can
+    /// answer a partition's nodes, a `Down` owner is *not* routed
+    /// around: its queries fail with the typed
+    /// [`ServeError::ShardFailed`] until recovery or a deploy
+    /// resurrects it.
+    Partitioned,
+}
+
 /// Configuration for [`ServingEngine::start`].
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(not(feature = "fault-injection"), derive(Copy))]
@@ -136,10 +178,16 @@ pub struct ServeConfig {
     /// LRU result-cache entries *per shard*, keyed
     /// `(vault epoch, node id)`; 0 disables caching.
     pub cache_capacity: usize,
-    /// Worker shards, each owning a full vault replica (clamped to
-    /// ≥ 1). Node ids are hash-routed to shards, so raising this scales
-    /// enclave throughput without changing any answer.
+    /// Worker shards (clamped to ≥ 1). Under [`Topology::Replicated`]
+    /// each owns a full vault replica and node ids are hash-routed, so
+    /// raising this scales enclave throughput without changing any
+    /// answer; under [`Topology::Partitioned`] each owns one graph
+    /// partition and answers exactly its owned nodes.
     pub shards: usize,
+    /// Whether shards hold full replicas or graph partitions. Either
+    /// way, every successful answer is bit-identical to sequential
+    /// [`Vault::infer`].
+    pub topology: Topology,
     /// Per-request queue-time budget: a request that has already waited
     /// longer than this when its batch is flushed is answered
     /// [`ServeError::TimedOut`] instead of stale labels (and instead of
@@ -180,6 +228,7 @@ impl Default for ServeConfig {
             sessions: 2,
             cache_capacity: 4096,
             shards: 1,
+            topology: Topology::Replicated,
             request_timeout: Duration::ZERO,
             restart_backoff: Duration::from_millis(1),
             max_restart_attempts: 5,
@@ -299,14 +348,24 @@ struct FrontStats {
 
 /// Deterministic node-id → shard router.
 ///
-/// Uses the SplitMix64 finalizer over the node id, so the mapping is a
-/// pure function of `(node, shard count)`: every handle routes the same
-/// node to the same shard, which keeps that shard's `(epoch, node)`
-/// result cache effective and makes routing reproducible across runs.
+/// In the replicated topology ([`Router::new`]) it applies the
+/// SplitMix64 finalizer to the node id, so the mapping is a pure
+/// function of `(node, shard count)`: every handle routes the same node
+/// to the same shard, which keeps that shard's `(epoch, node)` result
+/// cache effective and makes routing reproducible across runs. In the
+/// partitioned topology ([`Router::partitioned`]) hashing is replaced
+/// by the partition owner lookup — shard `i` is the *only* holder of
+/// partition `i`'s private state, so `shard_of` is ownership, not load
+/// spreading.
+///
+/// Either way the router needs no private data: block and hash
+/// ownership are pure functions of the node id, never of the private
+/// edges.
 ///
 /// # Examples
 ///
 /// ```
+/// use graph::partition::PartitionSpec;
 /// use serve::Router;
 ///
 /// let router = Router::new(4);
@@ -315,17 +374,36 @@ struct FrontStats {
 /// assert_eq!(shard, router.shard_of(17), "routing is deterministic");
 /// assert!(shard < 4);
 /// assert_eq!(Router::new(1).shard_of(17), 0);
+///
+/// // Partitioned: owner lookup replaces the hash.
+/// let spec = PartitionSpec::block(100, 4).unwrap();
+/// let router = Router::partitioned(spec);
+/// assert!(router.is_partitioned());
+/// assert_eq!(router.shard_of(0), 0, "block partitions are contiguous");
+/// assert_eq!(router.shard_of(99), 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Router {
     shards: usize,
+    spec: Option<PartitionSpec>,
 }
 
 impl Router {
-    /// A router over `shards` shards (clamped to ≥ 1).
+    /// A hash router over `shards` full-replica shards (clamped to
+    /// ≥ 1).
     pub fn new(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
+            spec: None,
+        }
+    }
+
+    /// An owner-lookup router for a partitioned deployment: shard `i`
+    /// answers exactly the nodes `spec` assigns to partition `i`.
+    pub fn partitioned(spec: PartitionSpec) -> Self {
+        Self {
+            shards: spec.num_parts(),
+            spec: Some(spec),
         }
     }
 
@@ -334,8 +412,23 @@ impl Router {
         self.shards
     }
 
+    /// Whether this router maps nodes by partition ownership instead of
+    /// by hash.
+    pub fn is_partitioned(&self) -> bool {
+        self.spec.is_some()
+    }
+
+    /// The partition layout behind an owner-lookup router (`None` for a
+    /// hash router).
+    pub fn partition_spec(&self) -> Option<PartitionSpec> {
+        self.spec
+    }
+
     /// The shard that owns `node`'s queries.
     pub fn shard_of(&self, node: usize) -> usize {
+        if let Some(spec) = &self.spec {
+            return spec.owner_of(node);
+        }
         if self.shards == 1 {
             return 0;
         }
@@ -592,9 +685,15 @@ impl ServeHandle {
     /// ([`PendingRequest::client`](crate::PendingRequest::client)), so
     /// each one stays attributable wherever it lands.
     ///
-    /// Nodes whose home shard is [`ShardHealth::Down`] are routed to
-    /// the next live shard (every replica serves the same model, so the
-    /// answer is unchanged — only that shard's cache affinity is lost).
+    /// Under [`Topology::Replicated`], nodes whose home shard is
+    /// [`ShardHealth::Down`] are routed to the next live shard (every
+    /// replica serves the same model, so the answer is unchanged — only
+    /// that shard's cache affinity is lost). Under
+    /// [`Topology::Partitioned`] no other shard holds the home's
+    /// partition, so its nodes are *never* re-routed: while the owner
+    /// is down they resolve to the typed [`ServeError::ShardFailed`]
+    /// instead of a silently wrong shard, and are answerable again once
+    /// recovery or a [`ServingEngine::deploy`] brings the owner back.
     ///
     /// # Errors
     ///
@@ -627,7 +726,15 @@ impl ServeHandle {
             vec![(Vec::new(), Vec::new(), false); self.router.num_shards()];
         for (position, &node) in nodes.iter().enumerate() {
             let home = self.router.shard_of(node);
-            let target = self.route_around_down(home);
+            // A partition's nodes have exactly one holder: routing a
+            // query away from a Down owner could only misroute it, so
+            // partitioned mode keeps it home and lets the worker answer
+            // the typed `ShardFailed` instead.
+            let target = if self.router.is_partitioned() {
+                home
+            } else {
+                self.route_around_down(home)
+            };
             let (shard_nodes, positions, rerouted) = &mut per_shard[target];
             shard_nodes.push(node);
             positions.push(position);
@@ -771,6 +878,13 @@ pub struct ServingEngine {
     health: Arc<HealthBoard>,
     front: Arc<FrontStats>,
     sentinel: Arc<Sentinel>,
+    /// Partitioned topology only: the full (unpartitioned) vault the
+    /// engine started from — or, after a successful deploy, the full
+    /// vault it last installed — parked so [`shutdown`] can return a
+    /// vault that answers every node, not a single partition.
+    ///
+    /// [`shutdown`]: ServingEngine::shutdown
+    parked: Mutex<Option<Vault>>,
 }
 
 impl std::fmt::Debug for ShardSet {
@@ -794,14 +908,18 @@ impl ServingEngine {
     /// `features` (one row per node, the same matrix the vault's
     /// backbone was meant to serve).
     ///
-    /// Shard 0 takes ownership of `vault`; shards `1..N` each own a
-    /// replica restored from one shared sealed snapshot
-    /// ([`Vault::spawn_replicas`] — one encode/seal pass however many
-    /// shards), sharing the vault's epoch. Every shard also retains a
-    /// [`RecoveryHandle`] of that snapshot, the supervisor's restore
-    /// source should the shard crash.
-    /// [`shutdown`](Self::shutdown) returns a surviving vault together
-    /// with the run's statistics.
+    /// Under [`Topology::Replicated`], shard 0 takes ownership of
+    /// `vault`; shards `1..N` each own a replica restored from one
+    /// shared sealed snapshot ([`Vault::spawn_replicas`] — one
+    /// encode/seal pass however many shards), sharing the vault's
+    /// epoch, and every shard retains a [`RecoveryHandle`] of that
+    /// snapshot as the supervisor's restore source. Under
+    /// [`Topology::Partitioned`], the private graph is block-partitioned
+    /// across the shards instead ([`Vault::spawn_partitions`]): shard
+    /// `i` owns partition `i` — its owned nodes, their L-hop halo, and
+    /// nothing else — and retains its *own* per-partition snapshot for
+    /// recovery, while the full vault is parked engine-side (it is what
+    /// [`shutdown`](Self::shutdown) returns).
     ///
     /// # Errors
     ///
@@ -809,7 +927,9 @@ impl ServingEngine {
     /// count than the vault's deployed graph (the corpus and the graph
     /// must describe the same nodes — catching the mismatch here keeps
     /// admission validation aligned with what [`Vault::infer_batch`]
-    /// will accept), [`ServeError::Vault`] when a replica cannot be
+    /// will accept) or when `vault` is itself a partition replica (an
+    /// engine always starts from the full deployment),
+    /// [`ServeError::Vault`] when a replica or partition cannot be
     /// spawned, and [`ServeError::StartFailed`] when a worker thread
     /// cannot be spawned. Start failures leave nothing running: any
     /// worker spawned before the failure drains and exits.
@@ -827,6 +947,13 @@ impl ServingEngine {
                 ),
             });
         }
+        if let Some((part, parts)) = vault.partition_info() {
+            return Err(ServeError::Rejected {
+                reason: format!(
+                    "vault is partition replica {part}/{parts}; start the engine from the full vault"
+                ),
+            });
+        }
         let shard_count = config.shards.max(1);
         let num_nodes = vault.num_nodes();
         let features = Arc::new(features);
@@ -839,25 +966,42 @@ impl ServingEngine {
         let sentinel = Arc::new(Sentinel::new(config.sentinel, num_nodes, substitute));
         let wcfg = WorkerConfig::from_config(&config);
 
-        // One sealed snapshot of the starting model serves as every
-        // shard's retained recovery source until a deploy replaces it.
-        let retained = vault.recovery_handle();
-
-        // Shard 0 serves the original; 1..N serve replicas restored
-        // from one shared snapshot (one encode/seal pass, N-1 restores).
-        let mut vaults = vault
-            .spawn_replicas(shard_count - 1)
-            .map_err(ServeError::Vault)?;
-        vaults.insert(0, vault);
+        let (router, parked, vaults, retained) = match config.topology {
+            Topology::Replicated => {
+                // One sealed snapshot of the starting model serves as
+                // every shard's retained recovery source until a deploy
+                // replaces it. Shard 0 serves the original; 1..N serve
+                // replicas restored from that shared snapshot (one
+                // encode/seal pass, N-1 restores).
+                let handle = vault.recovery_handle();
+                let mut vaults = vault
+                    .spawn_replicas(shard_count - 1)
+                    .map_err(ServeError::Vault)?;
+                vaults.insert(0, vault);
+                let retained = vec![handle; shard_count];
+                (Router::new(shard_count), None, vaults, retained)
+            }
+            Topology::Partitioned => {
+                // Shard i serves partition i of a contiguous-block
+                // layout; its retained recovery source is its own
+                // per-partition snapshot (each strictly smaller than a
+                // full-replica snapshot). The full vault is parked for
+                // shutdown.
+                let spec = PartitionSpec::block(num_nodes, shard_count)
+                    .map_err(|e| ServeError::Vault(e.into()))?;
+                let vaults = vault.spawn_partitions(&spec).map_err(ServeError::Vault)?;
+                let retained = vaults.iter().map(Vault::recovery_handle).collect();
+                (Router::partitioned(spec), Some(vault), vaults, retained)
+            }
+        };
 
         let mut shards: Vec<Shard> = Vec::with_capacity(shard_count);
-        for (index, vault) in vaults.into_iter().enumerate() {
+        for (index, (vault, worker_retained)) in vaults.into_iter().zip(retained).enumerate() {
             let queue = Arc::new(AdmissionQueue::for_shard(config.policy, index));
             let (control, control_rx) = channel();
             let worker_queue = Arc::clone(&queue);
             let worker_features = Arc::clone(&features);
             let worker_health = Arc::clone(&health);
-            let worker_retained = retained.clone();
             #[cfg(feature = "fault-injection")]
             let worker_faults = config
                 .fault_plan
@@ -899,11 +1043,12 @@ impl ServingEngine {
         }
         Ok(Self {
             set: ShardSet { shards },
-            router: Router::new(shard_count),
+            router,
             num_nodes,
             health,
             front,
             sentinel,
+            parked: Mutex::new(parked),
         })
     }
 
@@ -978,16 +1123,24 @@ impl ServingEngine {
     /// submitted afterwards come from the new model.
     ///
     /// The corpus is unchanged — the snapshot must describe the same
-    /// node set the engine was started with.
+    /// node set the engine was started with. It must be a *full-vault*
+    /// snapshot in either topology: a partitioned engine restores it
+    /// engine-side, re-partitions the new model's private graph with
+    /// the layout it was started with, and installs each shard's own
+    /// per-partition snapshot (which also becomes that shard's retained
+    /// recovery source); the restored full vault replaces the parked
+    /// one once every shard has installed.
     ///
     /// # Errors
     ///
     /// [`ServeError::Rejected`] when the snapshot's node count differs
-    /// from the served corpus, [`ServeError::Vault`] when a shard fails
-    /// to restore it (wrong key, corrupt payload — the old model keeps
-    /// serving everywhere after rollback), [`ServeError::ShardFailed`]
-    /// when a shard's ack channel died, and [`ServeError::Closed`] when
-    /// the engine is shutting down.
+    /// from the served corpus or the snapshot is itself a partition
+    /// snapshot, [`ServeError::Vault`] when a shard (or, partitioned,
+    /// the engine-side restore) fails to restore it (wrong key, corrupt
+    /// payload — the old model keeps serving everywhere after
+    /// rollback), [`ServeError::ShardFailed`] when a shard's ack
+    /// channel died, and [`ServeError::Closed`] when the engine is
+    /// shutting down.
     pub fn deploy(&self, snapshot: &VaultSnapshot, seal_key: SealKey) -> Result<u64, ServeError> {
         if snapshot.num_nodes() != self.num_nodes {
             return Err(ServeError::Rejected {
@@ -998,14 +1151,38 @@ impl ServingEngine {
                 ),
             });
         }
-        let snapshot = Arc::new(snapshot.clone());
+        if let Some(p) = snapshot.partition() {
+            return Err(ServeError::Rejected {
+                reason: format!(
+                    "snapshot holds partition {}/{}; deploy takes a full-vault snapshot",
+                    p.part(),
+                    p.parts()
+                ),
+            });
+        }
+        // Partitioned topology: restore the new model engine-side and
+        // cut its private graph with the engine's own layout, failing
+        // fast (before any shard is touched) on a bad snapshot or key.
+        let (per_shard, full) = match self.router.partition_spec() {
+            None => {
+                // One shared allocation, deliberately: every replica
+                // installs the same full snapshot.
+                let shared = Arc::new(snapshot.clone());
+                (vec![shared; self.set.shards.len()], None)
+            }
+            Some(spec) => {
+                let full = Vault::restore(snapshot, seal_key).map_err(ServeError::Vault)?;
+                let parts = full.partition_snapshots(&spec).map_err(ServeError::Vault)?;
+                (parts.into_iter().map(Arc::new).collect(), Some(full))
+            }
+        };
         let mut acks = Vec::with_capacity(self.set.shards.len());
         for (index, shard) in self.set.shards.iter().enumerate() {
             let (ack, ack_rx) = channel();
             shard
                 .control
                 .send(ShardControl::Deploy {
-                    snapshot: Arc::clone(&snapshot),
+                    snapshot: Arc::clone(&per_shard[index]),
                     seal_key,
                     ack,
                 })
@@ -1040,6 +1217,14 @@ impl ServingEngine {
             if self.sentinel.config().reset_on_deploy {
                 self.sentinel.reset();
             }
+            // Partitioned: the new full vault supersedes the parked
+            // one, so shutdown returns the model actually serving.
+            if let Some(full) = full {
+                *self
+                    .parked
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(full);
+            }
             return Ok(epoch);
         };
         // All-or-nothing: compensate the shards that did install.
@@ -1066,10 +1251,18 @@ impl ServingEngine {
 
     /// Stops admission, drains and answers every already-admitted
     /// request on all shards, and joins the workers; returns a
-    /// surviving vault (the lowest-numbered live shard's — `None` only
-    /// if every shard died permanently) and the run's aggregate
-    /// statistics.
+    /// surviving vault and the run's aggregate statistics. Replicated,
+    /// the vault is the lowest-numbered live shard's (`None` only if
+    /// every shard died permanently); partitioned, it is the parked
+    /// *full* vault of the serving epoch — the shards' partial vaults
+    /// each answer only one partition and are dropped with their
+    /// workers.
     pub fn shutdown(mut self) -> (Option<Vault>, ServeStats) {
+        let parked = self
+            .parked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
         self.set.close();
         let mut merged = ServeStats::default();
         let mut first_vault = None;
@@ -1093,7 +1286,7 @@ impl ServingEngine {
         merged.requests_shed += self.front.shed.load(Ordering::Relaxed);
         merged.rerouted_subrequests += self.front.rerouted.load(Ordering::Relaxed);
         merged.sentinel = self.sentinel.stats();
-        (first_vault, merged)
+        (parked.or(first_vault), merged)
     }
 }
 

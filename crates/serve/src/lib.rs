@@ -4,11 +4,15 @@
 //! answering one call at a time; this crate turns that vault into a
 //! *service*. Incoming node queries pass through five stages:
 //!
-//! 1. **Routing** ([`Router`]): each queried node is hash-routed to one
-//!    of [`ServeConfig::shards`] worker shards, every shard owning a
-//!    vault replica restored from one sealed
-//!    [`VaultSnapshot`](gnnvault::VaultSnapshot) — deterministic
-//!    routing keeps each shard's result cache effective,
+//! 1. **Routing** ([`Router`]): each queried node is routed to one of
+//!    [`ServeConfig::shards`] worker shards — by deterministic hash
+//!    under [`Topology::Replicated`] (every shard owns a full vault
+//!    replica restored from one sealed
+//!    [`VaultSnapshot`](gnnvault::VaultSnapshot)), or by partition
+//!    *owner lookup* under [`Topology::Partitioned`] (each shard owns
+//!    one edge-cut partition of the private graph, ~1/N of the private
+//!    state). Deterministic routing keeps each shard's result cache
+//!    effective,
 //! 2. **Admission** ([`AdmissionQueue`], [`BatchPolicy`]): requests are
 //!    accepted from any number of client threads, capped per shard so
 //!    overload degrades into fast rejections,
@@ -28,7 +32,9 @@
 //! Routing, batching, and caching change cost, never answers: served
 //! labels are bit-identical to what per-node
 //! [`Vault::infer`](gnnvault::Vault::infer) would return, at any shard
-//! count. A retrained model hot-swaps in with zero downtime through
+//! count and in *either topology* (asserted across the whole
+//! `{1, 2, 4} × {replicated, partitioned}` matrix in
+//! `tests/conformance.rs`). A retrained model hot-swaps in with zero downtime through
 //! [`ServingEngine::deploy`], which installs a sealed snapshot across
 //! all shards between batches — all-or-nothing, with per-shard retries
 //! and rollback on partial failure.
@@ -134,7 +140,7 @@ pub use batcher::{AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, PendingRe
 pub use cache::LruCache;
 pub use engine::{
     bulk_config, serve_once, HealthBoard, Router, ServeConfig, ServeHandle, ServeStats,
-    ServingEngine, SessionStats, ShardHealth, ShardStats,
+    ServingEngine, SessionStats, ShardHealth, ShardStats, Topology,
 };
 pub use error::ServeError;
 #[cfg(feature = "fault-injection")]

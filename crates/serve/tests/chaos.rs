@@ -15,7 +15,9 @@ use linalg::DenseMatrix;
 use nn::TrainConfig;
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 use serve::faults::{Fault, FaultPlan};
-use serve::{BatchPolicy, Router, ServeConfig, ServeError, ServingEngine, ShardHealth, Ticket};
+use serve::{
+    BatchPolicy, Router, ServeConfig, ServeError, ServingEngine, ShardHealth, Ticket, Topology,
+};
 use std::sync::{Once, OnceLock};
 use std::time::{Duration, Instant};
 use tee::{ClassLabel, CostModel, OverBudgetPolicy, SealKey};
@@ -418,6 +420,78 @@ fn requests_reroute_around_a_down_shard() {
     assert_eq!(stats.panics_caught, 1);
     // Shard 0 answered its neighbour's node.
     assert_eq!(stats.shards[0].answered_nodes, 1);
+}
+
+/// The partitioned counterpart of
+/// [`requests_reroute_around_a_down_shard`]: a partition's nodes have
+/// exactly one holder, so when their owner goes down they are *not*
+/// handed to a neighbour (which could only misroute them). The
+/// panicked batch fails with the typed [`ServeError::ShardFailed`],
+/// later queries for the dead owner's nodes wait for its supervised
+/// recovery and are then answered bit-identically — and the other
+/// shard answers none of them.
+#[test]
+fn partitioned_down_shard_queries_wait_for_their_owner_not_a_neighbour() {
+    quiet_injected_panics();
+    let fix = fixture();
+    // Block layout over N=16, 2 parts: shard 0 owns 0..8, shard 1 owns
+    // 8..16.
+    let plan = FaultPlan::new(4).with_fault(Fault::PanicAt {
+        shard: 1,
+        batch_n: 1,
+    });
+    let engine = ServingEngine::start(
+        fresh_vault(),
+        fix.features.clone(),
+        ServeConfig {
+            policy: one_request_per_batch_policy(),
+            sessions: 1,
+            cache_capacity: 0,
+            shards: 2,
+            topology: Topology::Partitioned,
+            restart_backoff: Duration::from_millis(100),
+            max_restart_attempts: 5,
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = engine.handle();
+    assert!(handle.router().is_partitioned());
+
+    // Trip shard 1's batch-1 panic with one of its owned nodes: the
+    // in-flight batch resolves to the typed failure, never to a label
+    // from the wrong partition.
+    let result = handle
+        .submit_one(8)
+        .unwrap()
+        .wait_timeout(Duration::from_secs(30))
+        .expect("no hang");
+    assert_eq!(result, Err(ServeError::ShardFailed { shard: 1 }));
+
+    // Another shard-1-owned node: no reroute happens, the request
+    // queues at its owner and is answered after supervised recovery —
+    // with the label sequential inference would give.
+    let labels = handle
+        .submit_one(9)
+        .unwrap()
+        .wait_timeout(Duration::from_secs(30))
+        .expect("owner recovery must answer the queued request")
+        .unwrap();
+    assert_eq!(labels, vec![fix.expected_a[9]]);
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.panics_caught, 1);
+    assert_eq!(stats.shard_restarts, 1);
+    assert_eq!(
+        stats.rerouted_subrequests, 0,
+        "partitioned routing never trades ownership for availability"
+    );
+    assert_eq!(
+        stats.shards[0].answered_nodes, 0,
+        "shard 0 must not answer shard 1's nodes"
+    );
+    assert_eq!(stats.shards[1].answered_nodes, 1);
 }
 
 /// An injected slow batch makes the *next* batch's request overstay its

@@ -8,84 +8,14 @@
 //! separately in `tests/chaos.rs` behind the `fault-injection`
 //! feature.
 
-use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
-use graph::Graph;
+mod common;
+
+use common::{sequential_labels, toy_vault, toy_vault_flipped, toy_vault_with_budget};
+use gnnvault::RectifierKind;
 use linalg::DenseMatrix;
-use nn::TrainConfig;
 use serve::{BatchPolicy, ServeConfig, ServeError, ServingEngine, ShardHealth};
 use std::time::Duration;
-use tee::{ClassLabel, CostModel, OverBudgetPolicy, SealKey};
-
-/// Trains and deploys a small two-cluster vault with `n` nodes
-/// (n must be even).
-fn toy_vault(n: usize, kind: RectifierKind) -> (Vault, DenseMatrix, Vec<usize>) {
-    toy_vault_with_budget(n, kind, tee::SGX_EPC_BYTES)
-}
-
-fn toy_vault_with_budget(
-    n: usize,
-    kind: RectifierKind,
-    epc_budget: usize,
-) -> (Vault, DenseMatrix, Vec<usize>) {
-    assert!(n >= 6 && n.is_multiple_of(2));
-    let half = n / 2;
-    let x = DenseMatrix::from_fn(n, 2, |r, c| {
-        let in_first = r < half;
-        let base = if (c == 0) == in_first { 1.0 } else { 0.0 };
-        base + 0.05 * ((r * 7 + c) % 5) as f32
-    });
-    let labels: Vec<usize> = (0..n).map(|r| usize::from(r >= half)).collect();
-    let train: Vec<usize> = (0..n).step_by(2).collect();
-    let mut edges = Vec::new();
-    for cluster in 0..2 {
-        let offset = cluster * half;
-        for i in 0..half {
-            edges.push((offset + i, offset + (i + 1) % half));
-        }
-    }
-    let real = Graph::from_edges(n, &edges).unwrap();
-    let cfg = TrainConfig {
-        epochs: 60,
-        lr: 0.05,
-        weight_decay: 0.0,
-        dropout: 0.0,
-        seed: 0,
-    };
-    let backbone = Backbone::train(
-        &x,
-        &labels,
-        &train,
-        SubstituteKind::Knn { k: 2 },
-        &[8, 4, 2],
-        real.num_edges(),
-        &cfg,
-        1,
-    )
-    .unwrap();
-    let mut rectifier = Rectifier::new(kind, &[8, 4, 2], &backbone.channel_dims(), 2).unwrap();
-    let real_adj = graph::normalization::gcn_normalize(&real);
-    let embs = backbone.embeddings(&x).unwrap();
-    rectifier
-        .fit(&real_adj, &embs, &labels, &train, &cfg)
-        .unwrap();
-    let vault = Vault::deploy(
-        backbone,
-        rectifier,
-        &real,
-        epc_budget,
-        CostModel::default(),
-        OverBudgetPolicy::Fail,
-        SealKey(7),
-    )
-    .unwrap();
-    (vault, x, labels)
-}
-
-/// Baseline: labels from sequential full-graph inference.
-fn sequential_labels(vault: &mut Vault, x: &DenseMatrix) -> Vec<ClassLabel> {
-    let (labels, _) = vault.infer(x).unwrap();
-    labels
-}
+use tee::{ClassLabel, SealKey};
 
 #[test]
 fn batched_serving_is_bit_identical_to_sequential_infer() {
@@ -518,71 +448,6 @@ fn stats_account_every_batch_through_the_meter() {
         stats.sessions.iter().map(|s| s.accounted_ns).sum::<u64>(),
         stats.backbone_ns + stats.transfer_ns + stats.rectifier_ns
     );
-}
-
-/// Builds a second vault over the same corpus whose labels differ from
-/// `toy_vault`'s: the training labels are flipped, so the two models
-/// answer oppositely on (almost) every node. Used by the hot-swap
-/// tests to tell which epoch answered a query.
-fn toy_vault_flipped(n: usize, seal_key: SealKey) -> (Vault, DenseMatrix) {
-    assert!(n >= 6 && n.is_multiple_of(2));
-    let half = n / 2;
-    let x = DenseMatrix::from_fn(n, 2, |r, c| {
-        let in_first = r < half;
-        let base = if (c == 0) == in_first { 1.0 } else { 0.0 };
-        base + 0.05 * ((r * 7 + c) % 5) as f32
-    });
-    let labels: Vec<usize> = (0..n).map(|r| usize::from(r < half)).collect(); // flipped
-    let train: Vec<usize> = (0..n).step_by(2).collect();
-    let mut edges = Vec::new();
-    for cluster in 0..2 {
-        let offset = cluster * half;
-        for i in 0..half {
-            edges.push((offset + i, offset + (i + 1) % half));
-        }
-    }
-    let real = Graph::from_edges(n, &edges).unwrap();
-    let cfg = TrainConfig {
-        epochs: 60,
-        lr: 0.05,
-        weight_decay: 0.0,
-        dropout: 0.0,
-        seed: 0,
-    };
-    let backbone = Backbone::train(
-        &x,
-        &labels,
-        &train,
-        SubstituteKind::Knn { k: 2 },
-        &[8, 4, 2],
-        real.num_edges(),
-        &cfg,
-        1,
-    )
-    .unwrap();
-    let mut rectifier = Rectifier::new(
-        RectifierKind::Series,
-        &[8, 4, 2],
-        &backbone.channel_dims(),
-        2,
-    )
-    .unwrap();
-    let real_adj = graph::normalization::gcn_normalize(&real);
-    let embs = backbone.embeddings(&x).unwrap();
-    rectifier
-        .fit(&real_adj, &embs, &labels, &train, &cfg)
-        .unwrap();
-    let vault = Vault::deploy(
-        backbone,
-        rectifier,
-        &real,
-        tee::SGX_EPC_BYTES,
-        CostModel::default(),
-        OverBudgetPolicy::Fail,
-        seal_key,
-    )
-    .unwrap();
-    (vault, x)
 }
 
 #[test]
