@@ -25,11 +25,13 @@ use gnnvault::{Backbone, Rectifier, RectifierKind, SubstituteKind, Vault};
 use graph::partition::PartitionSpec;
 use graph::{normalization, substitute, Graph};
 use linalg::{
-    matmul_a_bt, matmul_at_b, matmul_fused, matmul_naive, matmul_packed, matmul_threaded, pairwise,
-    DenseMatrix, Epilogue, SpmmStrategy,
+    available_kernel_variants, detected_cpu_features, gemm_into_ws_with_variant, kernel_variant,
+    matmul_a_bt, matmul_at_b, matmul_fused, matmul_naive, matmul_packed, matmul_quantized_into,
+    matmul_quantized_into_with_variant, matmul_threaded, pairwise, DenseMatrix, Epilogue, GemmOp,
+    GemmStrategy, QuantizedMatrix, SpmmStrategy, Workspace,
 };
 use nn::{GcnNetwork, TrainConfig};
-use serve::{BatchPolicy, ServeConfig, ServingEngine, Topology};
+use serve::{BatchPolicy, Precision, ServeConfig, ServingEngine, Topology};
 
 /// Bytes moved by one `m×k · k×n` GEMM call (read A and B, write C).
 fn gemm_bytes(m: usize, k: usize, n: usize) -> u64 {
@@ -63,6 +65,25 @@ fn ring_graph(n: usize, extra: usize) -> Graph {
     Graph::from_edges(n, &edges).expect("ring construction")
 }
 
+fn record_machine_metadata(c: &mut Criterion) {
+    // The machine facts every number below depends on, recorded in the
+    // JSON header: which micro-kernel the runtime dispatch selected
+    // (post target-cpu=native removal, this — not compiler flags — is
+    // what decides whether GEMM runs on hardware FMA) and the SIMD
+    // feature set it selected from.
+    let variant = kernel_variant();
+    let features = detected_cpu_features().join(",");
+    let available = available_kernel_variants()
+        .iter()
+        .map(|v| v.label())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("kernel dispatch: {variant} (available: {available}; cpu features: {features})");
+    c.set_metadata("kernel_variant", variant.label());
+    c.set_metadata("available_kernel_variants", available);
+    c.set_metadata("cpu_features", features);
+}
+
 fn bench_gemm(c: &mut Criterion) {
     // The historical headline group: the committed trajectory's
     // `blocked` row (scalar cache-blocked kernel, removed in the packed
@@ -80,6 +101,85 @@ fn bench_gemm(c: &mut Criterion) {
     group.bench_function("threaded", |bencher| {
         bencher.iter(|| matmul_threaded(&a, &b).expect("gemm"))
     });
+    group.finish();
+}
+
+fn bench_gemm_dispatch(c: &mut Criterion) {
+    // The same 256³ packed product pinned to every micro-kernel this
+    // machine can run. The `dispatched` row uses the process-wide
+    // selection and should coincide with the best available variant's
+    // row; the `scalar` row quantifies what the SIMD kernels buy.
+    let a = random_matrix(256, 256, 1);
+    let b = random_matrix(256, 256, 2);
+    let mut out = DenseMatrix::zeros(256, 256);
+    let mut ws = Workspace::new();
+    let mut group = c.benchmark_group("gemm_dispatch");
+    group.throughput(Throughput::Bytes(gemm_bytes(256, 256, 256)));
+    group.bench_function(format!("dispatched_{}", kernel_variant()), |bencher| {
+        bencher.iter(|| {
+            linalg::gemm_into_ws(
+                GemmOp::AB,
+                &a,
+                &b,
+                &mut out,
+                Epilogue::None,
+                GemmStrategy::Packed,
+                &mut ws,
+            )
+            .expect("gemm")
+        })
+    });
+    for variant in available_kernel_variants() {
+        group.bench_function(variant.label(), |bencher| {
+            bencher.iter(|| {
+                gemm_into_ws_with_variant(
+                    variant,
+                    GemmOp::AB,
+                    &a,
+                    &b,
+                    &mut out,
+                    Epilogue::None,
+                    GemmStrategy::Packed,
+                    &mut ws,
+                )
+                .expect("gemm")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Bytes moved by one quantized `m×k · k×n` product: f32 activations in
+/// and out, i8 weight codes, one f32 scale per output channel.
+fn gemm_quantized_bytes(m: usize, k: usize, n: usize) -> u64 {
+    ((m * k + m * n + n) * std::mem::size_of::<f32>() + k * n) as u64
+}
+
+fn bench_gemm_quantized(c: &mut Criterion) {
+    // The int8 serving kernel on the same 256³ shape as `gemm_256`:
+    // per-row activation quantization, i32 dot products through each
+    // variant's `dot_i8`, f32 dequant at the epilogue. The `f32_packed`
+    // row is the apples-to-apples float baseline.
+    let a = random_matrix(256, 256, 1);
+    let wf = random_matrix(256, 256, 2);
+    let w = QuantizedMatrix::quantize(&wf);
+    let mut out = DenseMatrix::zeros(256, 256);
+    let mut group = c.benchmark_group("gemm_quantized");
+    group.throughput(Throughput::Bytes(gemm_quantized_bytes(256, 256, 256)));
+    group.bench_function("f32_packed", |bencher| {
+        bencher.iter(|| matmul_packed(&a, &wf).expect("gemm"))
+    });
+    group.bench_function(format!("int8_dispatched_{}", kernel_variant()), |bencher| {
+        bencher.iter(|| matmul_quantized_into(&a, &w, &mut out, Epilogue::None).expect("gemm"))
+    });
+    for variant in available_kernel_variants() {
+        group.bench_function(format!("int8_{}", variant.label()), |bencher| {
+            bencher.iter(|| {
+                matmul_quantized_into_with_variant(variant, &a, &w, &mut out, Epilogue::None)
+                    .expect("gemm")
+            })
+        });
+    }
     group.finish();
 }
 
@@ -131,12 +231,26 @@ fn bench_train_epoch(c: &mut Criterion) {
         dropout: 0.0,
         seed: 0,
     };
-    c.bench_function("train_epoch_512", |bencher| {
-        bencher.iter(|| {
-            let mut net = base.clone();
-            net.fit(&adj, &x, &labels, &train, &cfg).expect("fit epoch")
-        })
-    });
+    // Per-epoch data movement: each layer's forward GEMM plus the two
+    // transpose-free gradient GEMMs (`at_b`/`a_bt`) move ~3× the
+    // forward GEMM traffic, and message passing streams the CSR
+    // adjacency over the dense activations twice (forward + transposed
+    // backward).
+    let dims = [(64usize, 128usize), (128, 32), (32, 7)];
+    let epoch_bytes: u64 = dims
+        .iter()
+        .map(|&(i, o)| 3 * gemm_bytes(n, i, o) + 2 * spmm_bytes(adj.nnz(), n, o))
+        .sum();
+    c.bench_function_with_throughput(
+        "train_epoch_512",
+        Throughput::Bytes(epoch_bytes),
+        |bencher| {
+            bencher.iter(|| {
+                let mut net = base.clone();
+                net.fit(&adj, &x, &labels, &train, &cfg).expect("fit epoch")
+            })
+        },
+    );
 }
 
 fn bench_spmm(c: &mut Criterion) {
@@ -193,9 +307,18 @@ fn bench_spmm_parallel(c: &mut Criterion) {
 
 fn bench_normalization(c: &mut Criterion) {
     let g = ring_graph(4096, 3);
-    c.bench_function("gcn_normalize_4096", |bencher| {
-        bencher.iter(|| normalization::gcn_normalize(&g))
-    });
+    // One pass reads the graph's adjacency structure (a column index
+    // per nonzero plus row offsets) and writes the normalized CSR (an
+    // f32 weight and a column index per nonzero plus row offsets).
+    let adj = normalization::gcn_normalize(&g);
+    let n = 4096usize;
+    let norm_bytes = (adj.nnz() * (std::mem::size_of::<f32>() + 2 * std::mem::size_of::<usize>())
+        + 2 * (n + 1) * std::mem::size_of::<usize>()) as u64;
+    c.bench_function_with_throughput(
+        "gcn_normalize_4096",
+        Throughput::Bytes(norm_bytes),
+        |bencher| bencher.iter(|| normalization::gcn_normalize(&g)),
+    );
 }
 
 fn bench_substitute_generation(c: &mut Criterion) {
@@ -442,9 +565,73 @@ fn bench_serving_partitioned(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serving_quantized(c: &mut Criterion) {
+    // f32 vs int8 through the *full* engine: the identical 256-query
+    // stream of `serving_sharded` at one shard, with the engine started
+    // under each `ServeConfig::precision`. Sealed snapshot bytes per
+    // mode are printed once — the int8 form must undercut f32 (that is
+    // the EPC/wire saving the quantized path exists for); labels are
+    // identical by the conformance suite, so the rows differ only in
+    // arithmetic (i8 dot products vs f32 FMA) and resident bytes.
+    const QUERIES: usize = 256;
+    let (vault, x) = serving_vault(512);
+    let f32_bytes = vault.snapshot().sealed_nbytes();
+    let mut probe = vault.spawn_replica().expect("replica");
+    probe.set_precision(Precision::Int8).expect("quantize");
+    let int8_bytes = probe.snapshot().sealed_nbytes();
+    eprintln!(
+        "serving_quantized: sealed snapshot {f32_bytes} bytes (f32) \
+         vs {int8_bytes} bytes (int8)"
+    );
+    assert!(
+        int8_bytes < f32_bytes,
+        "the int8 snapshot must seal strictly fewer bytes than f32"
+    );
+    let mut group = c.benchmark_group("serving_quantized");
+    group.throughput(Throughput::Bytes(
+        (QUERIES * 2 * std::mem::size_of::<u64>()) as u64,
+    ));
+    for precision in Precision::ALL {
+        let engine = ServingEngine::start(
+            vault.spawn_replica().expect("replica"),
+            x.clone(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch_nodes: 64,
+                    max_delay: std::time::Duration::from_millis(1),
+                    max_queue_requests: 8192,
+                    ..BatchPolicy::default()
+                },
+                sessions: 2,
+                cache_capacity: 0,
+                shards: 1,
+                precision,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("engine start");
+        let handle = engine.handle();
+        group.bench_function(precision.label(), |bencher| {
+            bencher.iter(|| {
+                let tickets: Vec<_> = (0..QUERIES)
+                    .map(|i| handle.submit_one((i * 97) % 512).expect("admission"))
+                    .collect();
+                for ticket in tickets {
+                    ticket.wait().expect("inference");
+                }
+            })
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    record_machine_metadata,
     bench_gemm,
+    bench_gemm_dispatch,
+    bench_gemm_quantized,
     bench_gemm_packed,
     bench_train_epoch,
     bench_spmm,
@@ -455,6 +642,7 @@ criterion_group!(
     bench_pairwise_gram,
     bench_serving_batch,
     bench_serving_sharded,
-    bench_serving_partitioned
+    bench_serving_partitioned,
+    bench_serving_quantized
 );
 criterion_main!(benches);

@@ -73,4 +73,4 @@ pub use original::OriginalGnn;
 pub use rectifier::{Rectifier, RectifierKind};
 pub use snapshot::{SnapshotPartition, VaultSnapshot};
 pub use substitute::SubstituteKind;
-pub use vault::{InferenceReport, RecoveryHandle, Vault};
+pub use vault::{InferenceReport, Precision, RecoveryHandle, Vault};

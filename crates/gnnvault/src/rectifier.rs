@@ -1,6 +1,6 @@
 use crate::VaultError;
 use linalg::{ops, CsrMatrix, DenseMatrix, Workspace};
-use nn::{loss, Adam, ConvForward, ConvKind, ConvLayer, TrainConfig};
+use nn::{loss, Adam, ConvForward, ConvKind, ConvLayer, NnError, QuantizedConvLayer, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -415,6 +415,51 @@ impl Rectifier {
         backbone_embeddings: &[DenseMatrix],
         ws: &mut Workspace,
     ) -> Result<RectifierForward, VaultError> {
+        self.forward_with(backbone_embeddings, ws, |i, input, fuse_relu, ws| {
+            self.layers[i].forward_fused(real_adj, input, fuse_relu, ws)
+        })
+    }
+
+    /// Forward pass substituting int8 quantized layers for the f32
+    /// stack — identical wiring, tap resolution, and fused-ReLU
+    /// schedule; only each layer's projection GEMM differs (see
+    /// [`nn::quantized`]). Crate-internal: the vault's int8 serving
+    /// path calls this with the quantized model it built at
+    /// `set_precision` time.
+    pub(crate) fn forward_quantized(
+        &self,
+        qlayers: &[QuantizedConvLayer],
+        real_adj: &CsrMatrix,
+        backbone_embeddings: &[DenseMatrix],
+    ) -> Result<RectifierForward, VaultError> {
+        if qlayers.len() != self.layers.len() {
+            return Err(VaultError::InvalidConfig {
+                reason: format!(
+                    "quantized model has {} layers, rectifier has {}",
+                    qlayers.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        self.forward_with(
+            backbone_embeddings,
+            &mut Workspace::new(),
+            |i, input, fuse_relu, ws| qlayers[i].forward_fused(real_adj, input, fuse_relu, ws),
+        )
+    }
+
+    /// The shared forward loop: wiring (`layer_input`) and the fused
+    /// bias/ReLU schedule live here exactly once, with the per-layer
+    /// forward injected — so the f32 and quantized paths cannot drift.
+    fn forward_with<F>(
+        &self,
+        backbone_embeddings: &[DenseMatrix],
+        ws: &mut Workspace,
+        mut forward_layer: F,
+    ) -> Result<RectifierForward, VaultError>
+    where
+        F: FnMut(usize, &DenseMatrix, bool, &mut Workspace) -> Result<ConvForward, NnError>,
+    {
         if backbone_embeddings.len() != self.backbone_dims.len() {
             return Err(VaultError::InvalidConfig {
                 reason: format!(
@@ -427,7 +472,7 @@ impl Rectifier {
         let last = self.layers.len() - 1;
         let mut caches: Vec<ConvForward> = Vec::with_capacity(self.layers.len());
         let mut inputs = Vec::with_capacity(self.layers.len());
-        for (i, layer) in self.layers.iter().enumerate() {
+        for i in 0..self.layers.len() {
             let prev = caches.last().map(ConvForward::output);
             let stored = self.layer_input(i, backbone_embeddings, prev, ws)?;
             let cache = {
@@ -435,12 +480,21 @@ impl Rectifier {
                 // Hidden layers fuse bias + ReLU into the layer's
                 // output epilogue, so the cached output *is* the
                 // activation — no copy, no separate ReLU pass.
-                layer.forward_fused(real_adj, input, i != last, ws)?
+                forward_layer(i, input, i != last, ws)?
             };
             caches.push(cache);
             inputs.push(stored);
         }
         Ok(RectifierForward { caches, inputs })
+    }
+
+    /// Quantizes every convolution for int8 serving (crate-internal:
+    /// the vault builds its quantized model through this).
+    pub(crate) fn quantize_layers(&self) -> Vec<QuantizedConvLayer> {
+        self.layers
+            .iter()
+            .map(QuantizedConvLayer::quantize)
+            .collect()
     }
 
     /// Trains the rectifier on frozen backbone embeddings with masked

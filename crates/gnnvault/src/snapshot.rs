@@ -58,11 +58,27 @@
 //! nodes — bit-identically to the full vault, because the closure spans
 //! the rectifier's receptive field and normalization uses the original
 //! degrees.
+//!
+//! An *int8* vault ([`Precision::Int8`](crate::Precision), magics
+//! `GV_SNAP3` full / `GV_SNAP4` partition) snapshots with every
+//! projection weight replaced by its quantized form — `out_dim u64 |
+//! in_dim u64 | i8 codes | f32 per-channel scales` — while biases,
+//! attention vectors, and graphs stay f32/exact. Codes and scales are
+//! stored *verbatim* (never re-derived on restore), so replicas of an
+//! int8 snapshot serve bit-identically to their source and re-snapshot
+//! to identical bytes; the f32 network halves are rebuilt from the
+//! dequantized weights. The f32 forms (`GV_SNAP1`/`GV_SNAP2`) are
+//! byte-for-byte unchanged by the int8 extension.
 
+use crate::backbone::QuantizedBackboneNet;
+use crate::vault::QuantizedModel;
 use crate::{Backbone, Rectifier, RectifierKind, SubstituteKind, VaultError};
 use graph::Graph;
-use linalg::DenseMatrix;
-use nn::{ConvKind, GcnNetwork, MlpNetwork};
+use linalg::{DenseMatrix, QuantizedMatrix};
+use nn::{
+    ConvKind, GcnNetwork, MlpNetwork, QuantizedConvLayer, QuantizedDenseLayer, QuantizedGatLayer,
+    QuantizedGcnLayer, QuantizedGcnNetwork, QuantizedMlpNetwork, QuantizedSageLayer,
+};
 use tee::{CostModel, OverBudgetPolicy, Sealed};
 
 /// Format marker at offset 0 of every full-vault snapshot payload.
@@ -70,6 +86,12 @@ const MAGIC: u64 = 0x4756_5F53_4E41_5031; // "GV_SNAP1"
 
 /// Format marker of the per-partition snapshot form.
 const MAGIC_PARTITION: u64 = 0x4756_5F53_4E41_5032; // "GV_SNAP2"
+
+/// Format marker of the int8 full-vault snapshot form.
+const MAGIC_INT8: u64 = 0x4756_5F53_4E41_5033; // "GV_SNAP3"
+
+/// Format marker of the int8 per-partition snapshot form.
+const MAGIC_INT8_PARTITION: u64 = 0x4756_5F53_4E41_5034; // "GV_SNAP4"
 
 /// Which partition a sealed snapshot carries — clear routing metadata
 /// on a [`VaultSnapshot`], mirrored (and cross-checked) inside the
@@ -190,6 +212,10 @@ pub(crate) struct DecodedVault {
     pub policy: OverBudgetPolicy,
     pub backbone: Backbone,
     pub rectifier: Rectifier,
+    /// `Some` for an int8 payload: the verbatim-restored quantized
+    /// weights. The f32 `backbone`/`rectifier` then hold dequantized
+    /// weights and exist for wiring, shapes, and precision switches.
+    pub quantized: Option<QuantizedModel>,
     pub real_graph: Graph,
     pub partition: Option<DecodedPartition>,
 }
@@ -260,6 +286,17 @@ impl Writer {
         self.put_usize(m.cols());
         for &v in m.as_slice() {
             self.put_f32(v);
+        }
+    }
+
+    fn put_qmatrix(&mut self, q: &QuantizedMatrix) {
+        self.put_usize(q.out_dim());
+        self.put_usize(q.in_dim());
+        for &c in q.data() {
+            self.put_u8(c as u8);
+        }
+        for &s in q.scales() {
+            self.put_f32(s);
         }
     }
 
@@ -349,6 +386,24 @@ impl<'a> Reader<'a> {
         DenseMatrix::from_vec(rows, cols, data).map_err(|e| bad(e.to_string()))
     }
 
+    fn get_qmatrix(&mut self) -> Result<QuantizedMatrix, VaultError> {
+        let out_dim = self.get_usize()?;
+        let in_dim = self.get_usize()?;
+        if out_dim > self.buf.len() / 4 + 1 {
+            return Err(bad(format!("implausible channel count {out_dim}")));
+        }
+        let n = out_dim
+            .checked_mul(in_dim)
+            .filter(|&n| n <= self.buf.len())
+            .ok_or_else(|| bad("implausible quantized matrix dimensions"))?;
+        let data: Vec<i8> = self.take(n)?.iter().map(|&b| b as i8).collect();
+        let mut scales = Vec::with_capacity(out_dim);
+        for _ in 0..out_dim {
+            scales.push(self.get_f32()?);
+        }
+        QuantizedMatrix::from_parts(out_dim, in_dim, data, scales).map_err(|e| bad(e.to_string()))
+    }
+
     fn get_graph(&mut self) -> Result<Graph, VaultError> {
         let num_nodes = self.get_usize()?;
         let num_edges = self.get_usize()?;
@@ -368,7 +423,9 @@ impl<'a> Reader<'a> {
 // ---------------------------------------------------------------------
 
 /// Encodes a deployment into the deterministic snapshot payload
-/// (pre-sealing).
+/// (pre-sealing). With `quantized`, emits the int8 form (`GV_SNAP3`):
+/// projection weights as stored codes + scales, everything else f32.
+#[allow(clippy::too_many_arguments)] // flat encoder signature mirrors the payload layout
 pub(crate) fn encode(
     epoch: u64,
     epc_budget: usize,
@@ -376,15 +433,20 @@ pub(crate) fn encode(
     policy: OverBudgetPolicy,
     backbone: &Backbone,
     rectifier: &Rectifier,
+    quantized: Option<&QuantizedModel>,
     real_graph: &Graph,
 ) -> Vec<u8> {
     let mut w = Writer::new();
-    w.put_u64(MAGIC);
+    w.put_u64(if quantized.is_some() {
+        MAGIC_INT8
+    } else {
+        MAGIC
+    });
     w.put_u64(epoch);
     w.put_usize(real_graph.num_nodes());
     encode_config(&mut w, epc_budget, cost, policy);
-    encode_backbone(&mut w, backbone);
-    encode_rectifier(&mut w, rectifier);
+    encode_backbone(&mut w, backbone, quantized.map(|q| &q.backbone));
+    encode_rectifier(&mut w, rectifier, quantized.map(|q| q.rectifier.as_slice()));
 
     w.put_usize(real_graph.num_edges());
     for &(u, v) in real_graph.edges() {
@@ -409,6 +471,7 @@ pub(crate) struct PartitionParts<'a> {
 /// Encodes one partition of a deployment into the `GV_SNAP2` payload
 /// (pre-sealing): shared weights plus only this partition's private
 /// graph state.
+#[allow(clippy::too_many_arguments)] // flat encoder signature mirrors the payload layout
 pub(crate) fn encode_partition(
     epoch: u64,
     epc_budget: usize,
@@ -416,17 +479,22 @@ pub(crate) fn encode_partition(
     policy: OverBudgetPolicy,
     backbone: &Backbone,
     rectifier: &Rectifier,
+    quantized: Option<&QuantizedModel>,
     p: &PartitionParts<'_>,
 ) -> Vec<u8> {
     let mut w = Writer::new();
-    w.put_u64(MAGIC_PARTITION);
+    w.put_u64(if quantized.is_some() {
+        MAGIC_INT8_PARTITION
+    } else {
+        MAGIC_PARTITION
+    });
     w.put_u64(epoch);
     w.put_usize(p.num_global_nodes);
     w.put_usize(p.part);
     w.put_usize(p.parts);
     encode_config(&mut w, epc_budget, cost, policy);
-    encode_backbone(&mut w, backbone);
-    encode_rectifier(&mut w, rectifier);
+    encode_backbone(&mut w, backbone, quantized.map(|q| &q.backbone));
+    encode_rectifier(&mut w, rectifier, quantized.map(|q| q.rectifier.as_slice()));
     w.put_usizes(p.owned);
     w.put_usizes(p.local_ids);
     w.put_usizes(p.original_degrees);
@@ -446,7 +514,7 @@ fn encode_config(w: &mut Writer, epc_budget: usize, cost: &CostModel, policy: Ov
     });
 }
 
-fn encode_backbone(w: &mut Writer, backbone: &Backbone) {
+fn encode_backbone(w: &mut Writer, backbone: &Backbone, quantized: Option<&QuantizedBackboneNet>) {
     match backbone {
         Backbone::Gcn {
             network,
@@ -457,30 +525,52 @@ fn encode_backbone(w: &mut Writer, backbone: &Backbone) {
             w.put_u8(0);
             encode_substitute_kind(w, kind);
             w.put_graph(substitute_graph);
+            let qlayers = quantized.map(|q| match q {
+                QuantizedBackboneNet::Gcn(q) => q.layers(),
+                QuantizedBackboneNet::Mlp(_) => {
+                    unreachable!("quantized mirror is built from this backbone")
+                }
+            });
             w.put_usize(network.input_dim());
             w.put_usize(network.num_layers());
-            for layer in network.layers() {
+            for (i, layer) in network.layers().iter().enumerate() {
                 w.put_usize(layer.in_dim());
                 w.put_usize(layer.out_dim());
-                w.put_matrix(&layer.weight().value);
+                match qlayers {
+                    Some(qs) => w.put_qmatrix(qs[i].weight()),
+                    None => w.put_matrix(&layer.weight().value),
+                }
                 w.put_matrix(&layer.bias().value);
             }
         }
         Backbone::Mlp { network } => {
             w.put_u8(1);
+            let qlayers = quantized.map(|q| match q {
+                QuantizedBackboneNet::Mlp(q) => q.layers(),
+                QuantizedBackboneNet::Gcn(_) => {
+                    unreachable!("quantized mirror is built from this backbone")
+                }
+            });
             w.put_usize(network.input_dim());
             w.put_usize(network.num_layers());
-            for layer in network.layers() {
+            for (i, layer) in network.layers().iter().enumerate() {
                 w.put_usize(layer.in_dim());
                 w.put_usize(layer.out_dim());
-                w.put_matrix(&layer.weight().value);
+                match qlayers {
+                    Some(qs) => w.put_qmatrix(qs[i].weight()),
+                    None => w.put_matrix(&layer.weight().value),
+                }
                 w.put_matrix(&layer.bias().value);
             }
         }
     }
 }
 
-fn encode_rectifier(w: &mut Writer, rectifier: &Rectifier) {
+fn encode_rectifier(
+    w: &mut Writer,
+    rectifier: &Rectifier,
+    quantized: Option<&[QuantizedConvLayer]>,
+) {
     w.put_u8(match rectifier.kind() {
         RectifierKind::Parallel => 0,
         RectifierKind::Cascaded => 1,
@@ -494,11 +584,23 @@ fn encode_rectifier(w: &mut Writer, rectifier: &Rectifier) {
     w.put_usizes(rectifier.backbone_dims());
     w.put_usizes(&rectifier.channel_dims());
     w.put_usizes(&rectifier.tap_indices());
-    for layer in rectifier.layers() {
+    for (i, layer) in rectifier.layers().iter().enumerate() {
         let params = layer.params();
         w.put_usize(params.len());
-        for p in params {
-            w.put_matrix(&p.value);
+        match quantized {
+            // Param 0 is the projection weight for every conv kind;
+            // the rest (bias, attention vectors) stay f32.
+            Some(qs) => {
+                w.put_qmatrix(qs[i].weight());
+                for p in &params[1..] {
+                    w.put_matrix(&p.value);
+                }
+            }
+            None => {
+                for p in params {
+                    w.put_matrix(&p.value);
+                }
+            }
         }
     }
 }
@@ -528,22 +630,40 @@ fn encode_substitute_kind(w: &mut Writer, kind: &SubstituteKind) {
 
 /// Decodes a snapshot payload back into deployment parts, validating
 /// every shape against the reconstructed architecture. Dispatches on
-/// the magic: `GV_SNAP1` (full vault) or `GV_SNAP2` (one partition).
+/// the magic: `GV_SNAP1`/`GV_SNAP3` (full vault, f32/int8) or
+/// `GV_SNAP2`/`GV_SNAP4` (one partition, f32/int8).
 pub(crate) fn decode(payload: &[u8]) -> Result<DecodedVault, VaultError> {
     let mut r = Reader::new(payload);
     match r.get_u64()? {
-        MAGIC => decode_full(r),
-        MAGIC_PARTITION => decode_partition(r),
+        MAGIC => decode_full(r, false),
+        MAGIC_INT8 => decode_full(r, true),
+        MAGIC_PARTITION => decode_partition(r, false),
+        MAGIC_INT8_PARTITION => decode_partition(r, true),
         _ => Err(bad("bad magic: not a vault snapshot")),
     }
 }
 
-fn decode_full(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
+/// Pairs a decoded f32 backbone/rectifier with their quantized halves
+/// when the payload was int8.
+fn assemble_quantized(
+    qnet: Option<QuantizedBackboneNet>,
+    qlayers: Option<Vec<QuantizedConvLayer>>,
+) -> Option<QuantizedModel> {
+    match (qnet, qlayers) {
+        (Some(backbone), Some(rectifier)) => Some(QuantizedModel {
+            backbone,
+            rectifier,
+        }),
+        _ => None,
+    }
+}
+
+fn decode_full(mut r: Reader<'_>, int8: bool) -> Result<DecodedVault, VaultError> {
     let epoch = r.get_u64()?;
     let num_nodes = r.get_usize()?;
     let (epc_budget, cost, policy) = decode_config(&mut r)?;
-    let backbone = decode_backbone(&mut r)?;
-    let rectifier = decode_rectifier(&mut r, &backbone)?;
+    let (backbone, qnet) = decode_backbone(&mut r, int8)?;
+    let (rectifier, qlayers) = decode_rectifier(&mut r, &backbone, int8)?;
 
     let num_edges = r.get_usize()?;
     if num_edges > r.buf.len() / 16 + 1 {
@@ -564,12 +684,13 @@ fn decode_full(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
         policy,
         backbone,
         rectifier,
+        quantized: assemble_quantized(qnet, qlayers),
         real_graph,
         partition: None,
     })
 }
 
-fn decode_partition(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
+fn decode_partition(mut r: Reader<'_>, int8: bool) -> Result<DecodedVault, VaultError> {
     let epoch = r.get_u64()?;
     let num_global_nodes = r.get_usize()?;
     let part = r.get_usize()?;
@@ -578,8 +699,8 @@ fn decode_partition(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
         return Err(bad(format!("partition index {part} out of {parts}")));
     }
     let (epc_budget, cost, policy) = decode_config(&mut r)?;
-    let backbone = decode_backbone(&mut r)?;
-    let rectifier = decode_rectifier(&mut r, &backbone)?;
+    let (backbone, qnet) = decode_backbone(&mut r, int8)?;
+    let (rectifier, qlayers) = decode_rectifier(&mut r, &backbone, int8)?;
     let owned = r.get_usizes()?;
     let local_ids = r.get_usizes()?;
     let original_degrees = r.get_usizes()?;
@@ -622,6 +743,7 @@ fn decode_partition(mut r: Reader<'_>) -> Result<DecodedVault, VaultError> {
         policy,
         backbone,
         rectifier,
+        quantized: assemble_quantized(qnet, qlayers),
         real_graph: local_graph,
         partition: Some(DecodedPartition {
             part,
@@ -662,39 +784,79 @@ fn decode_config(r: &mut Reader<'_>) -> Result<(usize, CostModel, OverBudgetPoli
     Ok((epc_budget, cost, policy))
 }
 
-fn decode_backbone(r: &mut Reader<'_>) -> Result<Backbone, VaultError> {
+fn decode_backbone(
+    r: &mut Reader<'_>,
+    int8: bool,
+) -> Result<(Backbone, Option<QuantizedBackboneNet>), VaultError> {
     Ok(match r.get_u8()? {
         0 => {
             let kind = decode_substitute_kind(r)?;
             let substitute_graph = r.get_graph()?;
-            let (input_dim, channels, weights) = decode_network_params(r)?;
+            let (input_dim, channels, weights, qweights) = decode_network_params(r, int8)?;
             let mut network = GcnNetwork::new(input_dim, &channels, 0)?;
             for (layer, (weight, bias)) in network.layers_mut().iter_mut().zip(weights) {
                 restore_value(layer.weight_mut(), weight, "backbone weight")?;
                 restore_value(layer.bias_mut(), bias, "backbone bias")?;
             }
+            let qnet = match qweights {
+                Some(qs) => {
+                    let qlayers = qs
+                        .into_iter()
+                        .zip(network.layers())
+                        .map(|(qw, layer)| {
+                            QuantizedGcnLayer::from_parts(qw, layer.bias().value.clone())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Some(QuantizedBackboneNet::Gcn(QuantizedGcnNetwork::from_layers(
+                        input_dim, qlayers,
+                    )?))
+                }
+                None => None,
+            };
             let substitute_adj = graph::normalization::gcn_normalize(&substitute_graph);
-            Backbone::Gcn {
-                network,
-                substitute_graph,
-                substitute_adj,
-                kind,
-            }
+            (
+                Backbone::Gcn {
+                    network,
+                    substitute_graph,
+                    substitute_adj,
+                    kind,
+                },
+                qnet,
+            )
         }
         1 => {
-            let (input_dim, channels, weights) = decode_network_params(r)?;
+            let (input_dim, channels, weights, qweights) = decode_network_params(r, int8)?;
             let mut network = MlpNetwork::new(input_dim, &channels, 0)?;
             for (layer, (weight, bias)) in network.layers_mut().iter_mut().zip(weights) {
                 restore_value(layer.weight_mut(), weight, "backbone weight")?;
                 restore_value(layer.bias_mut(), bias, "backbone bias")?;
             }
-            Backbone::Mlp { network }
+            let qnet = match qweights {
+                Some(qs) => {
+                    let qlayers = qs
+                        .into_iter()
+                        .zip(network.layers())
+                        .map(|(qw, layer)| {
+                            QuantizedDenseLayer::from_parts(qw, layer.bias().value.clone())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Some(QuantizedBackboneNet::Mlp(QuantizedMlpNetwork::from_layers(
+                        input_dim, qlayers,
+                    )?))
+                }
+                None => None,
+            };
+            (Backbone::Mlp { network }, qnet)
         }
         t => return Err(bad(format!("unknown backbone tag {t}"))),
     })
 }
 
-fn decode_rectifier(r: &mut Reader<'_>, backbone: &Backbone) -> Result<Rectifier, VaultError> {
+fn decode_rectifier(
+    r: &mut Reader<'_>,
+    backbone: &Backbone,
+    int8: bool,
+) -> Result<(Rectifier, Option<Vec<QuantizedConvLayer>>), VaultError> {
     let kind = match r.get_u8()? {
         0 => RectifierKind::Parallel,
         1 => RectifierKind::Cascaded,
@@ -721,6 +883,7 @@ fn decode_rectifier(r: &mut Reader<'_>, backbone: &Backbone) -> Result<Rectifier
             "encoded tap-set disagrees with the reconstructed wiring",
         ));
     }
+    let mut qlayers = int8.then(Vec::new);
     for layer in rectifier.layers_mut() {
         let count = r.get_usize()?;
         let mut params = layer.params_mut();
@@ -730,12 +893,56 @@ fn decode_rectifier(r: &mut Reader<'_>, backbone: &Backbone) -> Result<Rectifier
                 params.len()
             )));
         }
-        for p in params.iter_mut() {
-            let value = r.get_matrix()?;
-            restore_value(p, value, "rectifier parameter")?;
+        match &mut qlayers {
+            None => {
+                for p in params.iter_mut() {
+                    let value = r.get_matrix()?;
+                    restore_value(p, value, "rectifier parameter")?;
+                }
+            }
+            Some(qs) => {
+                // Param 0 is the quantized projection weight; the f32
+                // layer gets its dequantized form, the quantized layer
+                // the verbatim codes. The remaining f32 params (bias,
+                // attention vectors) are shared by both.
+                let mut qweight = None;
+                let mut rest = Vec::with_capacity(count.saturating_sub(1));
+                for (i, p) in params.iter_mut().enumerate() {
+                    if i == 0 {
+                        let qw = r.get_qmatrix()?;
+                        restore_value(p, qw.dequantize(), "rectifier weight")?;
+                        qweight = Some(qw);
+                    } else {
+                        let value = r.get_matrix()?;
+                        restore_value(p, value.clone(), "rectifier parameter")?;
+                        rest.push(value);
+                    }
+                }
+                let qw = qweight.ok_or_else(|| bad("rectifier layer has no parameters"))?;
+                // `count == params.len()` already pinned `rest` to the
+                // architecture's parameter list for this conv kind.
+                let q = match conv {
+                    ConvKind::Gcn => {
+                        QuantizedConvLayer::Gcn(QuantizedGcnLayer::from_parts(qw, rest.remove(0))?)
+                    }
+                    ConvKind::Sage => QuantizedConvLayer::Sage(QuantizedSageLayer::from_parts(
+                        qw,
+                        rest.remove(0),
+                    )?),
+                    ConvKind::Gat => {
+                        let bias = rest.pop().ok_or_else(|| bad("gat layer missing bias"))?;
+                        let attn_dst = rest.pop().ok_or_else(|| bad("gat layer missing attn"))?;
+                        let attn_src = rest.pop().ok_or_else(|| bad("gat layer missing attn"))?;
+                        QuantizedConvLayer::Gat(QuantizedGatLayer::from_parts(
+                            qw, attn_src, attn_dst, bias,
+                        )?)
+                    }
+                };
+                qs.push(q);
+            }
         }
     }
-    Ok(rectifier)
+    Ok((rectifier, qlayers))
 }
 
 fn decode_substitute_kind(r: &mut Reader<'_>) -> Result<SubstituteKind, VaultError> {
@@ -752,11 +959,23 @@ fn decode_substitute_kind(r: &mut Reader<'_>) -> Result<SubstituteKind, VaultErr
 }
 
 /// Decodes one network's `input_dim`, per-layer output widths, and
-/// per-layer `(weight, bias)` value matrices.
+/// per-layer `(weight, bias)` value matrices. For an int8 payload the
+/// weight slot holds a quantized matrix: the returned f32 weight is its
+/// dequantized form and the verbatim codes come back in the fourth
+/// element.
 #[allow(clippy::type_complexity)]
 fn decode_network_params(
     r: &mut Reader<'_>,
-) -> Result<(usize, Vec<usize>, Vec<(DenseMatrix, DenseMatrix)>), VaultError> {
+    int8: bool,
+) -> Result<
+    (
+        usize,
+        Vec<usize>,
+        Vec<(DenseMatrix, DenseMatrix)>,
+        Option<Vec<QuantizedMatrix>>,
+    ),
+    VaultError,
+> {
     let input_dim = r.get_usize()?;
     let num_layers = r.get_usize()?;
     if num_layers > r.buf.len() / 8 + 1 {
@@ -764,6 +983,7 @@ fn decode_network_params(
     }
     let mut channels = Vec::with_capacity(num_layers);
     let mut weights = Vec::with_capacity(num_layers);
+    let mut qweights = int8.then(Vec::new);
     let mut prev = input_dim;
     for _ in 0..num_layers {
         let in_dim = r.get_usize()?;
@@ -774,10 +994,19 @@ fn decode_network_params(
             )));
         }
         channels.push(out_dim);
-        weights.push((r.get_matrix()?, r.get_matrix()?));
+        let weight = match &mut qweights {
+            Some(qs) => {
+                let qw = r.get_qmatrix()?;
+                let weight = qw.dequantize();
+                qs.push(qw);
+                weight
+            }
+            None => r.get_matrix()?,
+        };
+        weights.push((weight, r.get_matrix()?));
         prev = out_dim;
     }
-    Ok((input_dim, channels, weights))
+    Ok((input_dim, channels, weights, qweights))
 }
 
 /// Overwrites a freshly initialized parameter's value with a decoded
@@ -1059,6 +1288,7 @@ mod tests {
             vault.backbone(),
             // Round-trip decode to regain rectifier/graph access.
             &decode(&payload_of(&vault)).unwrap().rectifier,
+            None,
             &decode(&payload_of(&vault)).unwrap().real_graph,
         );
         assert!(decode(&payload).is_ok());
@@ -1235,6 +1465,83 @@ mod tests {
             Vault::restore(&full_as_partition, key),
             Err(VaultError::Snapshot { .. })
         ));
+    }
+
+    #[test]
+    fn int8_partition_snapshots_answer_owned_nodes_bit_identically() {
+        use graph::partition::PartitionSpec;
+        for conv in [ConvKind::Gcn, ConvKind::Sage, ConvKind::Gat] {
+            let graph = random_graph(8, 500, 17);
+            let key = SealKey(23);
+            let (mut vault, x) = trained_vault(
+                8,
+                RectifierKind::Series,
+                conv,
+                SubstituteKind::Knn { k: 2 },
+                &graph,
+                5,
+                key,
+            );
+            let spec = PartitionSpec::block(8, 2).unwrap();
+            let f32_snaps = vault.partition_snapshots(&spec).unwrap();
+            vault.set_precision(crate::Precision::Int8).unwrap();
+            let (labels, _) = vault.infer(&x).unwrap();
+            for (snap, f32_snap) in vault
+                .partition_snapshots(&spec)
+                .unwrap()
+                .iter()
+                .zip(&f32_snaps)
+            {
+                assert!(
+                    snap.sealed_nbytes() < f32_snap.sealed_nbytes(),
+                    "{conv:?}: an int8 partition seals less than its f32 form"
+                );
+                let mut partial = Vault::restore(snap, key).unwrap();
+                assert_eq!(partial.precision(), crate::Precision::Int8);
+                let owned = partial.owned_nodes().unwrap().to_vec();
+                if owned.is_empty() {
+                    continue;
+                }
+                let mut session = partial.open_session();
+                let (plabels, _) = partial.infer_batch(&mut session, &x, &owned).unwrap();
+                for (label, &o) in plabels.iter().zip(&owned) {
+                    assert_eq!(*label, labels[o], "{conv:?}: partition disagrees on {o}");
+                }
+                let (single, _) = partial.infer_node(&x, owned[0]).unwrap();
+                assert_eq!(single, labels[owned[0]], "{conv:?}");
+                // The partition re-seals its own image byte-identically.
+                assert_eq!(&partial.snapshot(), snap, "{conv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_payload_rejects_truncation_at_every_prefix() {
+        let graph = random_graph(5, 500, 9);
+        let key = SealKey(41);
+        let (mut vault, _) = trained_vault(
+            5,
+            RectifierKind::Series,
+            ConvKind::Gat,
+            SubstituteKind::Knn { k: 1 },
+            &graph,
+            4,
+            key,
+        );
+        vault.set_precision(crate::Precision::Int8).unwrap();
+        let payload = vault
+            .snapshot()
+            .sealed()
+            .unseal(key.derive("vault-snapshot"))
+            .unwrap()
+            .to_vec();
+        assert!(decode(&payload).is_ok());
+        for len in (0..payload.len()).step_by(31) {
+            assert!(
+                decode(&payload[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
     }
 
     #[test]

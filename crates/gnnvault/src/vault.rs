@@ -1,7 +1,9 @@
+use crate::backbone::QuantizedBackboneNet;
 use crate::{snapshot, Backbone, Rectifier, VaultError, VaultSnapshot};
 use graph::partition::PartitionSpec;
 use graph::{normalization, Graph};
 use linalg::DenseMatrix;
+use nn::QuantizedConvLayer;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +43,59 @@ impl InferenceReport {
     }
 }
 
+/// Numeric precision of a vault's serving path
+/// ([`Vault::set_precision`]).
+///
+/// `Int8` swaps every projection GEMM (backbone and rectifier) for a
+/// per-output-channel int8 weight kernel with i32 accumulation and an
+/// f32 dequantizing epilogue; aggregation, attention, softmax, bias,
+/// and ReLU stay f32 and run the identical code. Training always
+/// happens at `F32` — int8 is a serving-time transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full-precision f32 weights (the precision models train at).
+    #[default]
+    F32,
+    /// Per-channel int8 projection weights, f32 everything else.
+    Int8,
+}
+
+impl Precision {
+    /// Both precisions, for test and bench matrices.
+    pub const ALL: [Precision; 2] = [Precision::F32, Precision::Int8];
+
+    /// Stable lowercase name (`"f32"` / `"int8"`) for reports and
+    /// bench ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+/// The int8 mirror of a deployment's weights: built once by
+/// [`Vault::set_precision`] (or decoded from an int8 snapshot) and
+/// stored, so repeated inference and re-snapshotting reuse one
+/// deterministic quantization instead of re-deriving scales — which
+/// keeps replicas of an int8 snapshot bit-identical to their source.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QuantizedModel {
+    /// Quantized backbone network (runs against the f32 backbone's
+    /// substitute adjacency).
+    pub(crate) backbone: QuantizedBackboneNet,
+    /// Quantized rectifier stack, aligned 1:1 with the f32 layers.
+    pub(crate) rectifier: Vec<QuantizedConvLayer>,
+}
+
+impl QuantizedModel {
+    /// Heap bytes of the quantized rectifier parameters — the resident
+    /// enclave footprint that replaces the f32 parameter allocation.
+    pub(crate) fn rectifier_nbytes(&self) -> usize {
+        self.rectifier.iter().map(QuantizedConvLayer::nbytes).sum()
+    }
+}
+
 /// A deployed GNNVault instance (§IV-E): the public backbone plus
 /// substitute graph in the untrusted world, and the rectifier plus the
 /// real graph (COO + precomputed degrees) sealed inside a simulated SGX
@@ -77,6 +132,11 @@ pub struct Vault {
     partition: Option<VaultPartition>,
     // --- enclave-private state (never exposed by any accessor) ---
     rectifier: Rectifier,
+    /// `Some` when serving int8: the quantized weight mirror.
+    quantized: Option<QuantizedModel>,
+    /// Ledger entry for the resident rectifier parameters, retained so
+    /// [`Vault::set_precision`] can re-account it at the new size.
+    rectifier_params_alloc: AllocationId,
     real_graph: Graph,
     real_adj: linalg::CsrMatrix,
     enclave: EnclaveSim,
@@ -136,7 +196,7 @@ impl Vault {
     ) -> Result<Vault, VaultError> {
         let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
         Self::deploy_with_epoch(
-            backbone, rectifier, real_graph, epc_budget, cost, policy, seal_key, epoch, None,
+            backbone, rectifier, real_graph, epc_budget, cost, policy, seal_key, epoch, None, None,
         )
     }
 
@@ -158,11 +218,17 @@ impl Vault {
         seal_key: SealKey,
         epoch: u64,
         partition: Option<VaultPartition>,
+        quantized: Option<QuantizedModel>,
     ) -> Result<Vault, VaultError> {
         let mut enclave = EnclaveSim::new(epc_budget, cost, policy);
 
-        // Resident enclave set, mirroring §IV-E's storage plan.
-        enclave.alloc("rectifier parameters", rectifier.nbytes())?;
+        // Resident enclave set, mirroring §IV-E's storage plan. An int8
+        // deployment keeps the quantized parameters resident instead of
+        // the f32 form.
+        let rectifier_params_alloc = match &quantized {
+            Some(q) => enclave.alloc("rectifier parameters (int8)", q.rectifier_nbytes())?,
+            None => enclave.alloc("rectifier parameters", rectifier.nbytes())?,
+        };
         enclave.alloc("real graph (COO)", real_graph.coo_nbytes())?;
         enclave.alloc(
             "degree vector",
@@ -203,6 +269,8 @@ impl Vault {
             policy,
             partition,
             rectifier,
+            quantized,
+            rectifier_params_alloc,
             real_graph: real_graph.clone(),
             real_adj,
             enclave,
@@ -246,6 +314,7 @@ impl Vault {
                     self.policy,
                     &self.backbone,
                     &self.rectifier,
+                    self.quantized.as_ref(),
                     &self.real_graph,
                 );
                 let sealed = Sealed::seal(self.seal_key.derive("vault-snapshot"), &payload);
@@ -261,6 +330,7 @@ impl Vault {
                     self.policy,
                     &self.backbone,
                     &self.rectifier,
+                    self.quantized.as_ref(),
                     &snapshot::PartitionParts {
                         part: p.part,
                         parts: p.parts,
@@ -369,6 +439,7 @@ impl Vault {
             self.policy,
             &self.backbone,
             &self.rectifier,
+            self.quantized.as_ref(),
             &snapshot::PartitionParts {
                 part: gp.part(),
                 parts: gp.num_parts(),
@@ -446,6 +517,7 @@ impl Vault {
             seal_key,
             decoded.epoch,
             partition,
+            decoded.quantized,
         )
     }
 
@@ -547,6 +619,74 @@ impl Vault {
         EnclaveSession::new(id)
     }
 
+    /// Switches the serving precision. Idempotent.
+    ///
+    /// Moving to [`Precision::Int8`] quantizes every projection weight
+    /// (per-output-channel symmetric int8, see
+    /// [`linalg::QuantizedMatrix`]) and re-accounts the resident
+    /// rectifier parameters in the enclave ledger at the quantized
+    /// size; moving back to [`Precision::F32`] drops the mirror and
+    /// restores the f32 accounting. The f32 weights are always
+    /// retained, so the switch is lossless in both directions:
+    /// quantization is a deterministic function of the f32 weights, and
+    /// `quantize(dequantize(q)) == q` makes re-quantization a fixed
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaultError::Tee`] when the re-accounting is rejected
+    /// under [`OverBudgetPolicy::Fail`] — the new allocation is charged
+    /// before the old one is released, so a rejected switch leaves the
+    /// ledger (and the vault) exactly as it found them.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), VaultError> {
+        match precision {
+            Precision::Int8 => {
+                if self.quantized.is_some() {
+                    return Ok(());
+                }
+                let model = QuantizedModel {
+                    backbone: self.backbone.quantize_network(),
+                    rectifier: self.rectifier.quantize_layers(),
+                };
+                let id = self
+                    .enclave
+                    .alloc("rectifier parameters (int8)", model.rectifier_nbytes())?;
+                self.enclave.free(self.rectifier_params_alloc)?;
+                self.rectifier_params_alloc = id;
+                self.quantized = Some(model);
+            }
+            Precision::F32 => {
+                if self.quantized.is_none() {
+                    return Ok(());
+                }
+                let id = self
+                    .enclave
+                    .alloc("rectifier parameters", self.rectifier.nbytes())?;
+                self.enclave.free(self.rectifier_params_alloc)?;
+                self.rectifier_params_alloc = id;
+                self.quantized = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// The precision this vault currently serves at.
+    pub fn precision(&self) -> Precision {
+        if self.quantized.is_some() {
+            Precision::Int8
+        } else {
+            Precision::F32
+        }
+    }
+
+    /// Backbone forward at the serving precision.
+    fn backbone_embeddings(&self, features: &DenseMatrix) -> Result<Vec<DenseMatrix>, VaultError> {
+        match &self.quantized {
+            Some(q) => self.backbone.embeddings_quantized(&q.backbone, features),
+            None => self.backbone.embeddings(features),
+        }
+    }
+
     /// Total enclave transitions (ECALLs) charged over the vault's
     /// lifetime — the counter behind each report's per-call
     /// [`InferenceReport::transitions`] delta. Serving tests use it to
@@ -621,7 +761,7 @@ impl Vault {
         let transitions_before = self.enclave.transitions();
 
         // 1. Public backbone in the untrusted world.
-        let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
+        let embeddings = meter.time(Phase::Backbone, || self.backbone_embeddings(features))?;
 
         // 2. One-way transfer of exactly the tapped embeddings.
         let taps = self.rectifier.tap_indices();
@@ -644,8 +784,11 @@ impl Vault {
         let forward_result = {
             let rectifier = &self.rectifier;
             let real_adj = &self.real_adj;
-            self.enclave
-                .run(|| rectifier.forward(real_adj, &enclave_embeddings))
+            let quantized = self.quantized.as_ref();
+            self.enclave.run(|| match quantized {
+                Some(q) => rectifier.forward_quantized(&q.rectifier, real_adj, &enclave_embeddings),
+                None => rectifier.forward(real_adj, &enclave_embeddings),
+            })
         };
         for id in transient {
             self.enclave.free(id)?;
@@ -769,7 +912,7 @@ impl Vault {
         let transitions_before = self.enclave.transitions();
 
         // 1. One backbone forward for the whole batch.
-        let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
+        let embeddings = meter.time(Phase::Backbone, || self.backbone_embeddings(features))?;
 
         // 2. One tap-set transfer per batch, through the session's
         //    long-lived channel.
@@ -810,8 +953,11 @@ impl Vault {
         let forward_result = {
             let rectifier = &self.rectifier;
             let real_adj = &self.real_adj;
-            self.enclave
-                .run(|| rectifier.forward(real_adj, &enclave_embeddings))
+            let quantized = self.quantized.as_ref();
+            self.enclave.run(|| match quantized {
+                Some(q) => rectifier.forward_quantized(&q.rectifier, real_adj, &enclave_embeddings),
+                None => rectifier.forward(real_adj, &enclave_embeddings),
+            })
         };
         for id in transient {
             self.enclave.free(id)?;
@@ -941,7 +1087,7 @@ impl Vault {
         meter.reset();
         let transitions_before = self.enclave.transitions();
 
-        let embeddings = meter.time(Phase::Backbone, || self.backbone.embeddings(features))?;
+        let embeddings = meter.time(Phase::Backbone, || self.backbone_embeddings(features))?;
         let taps = self.rectifier.tap_indices();
         let mut channel = UntrustedToEnclave::new();
         for &t in &taps {
@@ -956,6 +1102,7 @@ impl Vault {
             let rectifier = &self.rectifier;
             let real_graph = &self.real_graph;
             let partition = self.partition.as_ref();
+            let quantized = self.quantized.as_ref();
             let enclave = &self.enclave;
             let out = enclave.run(|| -> Result<ClassLabel, VaultError> {
                 // On a partition replica the ego expansion runs on the
@@ -991,7 +1138,12 @@ impl Vault {
                     let full = codec::decode_dense(payload)?;
                     ego_embeddings[t] = full.select_rows(&global_rows)?;
                 }
-                let forward = rectifier.forward(&ego_adj, &ego_embeddings)?;
+                let forward = match quantized {
+                    Some(q) => {
+                        rectifier.forward_quantized(&q.rectifier, &ego_adj, &ego_embeddings)?
+                    }
+                    None => rectifier.forward(&ego_adj, &ego_embeddings)?,
+                };
                 let preds = linalg::ops::argmax_rows(forward.logits());
                 Ok(ClassLabel(preds[ego.center]))
             })?;
@@ -1386,5 +1538,82 @@ mod tests {
             result,
             Err(VaultError::Tee(tee::TeeError::EpcExhausted { .. }))
         ));
+    }
+
+    #[test]
+    fn set_precision_switches_paths_and_accounting_reversibly() {
+        for kind in RectifierKind::ALL {
+            let (mut vault, x, _) = toy_vault(kind);
+            assert_eq!(vault.precision(), Precision::F32);
+            let (f32_labels, _) = vault.infer(&x).unwrap();
+            let f32_resident = vault.enclave_in_use_bytes();
+
+            vault.set_precision(Precision::Int8).unwrap();
+            assert_eq!(vault.precision(), Precision::Int8);
+            assert!(
+                vault.enclave_in_use_bytes() < f32_resident,
+                "{kind:?}: int8 parameters must shrink the resident set"
+            );
+            // Idempotent: a second switch is a no-op.
+            vault.set_precision(Precision::Int8).unwrap();
+            let resident_int8 = vault.enclave_in_use_bytes();
+            vault.set_precision(Precision::Int8).unwrap();
+            assert_eq!(vault.enclave_in_use_bytes(), resident_int8);
+
+            let (int8_labels, _) = vault.infer(&x).unwrap();
+            assert_eq!(
+                int8_labels, f32_labels,
+                "{kind:?}: int8 labels disagree with f32"
+            );
+
+            // Every query path dispatches the quantized model.
+            let (node0, _) = vault.infer_node(&x, 0).unwrap();
+            assert_eq!(node0, int8_labels[0], "{kind:?}");
+            let mut session = vault.open_session();
+            let nodes: Vec<usize> = (0..x.rows()).collect();
+            let (batched, _) = vault.infer_batch(&mut session, &x, &nodes).unwrap();
+            assert_eq!(batched, int8_labels, "{kind:?}");
+
+            // Switching back restores the exact f32 path and ledger.
+            vault.set_precision(Precision::F32).unwrap();
+            assert_eq!(vault.precision(), Precision::F32);
+            assert_eq!(vault.enclave_in_use_bytes(), f32_resident, "{kind:?}");
+            let (back, _) = vault.infer(&x).unwrap();
+            assert_eq!(back, f32_labels, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn int8_snapshot_restores_bit_identical_and_seals_smaller() {
+        for kind in RectifierKind::ALL {
+            let (mut vault, x, _) = toy_vault(kind);
+            let f32_snapshot = vault.snapshot();
+            vault.set_precision(Precision::Int8).unwrap();
+            let snapshot = vault.snapshot();
+            assert!(
+                snapshot.sealed_nbytes() < f32_snapshot.sealed_nbytes(),
+                "{kind:?}: int8 snapshot seals {} bytes, f32 {}",
+                snapshot.sealed_nbytes(),
+                f32_snapshot.sealed_nbytes()
+            );
+            let (labels, _) = vault.infer(&x).unwrap();
+
+            let mut replica = Vault::restore(&snapshot, SealKey(7)).unwrap();
+            assert_eq!(replica.precision(), Precision::Int8);
+            assert_eq!(replica.epoch(), vault.epoch());
+            let (replica_labels, _) = replica.infer(&x).unwrap();
+            assert_eq!(
+                replica_labels, labels,
+                "{kind:?}: int8 replica must answer bit-identically"
+            );
+            // Re-snapshot reads the stored codes, so the replica seals
+            // the identical bytes — replicas of replicas stay coherent.
+            assert_eq!(replica.snapshot(), snapshot, "{kind:?}");
+            // The recovery path preserves the precision too.
+            let mut revived = replica.recovery_handle().restore().unwrap();
+            assert_eq!(revived.precision(), Precision::Int8);
+            let (revived_labels, _) = revived.infer(&x).unwrap();
+            assert_eq!(revived_labels, labels, "{kind:?}");
+        }
     }
 }

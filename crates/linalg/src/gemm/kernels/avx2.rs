@@ -1,0 +1,90 @@
+//! AVX2 + FMA micro-kernels.
+//!
+//! The f32 tile uses the classic Haswell register allocation: 12 `ymm`
+//! accumulators (6 tile rows × two 8-lane halves of the 16-wide tile),
+//! two `ymm` B-row vectors, and one A broadcast — 15 of the 16
+//! architectural `ymm` registers. Lane `j` of the accumulators always
+//! holds output column `j`, and every k-step performs one
+//! `vfmadd231ps` per half-row, so the per-element operation sequence is
+//! identical to the scalar kernel's `mul_add` chain — bit-identical
+//! results (FMA is correctly rounded in both).
+
+use super::{MR, NR};
+use std::arch::x86_64::*;
+
+/// Safe wrapper over the `#[target_feature]` implementation.
+///
+/// Soundness: callers reach this fn pointer only through the dispatch
+/// layer, which hands out the AVX2 table exclusively when `avx2` and
+/// `fma` were runtime-detected (or explicitly forced, which asserts
+/// availability first).
+pub(super) fn accumulate_f32(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    debug_assert!(std::arch::is_x86_feature_detected!("fma"));
+    unsafe { accumulate_f32_impl(apan, bpan, acc) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn accumulate_f32_impl(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let kc = bpan.len() / NR;
+    debug_assert_eq!(apan.len(), kc * MR);
+    let mut lo = [_mm256_setzero_ps(); MR];
+    let mut hi = [_mm256_setzero_ps(); MR];
+    for i in 0..MR {
+        lo[i] = _mm256_loadu_ps(acc[i].as_ptr());
+        hi[i] = _mm256_loadu_ps(acc[i].as_ptr().add(8));
+    }
+    let ap = apan.as_ptr();
+    let bp = bpan.as_ptr();
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+        for i in 0..MR {
+            let ai = _mm256_set1_ps(*ap.add(p * MR + i));
+            lo[i] = _mm256_fmadd_ps(ai, b0, lo[i]);
+            hi[i] = _mm256_fmadd_ps(ai, b1, hi[i]);
+        }
+    }
+    for i in 0..MR {
+        _mm256_storeu_ps(acc[i].as_mut_ptr(), lo[i]);
+        _mm256_storeu_ps(acc[i].as_mut_ptr().add(8), hi[i]);
+    }
+}
+
+/// Safe wrapper; same soundness argument as [`accumulate_f32`].
+pub(super) fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { dot_i8_impl(a, b) }
+}
+
+/// 16 i8 lanes per step: sign-extend to i16, `vpmaddwd` (i16×i16 pair
+/// products summed into i32 — exact: |product pair sum| ≤ 2·127² well
+/// inside i16-product/i32 range), accumulate in 8 i32 lanes, reduce at
+/// the end. Integer adds are associative, so the result equals the
+/// scalar kernel's bit for bit.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_impl(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut p = 0;
+    while p + 16 <= n {
+        let av = _mm_loadu_si128(a.as_ptr().add(p).cast());
+        let bv = _mm_loadu_si128(b.as_ptr().add(p).cast());
+        let prod = _mm256_madd_epi16(_mm256_cvtepi8_epi16(av), _mm256_cvtepi8_epi16(bv));
+        acc = _mm256_add_epi32(acc, prod);
+        p += 16;
+    }
+    let quad = _mm_add_epi32(
+        _mm256_extracti128_si256(acc, 1),
+        _mm256_castsi256_si128(acc),
+    );
+    let pair = _mm_add_epi32(quad, _mm_shuffle_epi32(quad, 0b01_00_11_10));
+    let one = _mm_add_epi32(pair, _mm_shuffle_epi32(pair, 0b00_00_00_01));
+    let mut total = _mm_cvtsi128_si32(one);
+    while p < n {
+        total += i32::from(a[p]) * i32::from(b[p]);
+        p += 1;
+    }
+    total
+}

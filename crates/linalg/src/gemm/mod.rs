@@ -27,11 +27,25 @@
 //! worker — at pool width 1 it always takes the single-thread packed
 //! path, never paying dispatch overhead for no parallelism.
 //!
+//! The micro-kernel itself is **runtime-dispatched** (see [`kernels`]):
+//! explicit AVX2+FMA, AVX-512, and portable-scalar implementations,
+//! selected once per process from detected CPU features (or pinned via
+//! `LINALG_FORCE_KERNEL=scalar|avx2|avx512`). Every variant performs
+//! the same correctly-rounded fused multiply-adds in the same
+//! per-element k-order, so results are bit-identical across variants —
+//! the dispatch changes speed, never bits. This is what lets release
+//! binaries ship without `-C target-cpu=native` and still run the FMA
+//! path on hardware that has it.
+//!
 //! Packing buffers are drawn from a [`Workspace`] by the `_ws` variants
 //! so training loops recycle them across calls; the plain variants
 //! allocate and free per call.
 
 use crate::{pool, DenseMatrix, LinalgError, Workspace};
+
+pub mod kernels;
+
+use kernels::Kernels;
 
 /// Rows per A panel / micro-tile (register-tile height). `6×16` is the
 /// classic Haswell-era BLIS shape: 12 accumulator vectors at 8-wide
@@ -461,6 +475,60 @@ pub fn gemm_into_ws(
     strategy: GemmStrategy,
     ws: &mut Workspace,
 ) -> Result<(), LinalgError> {
+    gemm_with_kernels(kernels::active(), op, a, b, out, epilogue, strategy, ws)
+}
+
+/// [`gemm_into_ws`] with an explicitly pinned micro-kernel variant,
+/// bypassing the process-wide cached dispatch.
+///
+/// This exists for in-process A/B verification: the cached dispatch
+/// (and its `LINALG_FORCE_KERNEL` override) is decided once per
+/// process, so a test that wants to compare several variants side by
+/// side pins each one here instead. Results are bit-identical across
+/// variants for every op, epilogue, and strategy.
+///
+/// # Panics
+///
+/// Panics when `variant` is not available on this CPU — an explicit
+/// request must never silently degrade.
+///
+/// # Errors
+///
+/// Same conditions as [`gemm_into_ws`].
+#[allow(clippy::too_many_arguments)] // deliberate superset of gemm_into_ws
+pub fn gemm_into_ws_with_variant(
+    variant: kernels::KernelVariant,
+    op: GemmOp,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+    strategy: GemmStrategy,
+    ws: &mut Workspace,
+) -> Result<(), LinalgError> {
+    gemm_with_kernels(
+        kernels::kernels_for(variant),
+        op,
+        a,
+        b,
+        out,
+        epilogue,
+        strategy,
+        ws,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
+fn gemm_with_kernels(
+    kern: &'static Kernels,
+    op: GemmOp,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+    strategy: GemmStrategy,
+    ws: &mut Workspace,
+) -> Result<(), LinalgError> {
     let (m, k, n) = check_shapes(op, a, b)?;
     if out.shape() != (m, n) {
         return Err(LinalgError::ShapeMismatch {
@@ -490,8 +558,8 @@ pub fn gemm_into_ws(
     }
     match resolve(strategy, m, k, n) {
         Kernel::Naive => naive(op, a, b, out, epilogue),
-        Kernel::Packed => packed(op, a, b, out, epilogue, false, ws),
-        Kernel::Threaded => packed(op, a, b, out, epilogue, true, ws),
+        Kernel::Packed => packed(kern, op, a, b, out, epilogue, false, ws),
+        Kernel::Threaded => packed(kern, op, a, b, out, epilogue, true, ws),
     }
     Ok(())
 }
@@ -607,7 +675,9 @@ fn naive(op: GemmOp, a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, ep
 /// The packed-panel engine. Packs both operands (absorbing `op`'s
 /// transposes), then runs the blocked micro-kernel sweep — on the
 /// caller's thread, or with A's row panels partitioned over the pool.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
 fn packed(
+    kern: &'static Kernels,
     op: GemmOp,
     a: &DenseMatrix,
     b: &DenseMatrix,
@@ -633,7 +703,7 @@ fn packed(
         1
     };
     if workers <= 1 {
-        gemm_panels(apd, bpd, out_data, 0, a_panels, m, k, n, epi);
+        gemm_panels(kern, apd, bpd, out_data, 0, a_panels, m, k, n, epi);
     } else {
         // Partition A's row panels; each worker owns a disjoint slice
         // of output rows, so no synchronization and no accumulation
@@ -642,6 +712,7 @@ fn packed(
         let elem_bounds: Vec<usize> = panel_bounds.iter().map(|&p| (p * MR).min(m) * n).collect();
         pool::global().run_on_partitions(out_data, &elem_bounds, |index, chunk| {
             gemm_panels(
+                kern,
                 apd,
                 bpd,
                 chunk,
@@ -656,25 +727,6 @@ fn packed(
     }
     ws.give(bp);
     ws.give(ap);
-}
-
-/// Fused multiply-add `a·b + c` when the build target has hardware FMA
-/// (one instruction, one rounding); plain multiply-then-add otherwise.
-///
-/// Rust never contracts `c + a * b` into an FMA on its own (contraction
-/// changes rounding), so the micro-kernel opts in explicitly where the
-/// hardware makes it free — `f32::mul_add` without hardware FMA would
-/// fall back to a libm call and be ruinously slow, hence the gate.
-#[inline(always)]
-fn fmadd(a: f32, b: f32, c: f32) -> f32 {
-    #[cfg(target_feature = "fma")]
-    {
-        a.mul_add(b, c)
-    }
-    #[cfg(not(target_feature = "fma"))]
-    {
-        c + a * b
-    }
 }
 
 /// Packs logical `m×k` A (reading `src` transposed when `trans`) into
@@ -748,6 +800,7 @@ fn pack_b(src: &DenseMatrix, trans: bool, k: usize, n: usize, bp: &mut [f32]) {
 /// the inner loops sweep every B panel.
 #[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
 fn gemm_panels(
+    kern: &'static Kernels,
     ap: &[f32],
     bp: &[f32],
     out: &mut [f32],
@@ -776,7 +829,9 @@ fn gemm_panels(
                     let apan = &ap[pi * MR * k + pc * MR..pi * MR * k + (pc + kc) * MR];
                     let row0 = (pi - p_lo) * MR;
                     let rows = MR.min(m - pi * MR);
-                    micro_tile(apan, bpan, out, n, row0, j0, rows, cols, first, last, epi);
+                    micro_tile(
+                        kern, apan, bpan, out, n, row0, j0, rows, cols, first, last, epi,
+                    );
                 }
             }
             ic = ic_end;
@@ -786,12 +841,14 @@ fn gemm_panels(
 }
 
 /// The register-tiled micro-kernel: accumulates an `MR×NR` tile over
-/// `kc` packed k-steps entirely in registers, then stores it —
-/// overwriting on the first k block, accumulating on later ones, and
-/// applying the epilogue on the last, while the tile is still hot.
+/// `kc` packed k-steps through the dispatched variant (which keeps the
+/// tile in vector registers), then stores it — overwriting on the first
+/// k block, accumulating on later ones, and applying the epilogue on
+/// the last, while the tile is still hot.
 #[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
 #[inline(always)]
 fn micro_tile(
+    kern: &'static Kernels,
     apan: &[f32],
     bpan: &[f32],
     out: &mut [f32],
@@ -805,19 +862,7 @@ fn micro_tile(
     epi: Epilogue<'_>,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
-    for (a, b) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
-        // Fixed-size array views: no bounds checks, and LLVM sees the
-        // static MR×NR shape, keeping the whole accumulator tile in
-        // vector registers across the k loop.
-        let a: &[f32; MR] = a.try_into().expect("chunk is exactly MR");
-        let b: &[f32; NR] = b.try_into().expect("chunk is exactly NR");
-        for i in 0..MR {
-            let ai = a[i];
-            for j in 0..NR {
-                acc[i][j] = fmadd(ai, b[j], acc[i][j]);
-            }
-        }
-    }
+    (kern.accumulate_f32)(apan, bpan, &mut acc);
     for (i, accrow) in acc.iter().enumerate().take(rows) {
         let base = (row0 + i) * n + j0;
         let orow = &mut out[base..base + cols];
@@ -1158,6 +1203,53 @@ mod tests {
             let a = small(m, n, seed);
             let i = DenseMatrix::identity(n);
             prop_assert!(matmul(&a, &i).unwrap().approx_eq(&a, 1e-4));
+        }
+
+        /// Every available dispatch variant is bit-identical to the
+        /// scalar kernel for every op (`AB`/`AtB`/`ABt`), with and
+        /// without a fused epilogue, across 0..24-dim shapes — the
+        /// dispatch layer's core contract: variant selection changes
+        /// speed, never bits.
+        #[test]
+        fn dispatch_variants_bit_identical_to_scalar(
+            m in 0usize..24, k in 0usize..24, n in 0usize..24, seed in 0u64..1000
+        ) {
+            let mut ws = Workspace::new();
+            let bias = bias_vec(n, seed.wrapping_add(9));
+            // (op, a, b) triples covering every packing orientation.
+            let cases = [
+                (GemmOp::AB, small(m, k, seed), small(k, n, seed.wrapping_add(1))),
+                (GemmOp::AtB, small(k, m, seed.wrapping_add(2)), small(k, n, seed.wrapping_add(3))),
+                (GemmOp::ABt, small(m, k, seed.wrapping_add(4)), small(n, k, seed.wrapping_add(5))),
+            ];
+            for (op, a, b) in cases {
+                for epi_bias in [false, true] {
+                    let epi = if epi_bias {
+                        Epilogue::BiasRelu(&bias)
+                    } else {
+                        Epilogue::None
+                    };
+                    let mut reference = DenseMatrix::filled(m, n, f32::NAN);
+                    gemm_into_ws_with_variant(
+                        kernels::KernelVariant::Scalar,
+                        op, &a, &b, &mut reference, epi,
+                        GemmStrategy::Packed, &mut ws,
+                    ).unwrap();
+                    for variant in kernels::available_kernel_variants() {
+                        for strategy in [GemmStrategy::Packed, GemmStrategy::Threaded] {
+                            let mut out = DenseMatrix::filled(m, n, f32::NAN);
+                            gemm_into_ws_with_variant(
+                                variant, op, &a, &b, &mut out, epi, strategy, &mut ws,
+                            ).unwrap();
+                            prop_assert_eq!(
+                                &out, &reference,
+                                "variant {} strategy {:?} op {:?} bias {}",
+                                variant.label(), strategy, op, epi_bias
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -7,8 +7,15 @@
 //!   reduction operations,
 //! - [`matmul`]: a packed-panel GEMM engine (BLIS-style register-tiled
 //!   micro-kernel over packed operand panels) with transpose-free
-//!   variants ([`matmul_at_b`], [`matmul_a_bt`]) and fused output
-//!   epilogues ([`Epilogue`]: bias, bias + ReLU),
+//!   variants ([`matmul_at_b`], [`matmul_a_bt`]), fused output
+//!   epilogues ([`Epilogue`]: bias, bias + ReLU), and runtime-dispatched
+//!   micro-kernels ([`KernelVariant`]: AVX2+FMA, AVX-512, portable
+//!   scalar — selected once per process, bit-identical across variants,
+//!   pinnable via `LINALG_FORCE_KERNEL`),
+//! - [`QuantizedMatrix`] / [`matmul_quantized_into`]: symmetric
+//!   per-channel int8 weights with dynamic activation quantization,
+//!   exact i32 accumulation, and f32 dequant-at-epilogue — the serving
+//!   crate's int8 inference path,
 //! - [`CsrMatrix`]: compressed sparse row matrices with sparse × dense
 //!   multiplication ([`CsrMatrix::spmm`]) — the message-passing kernel of
 //!   every GCN layer (`Â · H`),
@@ -35,8 +42,9 @@
 //! # }
 //! ```
 
-// Unsafe is denied crate-wide; the single exception is the scoped
-// lifetime transmute in `pool`, which carries its soundness argument.
+// Unsafe is denied crate-wide; the exceptions are the scoped lifetime
+// transmute in `pool` and the `#[target_feature]` SIMD micro-kernels in
+// `gemm::kernels` — each carries its soundness argument.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -46,15 +54,20 @@ mod gemm;
 pub mod ops;
 pub mod pairwise;
 pub mod pool;
+mod quant;
 mod sparse;
 mod workspace;
 
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
-pub use gemm::{
-    gemm_into_ws, matmul, matmul_a_bt, matmul_a_bt_into_ws, matmul_at_b, matmul_at_b_into_ws,
-    matmul_fused, matmul_fused_into_ws, matmul_into, matmul_naive, matmul_packed, matmul_threaded,
-    matmul_with, Epilogue, GemmOp, GemmStrategy,
+pub use gemm::kernels::{
+    available_kernel_variants, detected_cpu_features, kernel_variant, KernelVariant,
 };
+pub use gemm::{
+    gemm_into_ws, gemm_into_ws_with_variant, matmul, matmul_a_bt, matmul_a_bt_into_ws, matmul_at_b,
+    matmul_at_b_into_ws, matmul_fused, matmul_fused_into_ws, matmul_into, matmul_naive,
+    matmul_packed, matmul_threaded, matmul_with, Epilogue, GemmOp, GemmStrategy,
+};
+pub use quant::{matmul_quantized_into, matmul_quantized_into_with_variant, QuantizedMatrix};
 pub use sparse::{CsrMatrix, SpmmStrategy};
 pub use workspace::Workspace;

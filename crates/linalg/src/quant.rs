@@ -1,0 +1,406 @@
+//! Int8 quantized weight storage and the quantized GEMM path.
+//!
+//! The serving-side quantization scheme is symmetric per-output-channel
+//! int8:
+//!
+//! - **Weights** (`in_dim × out_dim` f32) are quantized offline into a
+//!   [`QuantizedMatrix`]: stored **transposed** (`out_dim × in_dim`,
+//!   row-major i8) so each output channel's weights are one contiguous
+//!   row sharing one scale `s_j = max|W[·][j]| / 127` — the layout the
+//!   dot-product micro-kernels stream directly.
+//! - **Activations** are quantized dynamically per row at inference
+//!   time with the same symmetric rule (`s_r = max|H[r][·]| / 127`).
+//! - The product accumulates in **i32** — exact, since
+//!   `|q_a·q_w| ≤ 127²` and realistic inner dimensions keep the sum far
+//!   from overflow — and dequantizes at the epilogue:
+//!   `C[r][j] = (Σ_k qH[r][k]·qW[j][k]) · s_r·s_j`, then the ordinary
+//!   fused [`Epilogue`] (bias, bias+ReLU) in f32.
+//!
+//! Because the i32 accumulation is exact, the quantized path is
+//! **bit-identical across every dispatch variant** by construction —
+//! integer adds commute. (The f32 path earns the same guarantee the
+//! hard way, via fixed-order correctly-rounded FMA.)
+
+use crate::gemm::kernels::{self, Kernels};
+use crate::{DenseMatrix, Epilogue, KernelVariant, LinalgError};
+
+/// An int8 weight matrix with per-output-channel scales, stored
+/// transposed (`out_dim × in_dim`) for contiguous dot products.
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{DenseMatrix, QuantizedMatrix};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let w = DenseMatrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0]])?;
+/// let q = QuantizedMatrix::quantize(&w);
+/// assert_eq!((q.in_dim(), q.out_dim()), (2, 2));
+/// // Dequantization returns the logical in×out orientation.
+/// assert!(q.dequantize().approx_eq(&w, 4.0 / 127.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    out_dim: usize,
+    in_dim: usize,
+    /// `out_dim × in_dim` row-major: row `j` holds output channel `j`.
+    data: Vec<i8>,
+    /// One symmetric scale per output channel (`len == out_dim`).
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes an `in_dim × out_dim` f32 weight matrix.
+    ///
+    /// Each output channel (column of `w`) gets the symmetric scale
+    /// `max|column| / 127`; an all-zero channel stores scale 0 and
+    /// zero codes (dequantizing back to exact zeros). Codes are
+    /// round-to-nearest (ties away from zero), clamped to `[-127, 127]`
+    /// — the symmetric range, never -128.
+    pub fn quantize(w: &DenseMatrix) -> Self {
+        let (in_dim, out_dim) = w.shape();
+        let src = w.as_slice();
+        let mut scales = vec![0.0f32; out_dim];
+        for (j, scale) in scales.iter_mut().enumerate() {
+            let mut max_abs = 0.0f32;
+            for i in 0..in_dim {
+                max_abs = max_abs.max(src[i * out_dim + j].abs());
+            }
+            *scale = if max_abs == 0.0 { 0.0 } else { max_abs / 127.0 };
+        }
+        let mut data = vec![0i8; out_dim * in_dim];
+        for j in 0..out_dim {
+            let scale = scales[j];
+            if scale == 0.0 {
+                continue;
+            }
+            let row = &mut data[j * in_dim..(j + 1) * in_dim];
+            for (i, q) in row.iter_mut().enumerate() {
+                *q = (src[i * out_dim + j] / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self {
+            out_dim,
+            in_dim,
+            data,
+            scales,
+        }
+    }
+
+    /// Rebuilds a quantized matrix from its stored parts (snapshot
+    /// decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DataLength`] when `data` is not
+    /// `out_dim × in_dim` codes or `scales` is not one per channel.
+    pub fn from_parts(
+        out_dim: usize,
+        in_dim: usize,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+    ) -> Result<Self, LinalgError> {
+        if data.len() != out_dim * in_dim {
+            return Err(LinalgError::DataLength {
+                expected: out_dim * in_dim,
+                actual: data.len(),
+            });
+        }
+        if scales.len() != out_dim {
+            return Err(LinalgError::DataLength {
+                expected: out_dim,
+                actual: scales.len(),
+            });
+        }
+        Ok(Self {
+            out_dim,
+            in_dim,
+            data,
+            scales,
+        })
+    }
+
+    /// Input (contraction) dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output-channel dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The i8 codes, `out_dim × in_dim` row-major.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-output-channel scales (`len == out_dim`).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// One output channel's contiguous codes.
+    fn channel(&self, j: usize) -> &[i8] {
+        &self.data[j * self.in_dim..(j + 1) * self.in_dim]
+    }
+
+    /// Heap bytes of the quantized representation (codes + scales) —
+    /// what the sealed-snapshot accounting compares against
+    /// `in·out · 4` bytes of f32.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Dequantizes back to the logical `in_dim × out_dim` f32 matrix
+    /// (`W'[i][j] = code[j][i] · s_j`) — the weights an f32 forward
+    /// pass over a quantized snapshot uses.
+    pub fn dequantize(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.in_dim, self.out_dim, |i, j| {
+            f32::from(self.data[j * self.in_dim + i]) * self.scales[j]
+        })
+    }
+}
+
+/// Quantized-weight GEMM with dynamic activation quantization:
+/// `out = epilogue(dequant(quant(a) · wᵀ))`, `a` being `m × in_dim` f32
+/// and `out` `m × out_dim` (overwritten).
+///
+/// Uses the process-wide dispatched micro-kernel (see
+/// [`crate::kernel_variant`]); results are bit-identical across every
+/// variant because the i32 accumulation is exact.
+///
+/// # Errors
+///
+/// [`LinalgError::ShapeMismatch`] when `a.cols() != w.in_dim()`, `out`
+/// is not `m × out_dim`, or the epilogue bias length differs from
+/// `out_dim`.
+pub fn matmul_quantized_into(
+    a: &DenseMatrix,
+    w: &QuantizedMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+) -> Result<(), LinalgError> {
+    matmul_quantized_kern(kernels::active(), a, w, out, epilogue)
+}
+
+/// [`matmul_quantized_into`] with an explicitly pinned kernel variant
+/// (in-process A/B verification; see
+/// [`crate::gemm_into_ws_with_variant`]).
+///
+/// # Panics
+///
+/// Panics when `variant` is not available on this CPU.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_quantized_into`].
+pub fn matmul_quantized_into_with_variant(
+    variant: KernelVariant,
+    a: &DenseMatrix,
+    w: &QuantizedMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+) -> Result<(), LinalgError> {
+    matmul_quantized_kern(kernels::kernels_for(variant), a, w, out, epilogue)
+}
+
+fn matmul_quantized_kern(
+    kern: &'static Kernels,
+    a: &DenseMatrix,
+    w: &QuantizedMatrix,
+    out: &mut DenseMatrix,
+    epilogue: Epilogue<'_>,
+) -> Result<(), LinalgError> {
+    let (m, k) = a.shape();
+    let n = w.out_dim();
+    if k != w.in_dim() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_quantized",
+            lhs: a.shape(),
+            rhs: (w.out_dim(), w.in_dim()),
+        });
+    }
+    if out.shape() != (m, n) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_quantized_into",
+            lhs: (m, n),
+            rhs: out.shape(),
+        });
+    }
+    if let Epilogue::Bias(bias) | Epilogue::BiasRelu(bias) = epilogue {
+        if bias.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_quantized_epilogue",
+                lhs: (m, n),
+                rhs: (1, bias.len()),
+            });
+        }
+    }
+    let mut qrow = vec![0i8; k];
+    let od = out.as_mut_slice();
+    for r in 0..m {
+        let sa = quantize_row(a.row(r), &mut qrow);
+        let orow = &mut od[r * n..(r + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let acc = (kern.dot_i8)(&qrow, w.channel(j));
+            // Fixed dequant evaluation order (scale product first) so
+            // the f32 rounding sequence is identical everywhere.
+            *o = acc as f32 * (sa * w.scales[j]);
+        }
+        epilogue.apply_to_row(orow, 0);
+    }
+    Ok(())
+}
+
+/// Symmetric per-row dynamic quantization; returns the row's scale.
+fn quantize_row(row: &[f32], q: &mut [i8]) -> f32 {
+    let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        q.fill(0);
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    for (dst, &v) in q.iter_mut().zip(row) {
+        *dst = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{available_kernel_variants, matmul_fused};
+    use proptest::prelude::*;
+
+    fn small(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        // Symmetric int8: per channel, |W - dequant(quant(W))| ≤ s/2
+        // with s = max|channel|/127.
+        let w = small(13, 7, 3);
+        let q = QuantizedMatrix::quantize(&w);
+        let back = q.dequantize();
+        for j in 0..7 {
+            let mut max_abs = 0.0f32;
+            for i in 0..13 {
+                max_abs = max_abs.max(w.get(i, j).abs());
+            }
+            let half_step = max_abs / 127.0 / 2.0 + 1e-6;
+            for i in 0..13 {
+                assert!(
+                    (w.get(i, j) - back.get(i, j)).abs() <= half_step,
+                    "channel {j} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_requantize_is_a_fixed_point() {
+        // The max element of every channel quantizes to ±127, so the
+        // recovered scale — and therefore every code — is reproduced
+        // exactly when re-quantizing the dequantized weights. This is
+        // what lets a restored vault rebuild the identical quantized
+        // model from dequantized f32 parameters.
+        let w = small(24, 9, 17);
+        let q = QuantizedMatrix::quantize(&w);
+        let q2 = QuantizedMatrix::quantize(&q.dequantize());
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn zero_channel_and_empty_shapes() {
+        let w = DenseMatrix::zeros(4, 2);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.scales(), &[0.0, 0.0]);
+        assert_eq!(q.dequantize(), w);
+        let empty = QuantizedMatrix::quantize(&DenseMatrix::zeros(0, 0));
+        assert_eq!(empty.nbytes(), 0);
+        let a = DenseMatrix::zeros(3, 0);
+        let mut out = DenseMatrix::filled(3, 0, 1.0);
+        matmul_quantized_into(&a, &empty, &mut out, Epilogue::None).unwrap();
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        assert!(QuantizedMatrix::from_parts(2, 3, vec![0; 5], vec![1.0; 2]).is_err());
+        assert!(QuantizedMatrix::from_parts(2, 3, vec![0; 6], vec![1.0; 3]).is_err());
+        assert!(QuantizedMatrix::from_parts(2, 3, vec![0; 6], vec![1.0; 2]).is_ok());
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let w = QuantizedMatrix::quantize(&small(4, 3, 1));
+        let a = small(2, 5, 2); // wrong inner dim
+        let mut out = DenseMatrix::zeros(2, 3);
+        assert!(matmul_quantized_into(&a, &w, &mut out, Epilogue::None).is_err());
+        let a = small(2, 4, 2);
+        let mut bad = DenseMatrix::zeros(2, 4); // wrong output shape
+        assert!(matmul_quantized_into(&a, &w, &mut bad, Epilogue::None).is_err());
+        let mut out = DenseMatrix::zeros(2, 3);
+        assert!(
+            matmul_quantized_into(&a, &w, &mut out, Epilogue::Bias(&[0.0; 2])).is_err(),
+            "bias length must match out_dim"
+        );
+    }
+
+    #[test]
+    fn quantized_bytes_undercut_f32() {
+        let w = small(64, 32, 5);
+        let q = QuantizedMatrix::quantize(&w);
+        assert!(q.nbytes() < 64 * 32 * 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Quantized GEMM approximates the f32 product within the
+        /// accumulated quantization error bound, and every available
+        /// dispatch variant returns bit-identical results (exact i32
+        /// accumulation).
+        #[test]
+        fn quantized_gemm_approximates_f32_and_variants_agree(
+            m in 0usize..16, k in 0usize..24, n in 0usize..16, seed in 0u64..1000
+        ) {
+            let a = small(m, k, seed);
+            let w = small(k, n, seed.wrapping_add(1));
+            let bias: Vec<f32> = (0..n).map(|j| j as f32 / 8.0 - 0.5).collect();
+            let q = QuantizedMatrix::quantize(&w);
+
+            let mut reference = DenseMatrix::filled(m, n, f32::NAN);
+            matmul_quantized_into_with_variant(
+                KernelVariant::Scalar, &a, &q, &mut reference, Epilogue::Bias(&bias),
+            ).unwrap();
+            for variant in available_kernel_variants() {
+                let mut out = DenseMatrix::filled(m, n, f32::NAN);
+                matmul_quantized_into_with_variant(
+                    variant, &a, &q, &mut out, Epilogue::Bias(&bias),
+                ).unwrap();
+                prop_assert_eq!(&out, &reference, "variant {}", variant.label());
+            }
+
+            // Error bound: with symmetric int8 on both operands, each
+            // product term errs by at most ~(|a|·sw + |w|·sa)/2 + small;
+            // k terms accumulate linearly. Generous envelope: inputs
+            // are bounded by 2, so 2·2·k/127 covers it with margin.
+            let exact = matmul_fused(&a, &w, Epilogue::Bias(&bias)).unwrap();
+            let tolerance = 4.0 * (k as f32).max(1.0) / 127.0 + 1e-5;
+            prop_assert!(
+                reference.approx_eq(&exact, tolerance),
+                "quantized vs f32 beyond error envelope {tolerance}"
+            );
+        }
+    }
+}

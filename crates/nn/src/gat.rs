@@ -210,64 +210,15 @@ impl GatLayer {
         let n = input.rows();
         let mut wh = ws.take_for_overwrite(n, self.out_dim);
         matmul_fused_into_ws(input, &self.weight.value, &mut wh, Epilogue::None, ws)?;
-        // s_i = a_src · wh_i, t_j = a_dst · wh_j.
-        let a_src = self.attn_src.value.row(0);
-        let a_dst = self.attn_dst.value.row(0);
-        let s: Vec<f32> = (0..n)
-            .map(|i| wh.row(i).iter().zip(a_src).map(|(x, a)| x * a).sum())
-            .collect();
-        let t: Vec<f32> = (0..n)
-            .map(|j| wh.row(j).iter().zip(a_dst).map(|(x, a)| x * a).sum())
-            .collect();
-
-        let mut output = ws.take(n, self.out_dim);
-        let mut alpha = ws.take_for_overwrite(1, adj.nnz());
-        let mut pre = ws.take_for_overwrite(1, adj.nnz());
-        let mut offset = 0usize;
-        #[allow(clippy::needless_range_loop)] // i indexes adj rows and s in lockstep
-        for i in 0..n {
-            let (cols, _) = adj.row_entries(i);
-            let span = offset..offset + cols.len();
-            offset = span.end;
-            let row_pre = &mut pre.as_mut_slice()[span.clone()];
-            for (slot, &j) in row_pre.iter_mut().zip(cols) {
-                *slot = s[i] + t[j];
-            }
-            let row_post = &mut alpha.as_mut_slice()[span];
-            for (post, &e) in row_post.iter_mut().zip(row_pre.iter()) {
-                *post = if e >= 0.0 { e } else { LEAKY_SLOPE * e };
-            }
-            // Stable softmax over the neighbourhood.
-            let max = row_post.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row_post.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row_post.iter_mut() {
-                    *v /= sum;
-                }
-            }
-            let orow = output.row_mut(i);
-            for (&j, &a) in cols.iter().zip(row_post.iter()) {
-                for (o, w) in orow.iter_mut().zip(wh.row(j)) {
-                    *o += a * w;
-                }
-            }
-            for (o, b) in orow.iter_mut().zip(self.bias.value.row(0)) {
-                *o += b;
-                if fuse_relu {
-                    *o = o.max(0.0);
-                }
-            }
-        }
-        Ok(GatForward {
-            output,
+        Ok(attention_aggregate(
+            adj,
             wh,
-            alpha,
-            pre,
-        })
+            self.attn_src.value.row(0),
+            self.attn_dst.value.row(0),
+            self.bias.value.row(0),
+            fuse_relu,
+            ws,
+        ))
     }
 
     /// Backward pass through attention, softmax, and projection; given
@@ -376,6 +327,84 @@ impl GatLayer {
         matmul_a_bt_into_ws(&d_wh, &self.weight.value, &mut d_input, ws)?;
         ws.give(d_wh);
         Ok(d_input)
+    }
+}
+
+/// Everything a GAT layer does *after* the projection: attention
+/// scores, LeakyReLU, neighbourhood softmax, weighted aggregation, and
+/// the fused bias/ReLU epilogue. Takes the projected features `wh` by
+/// value (they move into the returned cache).
+///
+/// Shared by [`GatLayer::forward_fused`] and the int8 path in
+/// [`crate::quantized`], so both precisions run the identical
+/// post-projection code on whatever `wh` they computed — the quantized
+/// forward differs from f32 only in the projection GEMM.
+pub(crate) fn attention_aggregate(
+    adj: &CsrMatrix,
+    wh: DenseMatrix,
+    a_src: &[f32],
+    a_dst: &[f32],
+    bias: &[f32],
+    fuse_relu: bool,
+    ws: &mut Workspace,
+) -> GatForward {
+    let n = wh.rows();
+    let out_dim = wh.cols();
+    // s_i = a_src · wh_i, t_j = a_dst · wh_j.
+    let s: Vec<f32> = (0..n)
+        .map(|i| wh.row(i).iter().zip(a_src).map(|(x, a)| x * a).sum())
+        .collect();
+    let t: Vec<f32> = (0..n)
+        .map(|j| wh.row(j).iter().zip(a_dst).map(|(x, a)| x * a).sum())
+        .collect();
+
+    let mut output = ws.take(n, out_dim);
+    let mut alpha = ws.take_for_overwrite(1, adj.nnz());
+    let mut pre = ws.take_for_overwrite(1, adj.nnz());
+    let mut offset = 0usize;
+    #[allow(clippy::needless_range_loop)] // i indexes adj rows and s in lockstep
+    for i in 0..n {
+        let (cols, _) = adj.row_entries(i);
+        let span = offset..offset + cols.len();
+        offset = span.end;
+        let row_pre = &mut pre.as_mut_slice()[span.clone()];
+        for (slot, &j) in row_pre.iter_mut().zip(cols) {
+            *slot = s[i] + t[j];
+        }
+        let row_post = &mut alpha.as_mut_slice()[span];
+        for (post, &e) in row_post.iter_mut().zip(row_pre.iter()) {
+            *post = if e >= 0.0 { e } else { LEAKY_SLOPE * e };
+        }
+        // Stable softmax over the neighbourhood.
+        let max = row_post.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row_post.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row_post.iter_mut() {
+                *v /= sum;
+            }
+        }
+        let orow = output.row_mut(i);
+        for (&j, &a) in cols.iter().zip(row_post.iter()) {
+            for (o, w) in orow.iter_mut().zip(wh.row(j)) {
+                *o += a * w;
+            }
+        }
+        for (o, b) in orow.iter_mut().zip(bias) {
+            *o += b;
+            if fuse_relu {
+                *o = o.max(0.0);
+            }
+        }
+    }
+    GatForward {
+        output,
+        wh,
+        alpha,
+        pre,
     }
 }
 

@@ -14,7 +14,11 @@
 //! - [`GcnNetwork`] / [`MlpNetwork`]: sequential containers with a
 //!   full-batch training loop, parameter counting (the `θ` columns of
 //!   Table II), and per-layer embedding export (needed by the rectifier
-//!   taps and by the link-stealing attack surface).
+//!   taps and by the link-stealing attack surface),
+//! - [`quantized`]: int8 serving mirrors of every forward-only layer
+//!   ([`QuantizedConvLayer`], [`QuantizedGcnNetwork`], …) that swap
+//!   only the projection GEMM for the quantized path and share all
+//!   surrounding f32 code with their f32 counterparts.
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@ pub mod loss;
 mod network;
 mod optim;
 mod param;
+pub mod quantized;
 mod sage;
 
 pub use conv::{ConvForward, ConvKind, ConvLayer};
@@ -61,4 +66,8 @@ pub use init::glorot_uniform;
 pub use network::{GcnNetwork, MlpNetwork, TrainConfig, TrainReport};
 pub use optim::Adam;
 pub use param::Param;
+pub use quantized::{
+    QuantizedConvLayer, QuantizedDenseLayer, QuantizedGatLayer, QuantizedGcnLayer,
+    QuantizedGcnNetwork, QuantizedMlpNetwork, QuantizedSageLayer,
+};
 pub use sage::{SageForward, SageLayer};

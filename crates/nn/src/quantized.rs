@@ -1,0 +1,813 @@
+//! Int8 quantized inference mirrors of the forward-only layer stack.
+//!
+//! Each `Quantized*` type replaces exactly one thing in its f32
+//! counterpart's forward pass: the dense `H · W` projection GEMM, which
+//! runs through [`linalg::matmul_quantized_into`] (symmetric
+//! per-channel i8 weights, dynamic per-row activation quantization, i32
+//! accumulation, f32 dequant at the epilogue). Everything around it —
+//! sparse aggregation, concatenation, attention/softmax, fused
+//! bias/ReLU — stays f32 and runs the *same code* as the f32 layer
+//! (GAT literally shares its post-projection body via
+//! `gat::attention_aggregate`), so the two precisions cannot drift in
+//! op order.
+//!
+//! Quantization is a serving-time transform of trained f32 weights
+//! ([`QuantizedConvLayer::quantize`] etc.); the types also rebuild from
+//! stored codes + scales ([`QuantizedGcnLayer::from_parts`] and
+//! friends) for the snapshot decode path. Because the max element of
+//! every channel quantizes to exactly ±127, `quantize(dequantize(q))`
+//! reproduces `q` — a restored vault rebuilds the identical quantized
+//! model.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let layer = nn::ConvLayer::new(nn::ConvKind::Gcn, 4, 2, &mut rng);
+//! let q = nn::QuantizedConvLayer::quantize(&layer);
+//! assert!(q.nbytes() < layer.nbytes());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::gat::attention_aggregate;
+use crate::{
+    ConvForward, ConvKind, ConvLayer, DenseForward, DenseLayer, GatForward, GatLayer, GcnForward,
+    GcnLayer, GcnNetwork, MlpNetwork, NnError, SageForward, SageLayer,
+};
+use linalg::{matmul_quantized_into, CsrMatrix, DenseMatrix, Epilogue, QuantizedMatrix, Workspace};
+
+/// Checks that a row-vector parameter (bias or attention vector) is
+/// `1 × out_dim`.
+fn expect_row(name: &str, m: &DenseMatrix, out_dim: usize) -> Result<(), NnError> {
+    if m.shape() != (1, out_dim) {
+        return Err(NnError::InvalidArchitecture {
+            reason: format!(
+                "quantized layer {name} must be 1x{out_dim}, got {:?}",
+                m.shape()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Int8 mirror of [`GcnLayer`]: quantized projection, f32 aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedGcnLayer {
+    weight: QuantizedMatrix,
+    bias: DenseMatrix,
+}
+
+impl QuantizedGcnLayer {
+    /// Quantizes a trained f32 layer's weights (bias stays f32).
+    pub fn quantize(layer: &GcnLayer) -> Self {
+        Self {
+            weight: QuantizedMatrix::quantize(&layer.weight().value),
+            bias: layer.bias().value.clone(),
+        }
+    }
+
+    /// Rebuilds the layer from stored parts (snapshot decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidArchitecture`] when `bias` is not
+    /// `1 × out_dim`.
+    pub fn from_parts(weight: QuantizedMatrix, bias: DenseMatrix) -> Result<Self, NnError> {
+        expect_row("bias", &bias, weight.out_dim())?;
+        Ok(Self { weight, bias })
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.in_dim()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.out_dim()
+    }
+
+    /// The quantized projection weights.
+    pub fn weight(&self) -> &QuantizedMatrix {
+        &self.weight
+    }
+
+    /// The f32 bias row.
+    pub fn bias(&self) -> &DenseMatrix {
+        &self.bias
+    }
+
+    /// Heap bytes (i8 codes + scales + f32 bias), for enclave memory
+    /// accounting.
+    pub fn nbytes(&self) -> usize {
+        self.weight.nbytes() + std::mem::size_of_val(self.bias.as_slice())
+    }
+
+    /// Forward pass mirroring [`GcnLayer::forward_fused`]: quantized
+    /// `H W`, then the identical fused sparse aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<GcnForward, NnError> {
+        let mut xw = ws.take_for_overwrite(input.rows(), self.out_dim());
+        matmul_quantized_into(input, &self.weight, &mut xw, Epilogue::None)?;
+        let bias = self.bias.row(0);
+        let epilogue = if fuse_relu {
+            Epilogue::BiasRelu(bias)
+        } else {
+            Epilogue::Bias(bias)
+        };
+        let mut output = ws.take_for_overwrite(adj.rows(), self.out_dim());
+        adj.spmm_fused_into(&xw, &mut output, epilogue)?;
+        ws.give(xw);
+        Ok(GcnForward { output })
+    }
+}
+
+/// Int8 mirror of [`DenseLayer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDenseLayer {
+    weight: QuantizedMatrix,
+    bias: DenseMatrix,
+}
+
+impl QuantizedDenseLayer {
+    /// Quantizes a trained f32 layer's weights (bias stays f32).
+    pub fn quantize(layer: &DenseLayer) -> Self {
+        Self {
+            weight: QuantizedMatrix::quantize(&layer.weight().value),
+            bias: layer.bias().value.clone(),
+        }
+    }
+
+    /// Rebuilds the layer from stored parts (snapshot decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidArchitecture`] when `bias` is not
+    /// `1 × out_dim`.
+    pub fn from_parts(weight: QuantizedMatrix, bias: DenseMatrix) -> Result<Self, NnError> {
+        expect_row("bias", &bias, weight.out_dim())?;
+        Ok(Self { weight, bias })
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.in_dim()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.out_dim()
+    }
+
+    /// The quantized projection weights.
+    pub fn weight(&self) -> &QuantizedMatrix {
+        &self.weight
+    }
+
+    /// The f32 bias row.
+    pub fn bias(&self) -> &DenseMatrix {
+        &self.bias
+    }
+
+    /// Heap bytes, for enclave memory accounting.
+    pub fn nbytes(&self) -> usize {
+        self.weight.nbytes() + std::mem::size_of_val(self.bias.as_slice())
+    }
+
+    /// Forward pass mirroring [`DenseLayer::forward_fused`] with the
+    /// bias/ReLU epilogue applied by the quantized GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_fused(
+        &self,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<DenseForward, NnError> {
+        let bias = self.bias.row(0);
+        let epilogue = if fuse_relu {
+            Epilogue::BiasRelu(bias)
+        } else {
+            Epilogue::Bias(bias)
+        };
+        let mut output = ws.take_for_overwrite(input.rows(), self.out_dim());
+        matmul_quantized_into(input, &self.weight, &mut output, epilogue)?;
+        Ok(DenseForward { output })
+    }
+}
+
+/// Int8 mirror of [`SageLayer`]: f32 mean aggregation and
+/// concatenation, quantized `[H ‖ Ā H] W` projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedSageLayer {
+    weight: QuantizedMatrix,
+    bias: DenseMatrix,
+}
+
+impl QuantizedSageLayer {
+    /// Quantizes a trained f32 layer's weights (bias stays f32).
+    pub fn quantize(layer: &SageLayer) -> Self {
+        Self {
+            weight: QuantizedMatrix::quantize(&layer.weight().value),
+            bias: layer.bias().value.clone(),
+        }
+    }
+
+    /// Rebuilds the layer from stored parts (snapshot decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidArchitecture`] when `bias` is not
+    /// `1 × out_dim` or the weight's contraction dimension is odd (it
+    /// spans the `[H ‖ Ā H]` concatenation, so it must be `2·in`).
+    pub fn from_parts(weight: QuantizedMatrix, bias: DenseMatrix) -> Result<Self, NnError> {
+        expect_row("bias", &bias, weight.out_dim())?;
+        if !weight.in_dim().is_multiple_of(2) {
+            return Err(NnError::InvalidArchitecture {
+                reason: format!(
+                    "quantized SAGE weight spans a concatenation; its contraction \
+                     dimension must be even, got {}",
+                    weight.in_dim()
+                ),
+            });
+        }
+        Ok(Self { weight, bias })
+    }
+
+    /// Input feature dimension (half the weight's contraction span).
+    pub fn in_dim(&self) -> usize {
+        self.weight.in_dim() / 2
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.out_dim()
+    }
+
+    /// The quantized projection weights.
+    pub fn weight(&self) -> &QuantizedMatrix {
+        &self.weight
+    }
+
+    /// The f32 bias row.
+    pub fn bias(&self) -> &DenseMatrix {
+        &self.bias
+    }
+
+    /// Heap bytes, for enclave memory accounting.
+    pub fn nbytes(&self) -> usize {
+        self.weight.nbytes() + std::mem::size_of_val(self.bias.as_slice())
+    }
+
+    /// Forward pass mirroring [`SageLayer::forward_fused`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<SageForward, NnError> {
+        let mut aggregated = ws.take_for_overwrite(adj.rows(), input.cols());
+        adj.spmm_into(input, &mut aggregated)?;
+        let mut concat = ws.take_for_overwrite(input.rows(), 2 * input.cols());
+        DenseMatrix::hconcat_into(&[input, &aggregated], &mut concat)?;
+        ws.give(aggregated);
+        let bias = self.bias.row(0);
+        let epilogue = if fuse_relu {
+            Epilogue::BiasRelu(bias)
+        } else {
+            Epilogue::Bias(bias)
+        };
+        let mut output = ws.take_for_overwrite(input.rows(), self.out_dim());
+        matmul_quantized_into(&concat, &self.weight, &mut output, epilogue)?;
+        Ok(SageForward {
+            output,
+            cached_concat: concat,
+        })
+    }
+}
+
+/// Int8 mirror of [`GatLayer`]: quantized projection, then the *same*
+/// attention/softmax/aggregation code as the f32 layer
+/// (`gat::attention_aggregate`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedGatLayer {
+    weight: QuantizedMatrix,
+    attn_src: DenseMatrix,
+    attn_dst: DenseMatrix,
+    bias: DenseMatrix,
+}
+
+impl QuantizedGatLayer {
+    /// Quantizes a trained f32 layer's projection weights (attention
+    /// vectors and bias stay f32 — they are `O(out_dim)` and feed the
+    /// numerically delicate softmax).
+    pub fn quantize(layer: &GatLayer) -> Self {
+        Self {
+            weight: QuantizedMatrix::quantize(&layer.weight().value),
+            attn_src: layer.attn_src().value.clone(),
+            attn_dst: layer.attn_dst().value.clone(),
+            bias: layer.bias().value.clone(),
+        }
+    }
+
+    /// Rebuilds the layer from stored parts (snapshot decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidArchitecture`] when any f32 row vector is not
+    /// `1 × out_dim`.
+    pub fn from_parts(
+        weight: QuantizedMatrix,
+        attn_src: DenseMatrix,
+        attn_dst: DenseMatrix,
+        bias: DenseMatrix,
+    ) -> Result<Self, NnError> {
+        expect_row("attn_src", &attn_src, weight.out_dim())?;
+        expect_row("attn_dst", &attn_dst, weight.out_dim())?;
+        expect_row("bias", &bias, weight.out_dim())?;
+        Ok(Self {
+            weight,
+            attn_src,
+            attn_dst,
+            bias,
+        })
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.in_dim()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.out_dim()
+    }
+
+    /// The quantized projection weights.
+    pub fn weight(&self) -> &QuantizedMatrix {
+        &self.weight
+    }
+
+    /// The f32 source-attention row.
+    pub fn attn_src(&self) -> &DenseMatrix {
+        &self.attn_src
+    }
+
+    /// The f32 destination-attention row.
+    pub fn attn_dst(&self) -> &DenseMatrix {
+        &self.attn_dst
+    }
+
+    /// The f32 bias row.
+    pub fn bias(&self) -> &DenseMatrix {
+        &self.bias
+    }
+
+    /// Heap bytes, for enclave memory accounting.
+    pub fn nbytes(&self) -> usize {
+        let f32s = self.attn_src.as_slice().len()
+            + self.attn_dst.as_slice().len()
+            + self.bias.as_slice().len();
+        self.weight.nbytes() + f32s * std::mem::size_of::<f32>()
+    }
+
+    /// Forward pass mirroring [`GatLayer::forward_fused`]: only the
+    /// `W H` projection differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<GatForward, NnError> {
+        if adj.rows() != input.rows() || adj.cols() != input.rows() {
+            return Err(NnError::Linalg(linalg::LinalgError::ShapeMismatch {
+                op: "gat_forward",
+                lhs: adj.shape(),
+                rhs: input.shape(),
+            }));
+        }
+        let mut wh = ws.take_for_overwrite(input.rows(), self.out_dim());
+        matmul_quantized_into(input, &self.weight, &mut wh, Epilogue::None)?;
+        Ok(attention_aggregate(
+            adj,
+            wh,
+            self.attn_src.row(0),
+            self.attn_dst.row(0),
+            self.bias.row(0),
+            fuse_relu,
+            ws,
+        ))
+    }
+}
+
+/// Int8 mirror of [`ConvLayer`] — the rectifier's quantized serving
+/// form. Forward passes return the ordinary [`ConvForward`] caches, so
+/// callers (e.g. the rectifier's tap wiring) are precision-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantizedConvLayer {
+    /// Quantized GCN convolution.
+    Gcn(QuantizedGcnLayer),
+    /// Quantized GraphSAGE convolution.
+    Sage(QuantizedSageLayer),
+    /// Quantized single-head graph attention.
+    Gat(QuantizedGatLayer),
+}
+
+impl QuantizedConvLayer {
+    /// Quantizes a trained f32 convolution of any kind.
+    pub fn quantize(layer: &ConvLayer) -> Self {
+        match layer {
+            ConvLayer::Gcn(l) => QuantizedConvLayer::Gcn(QuantizedGcnLayer::quantize(l)),
+            ConvLayer::Sage(l) => QuantizedConvLayer::Sage(QuantizedSageLayer::quantize(l)),
+            ConvLayer::Gat(l) => QuantizedConvLayer::Gat(QuantizedGatLayer::quantize(l)),
+        }
+    }
+
+    /// Which convolution this is.
+    pub fn kind(&self) -> ConvKind {
+        match self {
+            QuantizedConvLayer::Gcn(_) => ConvKind::Gcn,
+            QuantizedConvLayer::Sage(_) => ConvKind::Sage,
+            QuantizedConvLayer::Gat(_) => ConvKind::Gat,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            QuantizedConvLayer::Gcn(l) => l.in_dim(),
+            QuantizedConvLayer::Sage(l) => l.in_dim(),
+            QuantizedConvLayer::Gat(l) => l.in_dim(),
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            QuantizedConvLayer::Gcn(l) => l.out_dim(),
+            QuantizedConvLayer::Sage(l) => l.out_dim(),
+            QuantizedConvLayer::Gat(l) => l.out_dim(),
+        }
+    }
+
+    /// Heap bytes, for enclave memory accounting.
+    pub fn nbytes(&self) -> usize {
+        match self {
+            QuantizedConvLayer::Gcn(l) => l.nbytes(),
+            QuantizedConvLayer::Sage(l) => l.nbytes(),
+            QuantizedConvLayer::Gat(l) => l.nbytes(),
+        }
+    }
+
+    /// The quantized projection weight, whatever the kind (snapshot
+    /// encoding reads codes and scales through this).
+    pub fn weight(&self) -> &QuantizedMatrix {
+        match self {
+            QuantizedConvLayer::Gcn(l) => l.weight(),
+            QuantizedConvLayer::Sage(l) => l.weight(),
+            QuantizedConvLayer::Gat(l) => l.weight(),
+        }
+    }
+
+    /// Forward pass with fused bias (and optional ReLU), mirroring
+    /// [`ConvLayer::forward_fused`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_fused(
+        &self,
+        adj: &CsrMatrix,
+        input: &DenseMatrix,
+        fuse_relu: bool,
+        ws: &mut Workspace,
+    ) -> Result<ConvForward, NnError> {
+        Ok(match self {
+            QuantizedConvLayer::Gcn(l) => {
+                ConvForward::Gcn(l.forward_fused(adj, input, fuse_relu, ws)?)
+            }
+            QuantizedConvLayer::Sage(l) => {
+                ConvForward::Sage(l.forward_fused(adj, input, fuse_relu, ws)?)
+            }
+            QuantizedConvLayer::Gat(l) => {
+                ConvForward::Gat(l.forward_fused(adj, input, fuse_relu, ws)?)
+            }
+        })
+    }
+}
+
+/// Validates that a quantized layer stack is non-empty and chains
+/// dimensionally from `input_dim`.
+fn validate_chain(
+    input_dim: usize,
+    dims: impl Iterator<Item = (usize, usize)>,
+) -> Result<(), NnError> {
+    let mut prev = input_dim;
+    let mut any = false;
+    for (i, (in_dim, out_dim)) in dims.enumerate() {
+        any = true;
+        if in_dim != prev {
+            return Err(NnError::InvalidArchitecture {
+                reason: format!(
+                    "quantized layer {i} expects input dimension {in_dim}, \
+                     previous layer produces {prev}"
+                ),
+            });
+        }
+        prev = out_dim;
+    }
+    if !any {
+        return Err(NnError::InvalidArchitecture {
+            reason: "at least one layer is required".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Int8 mirror of [`GcnNetwork`]: same layer stack, same fused-ReLU
+/// schedule, quantized projections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedGcnNetwork {
+    layers: Vec<QuantizedGcnLayer>,
+    input_dim: usize,
+}
+
+impl QuantizedGcnNetwork {
+    /// Quantizes every layer of a trained f32 network.
+    pub fn quantize(net: &GcnNetwork) -> Self {
+        Self {
+            layers: net
+                .layers()
+                .iter()
+                .map(QuantizedGcnLayer::quantize)
+                .collect(),
+            input_dim: net.input_dim(),
+        }
+    }
+
+    /// Rebuilds the network from decoded layers (snapshot decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidArchitecture`] when the stack is empty or the
+    /// layer dimensions do not chain from `input_dim`.
+    pub fn from_layers(input_dim: usize, layers: Vec<QuantizedGcnLayer>) -> Result<Self, NnError> {
+        validate_chain(input_dim, layers.iter().map(|l| (l.in_dim(), l.out_dim())))?;
+        Ok(Self { layers, input_dim })
+    }
+
+    /// Borrow of the layer stack.
+    pub fn layers(&self) -> &[QuantizedGcnLayer] {
+        &self.layers
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Heap bytes across all layers.
+    pub fn nbytes(&self) -> usize {
+        self.layers.iter().map(QuantizedGcnLayer::nbytes).sum()
+    }
+
+    /// Forward pass mirroring [`GcnNetwork::forward_embeddings`]:
+    /// fused ReLU on hidden layers, raw logits last.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_embeddings(
+        &self,
+        adj: &CsrMatrix,
+        x: &DenseMatrix,
+    ) -> Result<Vec<DenseMatrix>, NnError> {
+        let mut ws = Workspace::new();
+        let mut embeddings: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = {
+                let input = embeddings.last().unwrap_or(x);
+                layer.forward_fused(adj, input, i != last, &mut ws)?.output
+            };
+            embeddings.push(out);
+        }
+        Ok(embeddings)
+    }
+}
+
+/// Int8 mirror of [`MlpNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlpNetwork {
+    layers: Vec<QuantizedDenseLayer>,
+    input_dim: usize,
+}
+
+impl QuantizedMlpNetwork {
+    /// Quantizes every layer of a trained f32 MLP.
+    pub fn quantize(net: &MlpNetwork) -> Self {
+        Self {
+            layers: net
+                .layers()
+                .iter()
+                .map(QuantizedDenseLayer::quantize)
+                .collect(),
+            input_dim: net.input_dim(),
+        }
+    }
+
+    /// Rebuilds the MLP from decoded layers (snapshot decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidArchitecture`] when the stack is empty or the
+    /// layer dimensions do not chain from `input_dim`.
+    pub fn from_layers(
+        input_dim: usize,
+        layers: Vec<QuantizedDenseLayer>,
+    ) -> Result<Self, NnError> {
+        validate_chain(input_dim, layers.iter().map(|l| (l.in_dim(), l.out_dim())))?;
+        Ok(Self { layers, input_dim })
+    }
+
+    /// Borrow of the layer stack.
+    pub fn layers(&self) -> &[QuantizedDenseLayer] {
+        &self.layers
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Heap bytes across all layers.
+    pub fn nbytes(&self) -> usize {
+        self.layers.iter().map(QuantizedDenseLayer::nbytes).sum()
+    }
+
+    /// Forward pass mirroring [`MlpNetwork::forward_embeddings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Linalg`] on shape inconsistencies.
+    pub fn forward_embeddings(&self, x: &DenseMatrix) -> Result<Vec<DenseMatrix>, NnError> {
+        let mut ws = Workspace::new();
+        let mut embeddings: Vec<DenseMatrix> = Vec::with_capacity(self.layers.len());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = {
+                let input = embeddings.last().unwrap_or(x);
+                layer.forward_fused(input, i != last, &mut ws)?.output
+            };
+            embeddings.push(out);
+        }
+        Ok(embeddings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glorot_uniform;
+    use graph::{normalization, Graph};
+    use linalg::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CsrMatrix, DenseMatrix) {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]).unwrap();
+        let adj = normalization::gcn_normalize(&g);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = glorot_uniform(6, 5, &mut rng);
+        (adj, x)
+    }
+
+    #[test]
+    fn quantized_conv_tracks_f32_for_every_kind() {
+        let (adj, x) = setup();
+        for kind in [ConvKind::Gcn, ConvKind::Sage, ConvKind::Gat] {
+            let mut rng = StdRng::seed_from_u64(23);
+            let layer = ConvLayer::new(kind, 5, 3, &mut rng);
+            let q = QuantizedConvLayer::quantize(&layer);
+            assert_eq!(q.kind(), kind);
+            assert_eq!((q.in_dim(), q.out_dim()), (5, 3));
+            assert!(q.nbytes() < layer.nbytes(), "{}", kind.label());
+            for fuse_relu in [false, true] {
+                let mut ws = Workspace::new();
+                let f32_out = layer.forward_fused(&adj, &x, fuse_relu, &mut ws).unwrap();
+                let q_out = q.forward_fused(&adj, &x, fuse_relu, &mut ws).unwrap();
+                assert!(
+                    q_out.output().approx_eq(f32_out.output(), 0.15),
+                    "{} fuse_relu={fuse_relu}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_network_agrees_on_labels() {
+        let (adj, x) = setup();
+        let net = GcnNetwork::new(5, &[8, 3], 3).unwrap();
+        let q = QuantizedGcnNetwork::quantize(&net);
+        let f32_logits = net.logits(&adj, &x).unwrap();
+        let q_embs = q.forward_embeddings(&adj, &x).unwrap();
+        let q_logits = q_embs.last().unwrap();
+        assert_eq!(
+            ops::argmax_rows(&f32_logits),
+            ops::argmax_rows(q_logits),
+            "int8 logits drifted across the argmax boundary"
+        );
+        assert!(q_logits.approx_eq(&f32_logits, 0.2));
+        assert!(q.nbytes() < net.nbytes());
+
+        let mlp = MlpNetwork::new(5, &[8, 3], 3).unwrap();
+        let qm = QuantizedMlpNetwork::quantize(&mlp);
+        assert_eq!(
+            ops::argmax_rows(&mlp.logits(&x).unwrap()),
+            ops::argmax_rows(qm.forward_embeddings(&x).unwrap().last().unwrap()),
+        );
+    }
+
+    #[test]
+    fn from_parts_reproduces_quantize_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in [ConvKind::Gcn, ConvKind::Sage, ConvKind::Gat] {
+            let layer = ConvLayer::new(kind, 4, 3, &mut rng);
+            let q = QuantizedConvLayer::quantize(&layer);
+            let rebuilt = match &q {
+                QuantizedConvLayer::Gcn(l) => QuantizedConvLayer::Gcn(
+                    QuantizedGcnLayer::from_parts(l.weight().clone(), l.bias().clone()).unwrap(),
+                ),
+                QuantizedConvLayer::Sage(l) => QuantizedConvLayer::Sage(
+                    QuantizedSageLayer::from_parts(l.weight().clone(), l.bias().clone()).unwrap(),
+                ),
+                QuantizedConvLayer::Gat(l) => QuantizedConvLayer::Gat(
+                    QuantizedGatLayer::from_parts(
+                        l.weight().clone(),
+                        l.attn_src().clone(),
+                        l.attn_dst().clone(),
+                        l.bias().clone(),
+                    )
+                    .unwrap(),
+                ),
+            };
+            assert_eq!(q, rebuilt);
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_shapes() {
+        let w = QuantizedMatrix::quantize(&DenseMatrix::filled(4, 3, 1.0));
+        assert!(QuantizedGcnLayer::from_parts(w.clone(), DenseMatrix::zeros(1, 2)).is_err());
+        assert!(QuantizedSageLayer::from_parts(
+            QuantizedMatrix::quantize(&DenseMatrix::filled(5, 3, 1.0)),
+            DenseMatrix::zeros(1, 3),
+        )
+        .is_err());
+        assert!(QuantizedGatLayer::from_parts(
+            w,
+            DenseMatrix::zeros(1, 3),
+            DenseMatrix::zeros(2, 3),
+            DenseMatrix::zeros(1, 3),
+        )
+        .is_err());
+        assert!(QuantizedGcnNetwork::from_layers(4, vec![]).is_err());
+        let l1 = QuantizedGcnLayer::from_parts(
+            QuantizedMatrix::quantize(&DenseMatrix::filled(4, 3, 1.0)),
+            DenseMatrix::zeros(1, 3),
+        )
+        .unwrap();
+        let l2 = QuantizedGcnLayer::from_parts(
+            QuantizedMatrix::quantize(&DenseMatrix::filled(5, 2, 1.0)),
+            DenseMatrix::zeros(1, 2),
+        )
+        .unwrap();
+        assert!(QuantizedGcnNetwork::from_layers(4, vec![l1.clone(), l2]).is_err());
+        assert!(QuantizedGcnNetwork::from_layers(4, vec![l1]).is_ok());
+    }
+}

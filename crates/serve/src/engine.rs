@@ -112,7 +112,7 @@ use crate::{
     AdmissionQueue, BatchPolicy, BatchPoll, ClientId, FlushReason, LruCache, PendingRequest,
     SentinelConfig, SentinelStats, ServeError, Ticket,
 };
-use gnnvault::{InferenceReport, RecoveryHandle, Vault, VaultSnapshot};
+use gnnvault::{InferenceReport, Precision, RecoveryHandle, Vault, VaultSnapshot};
 use graph::partition::PartitionSpec;
 use linalg::DenseMatrix;
 use std::collections::{HashMap, HashSet};
@@ -188,6 +188,14 @@ pub struct ServeConfig {
     /// way, every successful answer is bit-identical to sequential
     /// [`Vault::infer`].
     pub topology: Topology,
+    /// Numeric precision installed on the vault before shard fan-out
+    /// ([`Vault::set_precision`]). Under [`Precision::Int8`] every
+    /// shard — replica or partition — serves the same quantized model:
+    /// the snapshot fan-out carries the stored int8 codes verbatim, so
+    /// shards stay bit-identical to each other and to a reference
+    /// int8 [`Vault::infer`]. Later [`ServingEngine::deploy`] calls
+    /// install their snapshot's own precision.
+    pub precision: Precision,
     /// Per-request queue-time budget: a request that has already waited
     /// longer than this when its batch is flushed is answered
     /// [`ServeError::TimedOut`] instead of stale labels (and instead of
@@ -229,6 +237,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             shards: 1,
             topology: Topology::Replicated,
+            precision: Precision::F32,
             request_timeout: Duration::ZERO,
             restart_backoff: Duration::from_millis(1),
             max_restart_attempts: 5,
@@ -954,6 +963,14 @@ impl ServingEngine {
                 ),
             });
         }
+        // Install the configured precision on the full vault before any
+        // fan-out: replicas restore from its snapshot and partitions are
+        // carved from it, so every shard inherits the exact same int8
+        // codes (or stays f32) without a per-shard re-quantization.
+        let mut vault = vault;
+        vault
+            .set_precision(config.precision)
+            .map_err(ServeError::Vault)?;
         let shard_count = config.shards.max(1);
         let num_nodes = vault.num_nodes();
         let features = Arc::new(features);

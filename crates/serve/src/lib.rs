@@ -145,6 +145,7 @@ pub use engine::{
 pub use error::ServeError;
 #[cfg(feature = "fault-injection")]
 pub use faults::{Fault, FaultPlan};
+pub use gnnvault::Precision;
 pub use sentinel::{
     ClientId, SentinelConfig, SentinelMode, SentinelSessionStats, SentinelStats, SentinelVerdict,
 };

@@ -10,7 +10,9 @@ mod common;
 
 use common::{sequential_labels, toy_vault, toy_vault_flipped};
 use gnnvault::RectifierKind;
-use serve::{BatchPolicy, ClientId, SentinelStats, ServeConfig, ServingEngine, Topology};
+use serve::{
+    BatchPolicy, ClientId, Precision, SentinelStats, ServeConfig, ServingEngine, Topology,
+};
 use std::time::Duration;
 use tee::SealKey;
 
@@ -196,6 +198,56 @@ fn shutdown_drains_every_admitted_request_across_the_topology_matrix() {
             "{shards} shards, {topology:?}"
         );
         assert!(stats.drain_flushes >= 1, "{shards} shards, {topology:?}");
+    }
+}
+
+#[test]
+fn int8_serving_matches_f32_labels_across_kinds_and_topologies() {
+    // The quantization contract, end to end: for every rectifier kind,
+    // an engine running with `ServeConfig::precision = Int8` answers the
+    // full corpus with exactly the labels f32 sequential inference
+    // assigns — at 1 and 4 shards, in both topologies — and the
+    // shutdown survivor still holds the quantized model. A reference
+    // int8 vault pins the agreement independently of the engine, so a
+    // failure here separates "quantization changed a label" from
+    // "the engine plumbed precision wrong".
+    for kind in RectifierKind::ALL {
+        let (mut vault, x, _) = toy_vault(N, kind);
+        let expected = sequential_labels(&mut vault, &x);
+        let mut reference = vault.spawn_replica().unwrap();
+        reference.set_precision(Precision::Int8).unwrap();
+        let (int8_labels, _) = reference.infer(&x).unwrap();
+        assert_eq!(
+            int8_labels, expected,
+            "{kind:?}: int8 reference vault disagrees with f32 labels"
+        );
+        let requests: Vec<Vec<usize>> =
+            vec![(0..N).collect(), vec![0], vec![23, 5, 5, 11], vec![13]];
+        for shards in [1usize, 4] {
+            for topology in [Topology::Replicated, Topology::Partitioned] {
+                let mut config = cell_config(shards, topology);
+                config.precision = Precision::Int8;
+                let (results, survivor, stats) =
+                    serve::serve_once(vault.spawn_replica().unwrap(), x.clone(), config, &requests)
+                        .unwrap();
+                for (request, result) in requests.iter().zip(&results) {
+                    let labels = result
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{kind:?}, {shards} shards, {topology:?}: {e}"));
+                    let want: Vec<_> = request.iter().map(|&n| expected[n]).collect();
+                    assert_eq!(labels, &want, "{kind:?}, {shards} shards, {topology:?}");
+                }
+                assert_eq!(
+                    survivor.precision(),
+                    Precision::Int8,
+                    "{kind:?}, {shards} shards, {topology:?}: survivor lost the int8 model"
+                );
+                assert_eq!(
+                    stats.failed_batches, 0,
+                    "{kind:?}, {shards} shards, {topology:?}"
+                );
+            }
+        }
     }
 }
 

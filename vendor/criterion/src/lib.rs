@@ -206,6 +206,7 @@ impl Bencher {
 pub struct Criterion {
     suite: String,
     records: Vec<BenchRecord>,
+    metadata: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
@@ -213,6 +214,7 @@ impl Default for Criterion {
         Self {
             suite: "bench".to_string(),
             records: Vec::new(),
+            metadata: Vec::new(),
         }
     }
 }
@@ -233,6 +235,19 @@ impl Criterion {
         Self {
             suite,
             records: Vec::new(),
+            metadata: Vec::new(),
+        }
+    }
+
+    /// Records a metadata key/value pair for the JSON header (machine
+    /// facts the numbers depend on: CPU features, dispatched kernel
+    /// variant, …). Setting an existing key overwrites it. Extension
+    /// over upstream criterion, which has no metadata channel.
+    pub fn set_metadata(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let (key, value) = (key.into(), value.into());
+        match self.metadata.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = value,
+            None => self.metadata.push((key, value)),
         }
     }
 
@@ -240,6 +255,20 @@ impl Criterion {
     pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
         let id = id.into().id;
         self.run(None, id, None, f);
+    }
+
+    /// Runs one free-standing benchmark with a declared per-iteration
+    /// payload, so its JSON row carries `throughput_bytes` without the
+    /// group machinery (extension over upstream criterion, where only
+    /// groups declare throughput).
+    pub fn bench_function_with_throughput(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        throughput: Throughput,
+        f: impl FnMut(&mut Bencher),
+    ) {
+        let id = id.into().id;
+        self.run(None, id, Some(throughput), f);
     }
 
     /// Opens a named group of related benchmarks.
@@ -327,6 +356,16 @@ impl Criterion {
             "  \"available_parallelism\": {},\n",
             std::thread::available_parallelism().map_or(1, |p| p.get())
         ));
+        out.push_str("  \"metadata\": {");
+        for (i, (key, value)) in self.metadata.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            out.push_str(&format!(
+                "{sep}{}: {}",
+                json_string(key),
+                json_string(value)
+            ));
+        }
+        out.push_str("},\n");
         out.push_str("  \"benches\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let tp = r
@@ -493,6 +532,27 @@ mod tests {
         assert_eq!(c.records()[1].id, "grouped/7");
         assert_eq!(c.records()[1].throughput_bytes, Some(4096));
         assert!(c.records().iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn metadata_and_standalone_throughput() {
+        std::env::set_var("BENCH_SAMPLE_MS", "1");
+        std::env::set_var("BENCH_BUDGET_MS", "20");
+        let mut c = Criterion::default();
+        c.set_metadata("kernel_variant", "scalar");
+        c.set_metadata("kernel_variant", "avx2");
+        c.set_metadata("cpu_features", "avx2,fma");
+        assert_eq!(
+            c.metadata,
+            vec![
+                ("kernel_variant".to_string(), "avx2".to_string()),
+                ("cpu_features".to_string(), "avx2,fma".to_string()),
+            ],
+        );
+        c.bench_function_with_throughput("payload", Throughput::Bytes(512), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        assert_eq!(c.records()[0].throughput_bytes, Some(512));
     }
 
     #[test]
