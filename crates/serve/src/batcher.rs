@@ -146,6 +146,9 @@ struct TicketPart {
 pub struct Ticket {
     parts: Vec<TicketPart>,
     total: usize,
+    /// Already-resolved answer from the submit-path fast cache: the
+    /// request never entered a queue and `wait` returns immediately.
+    ready: Option<Vec<ClassLabel>>,
 }
 
 impl Ticket {
@@ -162,6 +165,18 @@ impl Ticket {
                 shard,
             }],
             total: 0,
+            ready: None,
+        }
+    }
+
+    /// A ticket resolved on the submit thread (every node hit the
+    /// fast cache): carries its labels, owns no channel, and never
+    /// blocks.
+    pub(crate) fn ready(labels: Vec<ClassLabel>) -> Ticket {
+        Ticket {
+            parts: Vec::new(),
+            total: 0,
+            ready: Some(labels),
         }
     }
 
@@ -181,6 +196,7 @@ impl Ticket {
                 })
                 .collect(),
             total,
+            ready: None,
         }
     }
 
@@ -200,6 +216,9 @@ impl Ticket {
     }
 
     fn wait_until(self, deadline: Option<Instant>) -> Option<Result<Vec<ClassLabel>, ServeError>> {
+        if let Some(labels) = self.ready {
+            return Some(Ok(labels));
+        }
         let mut assembled = vec![ClassLabel(0); self.total];
         for part in self.parts {
             // A disconnected responder means the worker died with the
@@ -238,6 +257,9 @@ impl Ticket {
 struct QueueState {
     pending: VecDeque<PendingRequest>,
     pending_nodes: usize,
+    /// Deepest the queue has ever been (in requests) — the operator's
+    /// headroom gauge, exported via `ShardStats::queue_high_water`.
+    high_water: usize,
     closed: bool,
 }
 
@@ -325,6 +347,12 @@ impl AdmissionQueue {
         self.len() == 0
     }
 
+    /// Deepest the queue has ever been, in requests — a backlog
+    /// headroom gauge against `max_queue_requests`/`shed_high_water`.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock").high_water
+    }
+
     /// Admits a request for the given nodes, returning the ticket the
     /// client blocks on.
     ///
@@ -379,6 +407,7 @@ impl AdmissionQueue {
                 enqueued_at: Instant::now(),
                 responder,
             });
+            state.high_water = state.high_water.max(state.pending.len());
         }
         self.arrived.notify_all();
         Ok(Ticket::from_receiver(receiver, self.shard))

@@ -85,7 +85,12 @@
 //! everything after that from the new epoch. Each shard's result cache
 //! is dropped at install (epoch numbers are process-local, so keying
 //! alone could not rule out a collision with a foreign snapshot), so a
-//! stale entry can never be served. `deploy` returns `Ok` once every
+//! stale entry can never be served. The submit-path
+//! [`FastCache`](crate::FastCache) (when enabled) is invalidated *by
+//! tag alone*: the deploy mints a fresh install generation, shards
+//! publish new-model labels under it as they install, and the engine
+//! flips probes to it only after every shard acked — old entries just
+//! stop matching, with no flush pass. `deploy` returns `Ok` once every
 //! shard has installed the new epoch: responses to requests submitted
 //! after it returns are answered exclusively by the new model.
 //!
@@ -107,10 +112,11 @@
 
 #[cfg(feature = "fault-injection")]
 use crate::faults::{FaultPlan, ShardFaults};
+use crate::latency::AtomicLatency;
 use crate::sentinel::Sentinel;
 use crate::{
-    AdmissionQueue, BatchPolicy, BatchPoll, ClientId, FlushReason, LruCache, PendingRequest,
-    SentinelConfig, SentinelStats, ServeError, Ticket,
+    AdmissionQueue, BatchPolicy, BatchPoll, ClientId, FastCache, FlushReason, LatencyHistogram,
+    LruCache, PendingRequest, SentinelConfig, SentinelStats, ServeError, Ticket,
 };
 use gnnvault::{InferenceReport, Precision, RecoveryHandle, Vault, VaultSnapshot};
 use graph::partition::PartitionSpec;
@@ -120,7 +126,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tee::{ClassLabel, SealKey};
 
 /// How long a shard worker waits in one queue poll before re-checking
@@ -178,6 +184,15 @@ pub struct ServeConfig {
     /// LRU result-cache entries *per shard*, keyed
     /// `(vault epoch, node id)`; 0 disables caching.
     pub cache_capacity: usize,
+    /// Packed slots in the engine-wide lock-free [`FastCache`] probed
+    /// on the submit path (rounded up to a power of two; each slot is
+    /// 16 bytes). 0 — the default — disables the fast path entirely:
+    /// every request takes the queued path, which keeps per-shard
+    /// request counts deterministic. Setting the
+    /// `SERVE_DISABLE_FAST_CACHE` environment variable forces the fast
+    /// path off even when this knob is set (CI uses it to prove both
+    /// paths serve bit-identical labels).
+    pub fast_cache_slots: usize,
     /// Worker shards (clamped to ≥ 1). Under [`Topology::Replicated`]
     /// each owns a full vault replica and node ids are hash-routed, so
     /// raising this scales enclave throughput without changing any
@@ -226,7 +241,8 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     /// Default policy, one shard, two enclave sessions, 4096 cached
-    /// results, no request timeout, 1 ms base restart backoff with 5
+    /// results, the submit-path fast cache off (`fast_cache_slots` =
+    /// 0), no request timeout, 1 ms base restart backoff with 5
     /// attempts, 3 install attempts per shard per deploy, and the
     /// sentinel in shadow mode with default thresholds.
     fn default() -> Self {
@@ -235,6 +251,7 @@ impl Default for ServeConfig {
             policy: BatchPolicy::default(),
             sessions: 2,
             cache_capacity: 4096,
+            fast_cache_slots: 0,
             shards: 1,
             topology: Topology::Replicated,
             precision: Precision::F32,
@@ -347,12 +364,15 @@ impl HealthBoard {
     }
 }
 
-/// Handle-side telemetry the workers never see: shed submissions and
-/// re-routed sub-requests, folded into [`ServeStats`] at shutdown.
+/// Handle-side telemetry the workers never see: shed submissions,
+/// re-routed sub-requests, and submit-path fast-cache hits (with their
+/// latency histogram), folded into [`ServeStats`] at shutdown.
 #[derive(Debug, Default)]
 struct FrontStats {
     shed: AtomicU64,
     rerouted: AtomicU64,
+    fast_hits: AtomicU64,
+    fast_latency: AtomicLatency,
 }
 
 /// Deterministic node-id → shard router.
@@ -506,6 +526,16 @@ pub struct ShardStats {
     pub timed_out: u64,
     /// Model epochs hot-swapped in via [`ServingEngine::deploy`].
     pub deploys: u64,
+    /// Queue depth (requests still pending) when the worker exited —
+    /// non-zero only if the drain was cut short.
+    pub queue_depth: usize,
+    /// Deepest this shard's admission queue ever got, in requests —
+    /// the operator's backlog-headroom gauge against
+    /// `max_queue_requests` / `shed_high_water`.
+    pub queue_high_water: usize,
+    /// Submit-to-respond latency of every node query this shard
+    /// answered successfully through the queued (enclave) path.
+    pub latency: LatencyHistogram,
     /// This shard's enclave sessions (sessions opened by a hot-swapped
     /// or restored replica are appended after the original vault's).
     pub sessions: Vec<SessionStats>,
@@ -559,6 +589,18 @@ pub struct ServeStats {
     /// Sub-requests routed away from their home shard because it was
     /// [`ShardHealth::Down`] — the degraded-mode availability trade.
     pub rerouted_subrequests: u64,
+    /// Node queries answered in place on the submit thread by the
+    /// lock-free [`FastCache`] — zero queue, zero cross-thread traffic
+    /// (not counted in [`ServeStats::requests`] or
+    /// [`ServeStats::cache_hits`], which describe the queued path).
+    pub fast_path_hits: u64,
+    /// Submit-to-resolve latency of fast-path requests (probe plus
+    /// histogram bookkeeping; no queue, no enclave).
+    pub fast_path_latency: LatencyHistogram,
+    /// Submit-to-respond latency of node queries answered through the
+    /// queued (enclave) path, merged bucket-wise across shards —
+    /// deterministic for a fixed trace at any shard count.
+    pub queued_latency: LatencyHistogram,
     /// Enclave transitions (ECALLs) across all batches and shards.
     pub enclave_transitions: u64,
     /// Bytes marshalled into the enclaves across all batches.
@@ -640,6 +682,9 @@ impl ServeStats {
         self.timed_out_requests += shard.timed_out_requests;
         self.requests_shed += shard.requests_shed;
         self.rerouted_subrequests += shard.rerouted_subrequests;
+        self.fast_path_hits += shard.fast_path_hits;
+        self.fast_path_latency.merge(&shard.fast_path_latency);
+        self.queued_latency.merge(&shard.queued_latency);
         self.enclave_transitions += shard.enclave_transitions;
         self.transferred_bytes += shard.transferred_bytes;
         self.backbone_ns += shard.backbone_ns;
@@ -667,6 +712,10 @@ pub struct ServeHandle {
     health: Arc<HealthBoard>,
     front: Arc<FrontStats>,
     sentinel: Arc<Sentinel>,
+    /// The engine-wide submit-path fast cache (`None` when
+    /// [`ServeConfig::fast_cache_slots`] is 0 or the
+    /// `SERVE_DISABLE_FAST_CACHE` environment variable is set).
+    fast: Option<Arc<FastCache>>,
 }
 
 impl ServeHandle {
@@ -693,6 +742,13 @@ impl ServeHandle {
     /// every per-shard sub-request
     /// ([`PendingRequest::client`](crate::PendingRequest::client)), so
     /// each one stays attributable wherever it lands.
+    ///
+    /// With [`ServeConfig::fast_cache_slots`] > 0, a request whose
+    /// nodes *all* hit the lock-free [`FastCache`] under the current
+    /// install tag resolves right here on the submit thread — no
+    /// queue, no worker wakeup, no enclave — and its ticket is already
+    /// ready. Any miss sends the whole request down the queued path.
+    /// The sentinel has already accounted the submission either way.
     ///
     /// Under [`Topology::Replicated`], nodes whose home shard is
     /// [`ShardHealth::Down`] are routed to the next live shard (every
@@ -727,6 +783,34 @@ impl ServeHandle {
             });
         }
         self.sentinel.admit(client, &nodes)?;
+        // Fast path: probe the lock-free cache on this thread, strictly
+        // *after* sentinel accounting (a replayed hot node still climbs
+        // the abuse ladder) and *before* any queue admission.
+        // All-or-nothing: the request resolves here only if every node
+        // hits under the current install tag; otherwise the whole
+        // request takes the queued path unchanged, so per-shard request
+        // semantics never depend on partial fast hits.
+        if let Some(fast) = &self.fast {
+            let started = Instant::now();
+            let tag = fast.current_tag();
+            let mut labels = Vec::with_capacity(nodes.len());
+            for &node in &nodes {
+                match fast.probe(tag, node) {
+                    Some(label) => labels.push(label),
+                    None => {
+                        labels.clear();
+                        break;
+                    }
+                }
+            }
+            if labels.len() == nodes.len() {
+                self.front
+                    .fast_hits
+                    .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                self.front.fast_latency.record(started.elapsed());
+                return Ok(Ticket::ready(labels));
+            }
+        }
         if self.router.num_shards() == 1 {
             return self.track_shed(self.queues[0].submit_as(client, nodes));
         }
@@ -836,10 +920,14 @@ impl ServeHandle {
 
 /// Control messages the engine sends to a shard worker between batches.
 enum ShardControl {
-    /// Install a new model epoch from a sealed snapshot.
+    /// Install a new model epoch from a sealed snapshot. `tag` is the
+    /// fast-cache install generation minted for this deploy: the shard
+    /// publishes under it from the moment the install succeeds, and
+    /// the engine makes it current only once *every* shard has acked.
     Deploy {
         snapshot: Arc<VaultSnapshot>,
         seal_key: SealKey,
+        tag: u64,
         ack: Sender<Result<u64, ServeError>>,
     },
     /// Reinstall the epoch retained before the last install — the
@@ -887,6 +975,9 @@ pub struct ServingEngine {
     health: Arc<HealthBoard>,
     front: Arc<FrontStats>,
     sentinel: Arc<Sentinel>,
+    /// The engine-wide submit-path fast cache shared with every handle
+    /// and worker (`None` when disabled).
+    fast: Option<Arc<FastCache>>,
     /// Partitioned topology only: the full (unpartitioned) vault the
     /// engine started from — or, after a successful deploy, the full
     /// vault it last installed — parked so [`shutdown`] can return a
@@ -982,6 +1073,22 @@ impl ServingEngine {
         let substitute = vault.backbone().substitute_graph().cloned().map(Arc::new);
         let sentinel = Arc::new(Sentinel::new(config.sentinel, num_nodes, substitute));
         let wcfg = WorkerConfig::from_config(&config);
+        // The submit-path fast cache: one lock-free table shared by
+        // every handle and worker. Minting and publishing the first
+        // install generation here means entries are probeable from the
+        // first completed batch on. `SERVE_DISABLE_FAST_CACHE` forces
+        // the knob off so CI can run the same suite down both paths.
+        let fast = if config.fast_cache_slots > 0
+            && std::env::var_os("SERVE_DISABLE_FAST_CACHE").is_none()
+        {
+            let fast = Arc::new(FastCache::new(config.fast_cache_slots));
+            let tag = fast.mint_tag();
+            fast.set_current(tag);
+            Some(fast)
+        } else {
+            None
+        };
+        let initial_tag = fast.as_ref().map_or(0, |fast| fast.current_tag());
 
         let (router, parked, vaults, retained) = match config.topology {
             Topology::Replicated => {
@@ -1019,6 +1126,7 @@ impl ServingEngine {
             let worker_queue = Arc::clone(&queue);
             let worker_features = Arc::clone(&features);
             let worker_health = Arc::clone(&health);
+            let worker_fast = fast.clone();
             #[cfg(feature = "fault-injection")]
             let worker_faults = config
                 .fault_plan
@@ -1035,6 +1143,8 @@ impl ServingEngine {
                         wcfg,
                         worker_health,
                         worker_retained,
+                        worker_fast,
+                        initial_tag,
                         #[cfg(feature = "fault-injection")]
                         worker_faults,
                     )
@@ -1065,6 +1175,7 @@ impl ServingEngine {
             health,
             front,
             sentinel,
+            fast,
             parked: Mutex::new(parked),
         })
     }
@@ -1083,6 +1194,7 @@ impl ServingEngine {
             health: Arc::clone(&self.health),
             front: Arc::clone(&self.front),
             sentinel: Arc::clone(&self.sentinel),
+            fast: self.fast.clone(),
         }
     }
 
@@ -1193,6 +1305,15 @@ impl ServingEngine {
                 (parts.into_iter().map(Arc::new).collect(), Some(full))
             }
         };
+        // One fast-cache install generation for the whole deploy:
+        // shards publish new-model labels under it from the moment they
+        // install, but probes keep matching the old generation until
+        // *every* shard has acked — so no handle can fast-hit a
+        // new-model entry while any shard still serves the old one, and
+        // a failed (rolled back) deploy leaves its never-current tag
+        // permanently unmatchable. Tags are minted monotonically and
+        // never reused, so no flush pass is ever needed.
+        let tag = self.fast.as_ref().map_or(0, |fast| fast.mint_tag());
         let mut acks = Vec::with_capacity(self.set.shards.len());
         for (index, shard) in self.set.shards.iter().enumerate() {
             let (ack, ack_rx) = channel();
@@ -1201,6 +1322,7 @@ impl ServingEngine {
                 .send(ShardControl::Deploy {
                     snapshot: Arc::clone(&per_shard[index]),
                     seal_key,
+                    tag,
                     ack,
                 })
                 .map_err(|_| ServeError::Closed)?;
@@ -1228,6 +1350,14 @@ impl ServingEngine {
                 .first()
                 .and_then(|(_, result)| result.as_ref().ok().copied())
                 .expect("engine has at least one shard");
+            // Every shard installed: flip fast-cache probes to the new
+            // generation *before* returning, so a request submitted
+            // after deploy() returns can only fast-hit new-model
+            // entries. Old-generation entries become unmatchable in the
+            // same store — no stale label survives the swap.
+            if let Some(fast) = &self.fast {
+                fast.set_current(tag);
+            }
             // Deploy-time amnesty: a new epoch starts every session at
             // the bottom of the ladder. Failed (rolled back) deploys
             // deliberately grant nothing.
@@ -1302,6 +1432,10 @@ impl ServingEngine {
         }
         merged.requests_shed += self.front.shed.load(Ordering::Relaxed);
         merged.rerouted_subrequests += self.front.rerouted.load(Ordering::Relaxed);
+        merged.fast_path_hits += self.front.fast_hits.load(Ordering::Relaxed);
+        merged
+            .fast_path_latency
+            .merge(&self.front.fast_latency.snapshot());
         merged.sentinel = self.sentinel.stats();
         (parked.or(first_vault), merged)
     }
@@ -1332,6 +1466,17 @@ struct ShardWorker {
     /// [`FaultPlan`](crate::faults::FaultPlan).
     batch_seq: u64,
     deploys: u64,
+    /// The engine-wide submit-path fast cache this worker publishes
+    /// completed labels into (`None` when disabled).
+    fast: Option<Arc<FastCache>>,
+    /// The fast-cache install generation this worker's current model
+    /// publishes under. Captured at install: a worker that hasn't
+    /// installed a racing deploy yet keeps publishing under its old
+    /// (still correct for its model) tag.
+    tag: u64,
+    /// The tag before the last install — reverted to on rollback, just
+    /// like the retained snapshot.
+    previous_tag: u64,
     wcfg: WorkerConfig,
     health: Arc<HealthBoard>,
     #[cfg(feature = "fault-injection")]
@@ -1340,6 +1485,7 @@ struct ShardWorker {
 }
 
 impl ShardWorker {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         shard: usize,
         vault: Vault,
@@ -1347,6 +1493,8 @@ impl ShardWorker {
         wcfg: WorkerConfig,
         health: Arc<HealthBoard>,
         retained: RecoveryHandle,
+        fast: Option<Arc<FastCache>>,
+        initial_tag: u64,
         #[cfg(feature = "fault-injection")] faults: ShardFaults,
     ) -> Self {
         let mut worker = Self {
@@ -1361,6 +1509,9 @@ impl ShardWorker {
             previous: None,
             batch_seq: 0,
             deploys: 0,
+            fast,
+            tag: initial_tag,
+            previous_tag: initial_tag,
             wcfg,
             health,
             #[cfg(feature = "fault-injection")]
@@ -1435,6 +1586,9 @@ impl ShardWorker {
         }
         let shard_stats = ShardStats {
             shard: self.shard,
+            queue_depth: queue.len(),
+            queue_high_water: queue.high_water(),
+            latency: self.stats.queued_latency.clone(),
             requests: self.stats.requests,
             answered_nodes: self.stats.answered_nodes,
             batches: self.stats.batches,
@@ -1460,9 +1614,10 @@ impl ShardWorker {
             ShardControl::Deploy {
                 snapshot,
                 seal_key,
+                tag,
                 ack,
             } => {
-                let _ = ack.send(self.install(&snapshot, seal_key));
+                let _ = ack.send(self.install(&snapshot, seal_key, tag));
             }
             ShardControl::Rollback { ack } => {
                 let _ = ack.send(self.rollback());
@@ -1479,6 +1634,7 @@ impl ShardWorker {
         &mut self,
         snapshot: &Arc<VaultSnapshot>,
         seal_key: SealKey,
+        tag: u64,
     ) -> Result<u64, ServeError> {
         let mut attempts_left = self.wcfg.deploy_retries;
         let mut backoff = DEPLOY_RETRY_BACKOFF;
@@ -1489,6 +1645,12 @@ impl ShardWorker {
                     let was_down = self.vault.is_none();
                     self.previous = Some(self.retained.clone());
                     self.retained = RecoveryHandle::from_shared(Arc::clone(snapshot), seal_key);
+                    // Publish new-model labels under the deploy's fast-
+                    // cache generation from here on; they stay
+                    // unprobeable until the engine flips the current
+                    // tag after every shard acks.
+                    self.previous_tag = self.tag;
+                    self.tag = tag;
                     self.adopt(vault);
                     self.deploys += 1;
                     if was_down {
@@ -1538,6 +1700,10 @@ impl ShardWorker {
             Ok(vault) => {
                 let was_down = self.vault.is_none();
                 self.retained = previous;
+                // Publish under the pre-install generation again; the
+                // failed deploy's tag never becomes current, so any
+                // entries published under it are unreachable forever.
+                self.tag = self.previous_tag;
                 self.adopt(vault);
                 self.stats.deploy_rollbacks += 1;
                 if was_down {
@@ -1639,6 +1805,9 @@ impl ShardWorker {
                     self.stats.requests += 1;
                     if let Ok(labels) = &result {
                         self.stats.answered_nodes += labels.len() as u64;
+                        // Queued-path tail latency: submit to respond,
+                        // recorded per successfully answered request.
+                        self.stats.queued_latency.record(request.waited());
                     }
                     request.respond(result);
                 }
@@ -1730,6 +1899,13 @@ impl ShardWorker {
                     for (&node, label) in need.iter().zip(labels) {
                         resolved.insert(node, label);
                         self.cache.insert((self.epoch, node), label);
+                        // Publish to the submit-path fast cache under
+                        // this worker's captured install generation, so
+                        // later probes for the node resolve with zero
+                        // cross-thread traffic.
+                        if let Some(fast) = &self.fast {
+                            fast.publish(self.tag, node, label);
+                        }
                     }
                     let slot = self.session_slots[session];
                     self.stats.absorb_report(&report, slot);

@@ -1,0 +1,311 @@
+//! HDR-style log-bucketed latency histograms for the serving path.
+//!
+//! Production serving lives on tail latency, not means: one slow batch
+//! behind a hot queue is invisible in an average and glaring at p99.
+//! [`LatencyHistogram`] records durations into log-linear buckets —
+//! exact below 16 ns, then 16 sub-buckets per power of two (≤ ~6%
+//! relative error) up to the full `u64` nanosecond range — in a fixed
+//! 976-counter table, so recording is a single increment and the memory
+//! cost is constant no matter how many samples land.
+//!
+//! Two properties matter to the engine:
+//!
+//! - **Deterministic merge**: [`LatencyHistogram::merge`] adds
+//!   bucket-wise, so folding per-shard histograms into the aggregate is
+//!   commutative and associative — the quantiles of the merged
+//!   histogram depend only on the multiset of recorded buckets, never
+//!   on merge order or shard count.
+//! - **Deterministic quantiles**: [`LatencyHistogram::quantile`]
+//!   returns the *lower bound* of the bucket holding the requested
+//!   rank, a pure function of the counts (no interpolation state).
+//!
+//! Shard workers record into a plain [`LatencyHistogram`] (each worker
+//! is single-threaded); the submit-path fast cache records into the
+//! crate-private `AtomicLatency` — the same bucket layout with relaxed
+//! atomic counters — so the lock-free fast path never takes a lock for
+//! its own telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total buckets: values `0..16` map exactly (octave 0); above that,
+/// one octave of 16 sub-buckets per leading-bit position from bit 4
+/// through bit 63 — 61 octaves of 16 = 976 counters.
+const BUCKETS: usize = ((64 - SUB_BITS + 1) as usize) * (SUBS as usize);
+
+/// Bucket index for a nanosecond value (log-linear, monotone in `ns`).
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUBS {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as u64;
+    let sub = (ns >> (msb - SUB_BITS)) & (SUBS - 1);
+    (octave * SUBS + sub) as usize
+}
+
+/// Smallest nanosecond value mapping to bucket `index` — the value
+/// quantiles report for that bucket.
+fn bucket_floor(index: usize) -> u64 {
+    let octave = index as u64 / SUBS;
+    let sub = index as u64 % SUBS;
+    if octave == 0 {
+        return sub;
+    }
+    (SUBS + sub) << (octave - 1)
+}
+
+/// A log-bucketed latency histogram with deterministic bucket-wise
+/// merge and quantile extraction (see the module docs for the layout).
+///
+/// # Examples
+///
+/// ```
+/// use serve::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::default();
+/// assert!(h.is_empty());
+/// for us in [90u64, 100, 110, 5000] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.p50().unwrap();
+/// assert!(p50 >= Duration::from_micros(90) && p50 < Duration::from_micros(120));
+/// assert!(h.p99().unwrap() >= Duration::from_micros(4000));
+///
+/// // Merging is bucket-wise: order never changes the quantiles.
+/// let mut other = LatencyHistogram::default();
+/// other.record(Duration::from_micros(100));
+/// h.merge(&other);
+/// assert_eq!(h.count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency sample given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded (including merged-in ones).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Folds `other` into `self` bucket-wise. Commutative and
+    /// associative, so per-shard histograms merge into the engine
+    /// aggregate deterministically in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]` — the lower bound of the
+    /// bucket holding the `ceil(q·count)`-th smallest sample (so `q =
+    /// 0` reports the minimum's bucket and `q = 1` the maximum's).
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(Duration::from_nanos(bucket_floor(index)));
+            }
+        }
+        None
+    }
+
+    /// Median latency (`None` when empty).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (`None` when empty).
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency (`None` when empty).
+    pub fn p999(&self) -> Option<Duration> {
+        self.quantile(0.999)
+    }
+}
+
+/// The same bucket layout with relaxed atomic counters, for recording
+/// from any number of client threads without a lock (the submit-path
+/// fast cache's telemetry). Snapshot into a [`LatencyHistogram`] to
+/// read quantiles.
+#[derive(Debug)]
+pub(crate) struct AtomicLatency {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl Default for AtomicLatency {
+    fn default() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicLatency {
+    /// Records one latency sample (relaxed increments: counters are
+    /// statistics, not synchronization).
+    pub(crate) fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-histogram snapshot of the counters.
+    pub(crate) fn snapshot(&self) -> LatencyHistogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total = counts.iter().sum();
+        LatencyHistogram { counts, total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..64u32 {
+            for delta in [0u64, 1, 3] {
+                values.push((1u64 << shift).saturating_add(delta << shift.saturating_sub(3)));
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let index = bucket_index(v);
+            assert!(index < BUCKETS, "index {index} out of range for {v}");
+            assert!(index >= last, "bucket index must be monotone in value");
+            last = index;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_within_relative_error() {
+        for v in [0u64, 1, 15, 16, 17, 100, 999, 1_000_000, u64::MAX / 3] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(floor <= v, "floor {floor} above value {v}");
+            // Log-linear with 16 sub-buckets: floor is within 1/16 of v.
+            assert!(
+                v - floor <= v / 16,
+                "floor {floor} more than 1/16 below {v}"
+            );
+            assert_eq!(bucket_index(floor), bucket_index(v));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_below_sixteen_nanoseconds() {
+        let mut h = LatencyHistogram::default();
+        for ns in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.quantile(0.0), Some(Duration::from_nanos(1)));
+        assert_eq!(h.p50(), Some(Duration::from_nanos(5)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(10)));
+    }
+
+    #[test]
+    fn tail_quantiles_find_the_outlier() {
+        // 101 samples: rank ceil(0.99·101) = 100 stays in the bulk,
+        // rank ceil(0.999·101) = 101 is the outlier.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        let p50 = h.p50().unwrap();
+        assert!(p50 >= Duration::from_micros(93) && p50 <= Duration::from_micros(100));
+        assert!(h.p99().unwrap() < Duration::from_millis(1));
+        assert!(h.p999().unwrap() >= Duration::from_millis(46));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for i in 0..200u64 {
+            a.record_ns(i * 37 + 5);
+            b.record_ns(i * 91 + 1_000);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 400);
+        assert_eq!(ab.p50(), ba.p50());
+        assert_eq!(ab.p999(), ba.p999());
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain_recording() {
+        let atomic = AtomicLatency::default();
+        let mut plain = LatencyHistogram::default();
+        for us in [1u64, 50, 50, 900, 12_000] {
+            atomic.record(Duration::from_micros(us));
+            plain.record(Duration::from_micros(us));
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+}

@@ -21,7 +21,12 @@
 //!    batches, a lone query gets low latency,
 //! 4. **Caching** ([`LruCache`]): results are cached by `(vault epoch,
 //!    node id)`, so repeated queries are answered without re-entering
-//!    the enclave at all,
+//!    the enclave at all. With [`ServeConfig::fast_cache_slots`] > 0 a
+//!    second, lock-free layer ([`FastCache`]) sits *in front of*
+//!    admission: shard workers publish completed labels into packed
+//!    atomic slots and the client thread probes them in place, so a
+//!    fully-hot request resolves with zero cross-thread traffic
+//!    (sentinel accounting still runs first — see [`fastcache`](FastCache)),
 //! 5. **Execution** ([`ServingEngine`]): cache misses run through
 //!    [`Vault::infer_batch`](gnnvault::Vault::infer_batch) — one
 //!    backbone forward on the shared `linalg` pool and one enclave
@@ -132,8 +137,10 @@ mod batcher;
 mod cache;
 mod engine;
 mod error;
+mod fastcache;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+mod latency;
 pub mod sentinel;
 
 pub use batcher::{AdmissionQueue, BatchPolicy, BatchPoll, FlushReason, PendingRequest, Ticket};
@@ -143,9 +150,11 @@ pub use engine::{
     ServingEngine, SessionStats, ShardHealth, ShardStats, Topology,
 };
 pub use error::ServeError;
+pub use fastcache::FastCache;
 #[cfg(feature = "fault-injection")]
 pub use faults::{Fault, FaultPlan};
 pub use gnnvault::Precision;
+pub use latency::LatencyHistogram;
 pub use sentinel::{
     ClientId, SentinelConfig, SentinelMode, SentinelSessionStats, SentinelStats, SentinelVerdict,
 };

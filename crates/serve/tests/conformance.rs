@@ -112,6 +112,63 @@ fn cache_accounting_is_identical_across_the_topology_matrix() {
 }
 
 #[test]
+fn fast_cache_labels_are_bit_identical_across_the_topology_matrix() {
+    // The submit-path fast cache is an optimization, never an oracle:
+    // with the cache on, a warmed-then-requeried trace must answer
+    // byte-for-byte what the cache-off engine answers — which is what
+    // sequential inference answers — in every cell of the matrix. The
+    // warm pass waits every ticket, so each label is published (workers
+    // publish before responding) before the requery pass probes it.
+    let (mut vault, x, _) = toy_vault(N, RectifierKind::Series);
+    let expected = sequential_labels(&mut vault, &x);
+    let requests: Vec<Vec<usize>> = vec![
+        vec![0],
+        vec![5, 3, 3, 11, 0],
+        (0..N).collect(),
+        (0..N).rev().collect(),
+        vec![13],
+    ];
+    for (shards, topology) in matrix() {
+        for fast_cache_slots in [0usize, 256] {
+            let mut config = cell_config(shards, topology);
+            config.fast_cache_slots = fast_cache_slots;
+            let engine =
+                ServingEngine::start(vault.spawn_replica().unwrap(), x.clone(), config).unwrap();
+            let handle = engine.handle();
+            for (n, &label) in expected.iter().enumerate() {
+                assert_eq!(
+                    handle.submit_one(n).unwrap().wait().unwrap(),
+                    vec![label],
+                    "warm pass, {shards} shards, {topology:?}, {fast_cache_slots} slots"
+                );
+            }
+            for request in &requests {
+                let labels = handle.submit(request.clone()).unwrap().wait().unwrap();
+                let want: Vec<_> = request.iter().map(|&n| expected[n]).collect();
+                assert_eq!(
+                    labels, want,
+                    "requery pass, {shards} shards, {topology:?}, {fast_cache_slots} slots"
+                );
+            }
+            let (_, stats) = engine.shutdown();
+            if fast_cache_slots > 0 && std::env::var_os("SERVE_DISABLE_FAST_CACHE").is_none() {
+                // Every requery node was warm, so the whole second pass
+                // resolves on the submit thread.
+                assert!(
+                    stats.fast_path_hits > 0,
+                    "{shards} shards, {topology:?}: warm requeries must fast-hit"
+                );
+            } else {
+                assert_eq!(
+                    stats.fast_path_hits, 0,
+                    "{shards} shards, {topology:?}: fast path off means zero fast hits"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn hot_swap_is_clean_and_lossless_across_the_topology_matrix() {
     // Zero-downtime deploy: every pre-deploy query answers the old
     // model, every post-deploy query the new one, nothing is dropped,

@@ -260,6 +260,84 @@ fn extraction_sweep_climbs_the_ladder_at_admission() {
     assert_eq!(benign_stats.rate_limited, 0);
 }
 
+/// Satellite: the sentinel is consulted *before* the fast-cache probe,
+/// so a link-stealing sweep is quarantined even when every single probe
+/// would be a fast-cache hit — the submit-path cache cannot be used to
+/// bypass admission accounting, and the sentinel trace is identical
+/// whether answers come from the cache or the shards.
+#[test]
+fn probe_stream_is_quarantined_even_at_full_fast_cache_hit_rate() {
+    let n = 64;
+    let (vault, x) = toy_vault(n);
+    let mut config = engine_config(strict_sentinel(), 1);
+    config.fast_cache_slots = 1024;
+    let engine = ServingEngine::start(vault, x, config).unwrap();
+    let handle = engine.handle();
+    // Warm the whole corpus in one request: a single submission cannot
+    // accrue enough strikes to be throttled, and afterwards every node
+    // is published in the fast cache.
+    handle
+        .submit_as(ClientId(1), (0..n).collect())
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let attacker = ClientId(66);
+    let mut quarantined_at = None;
+    let mut admitted = 0u64;
+    for i in 0..256usize {
+        match handle.submit_one_as(attacker, i % n) {
+            Ok(ticket) => {
+                // Every admitted probe resolves instantly off the cache
+                // (never enqueued), yet still counts against the sweep.
+                ticket.wait().unwrap();
+                admitted += 1;
+            }
+            Err(ServeError::RateLimited { .. }) => {}
+            Err(ServeError::Quarantined { client }) => {
+                assert_eq!(client, attacker);
+                quarantined_at.get_or_insert(i);
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    let at = quarantined_at.expect("sweep must end quarantined despite a 100% hit rate");
+    assert!(
+        at < 128,
+        "escalation took too long (first quarantine at {at})"
+    );
+    assert!(matches!(
+        handle.submit_one_as(attacker, 0),
+        Err(ServeError::Quarantined { .. })
+    ));
+
+    let (_, stats) = engine.shutdown();
+    assert_eq!(stats.sentinel.quarantined_sessions, 1);
+    if std::env::var_os("SERVE_DISABLE_FAST_CACHE").is_none() {
+        // Conservation: every admitted probe either fast-hit or became
+        // exactly one shard request (the +1 is the warm request). The
+        // cache is direct-mapped, so a colliding node pair may keep
+        // evicting each other — the hit rate stays near-total, not
+        // necessarily perfect.
+        assert_eq!(stats.requests, 1 + (admitted - stats.fast_path_hits));
+        assert!(
+            stats.fast_path_hits * 10 >= admitted * 9,
+            "hit rate collapsed: {} fast hits of {admitted} admitted",
+            stats.fast_path_hits
+        );
+    } else {
+        assert_eq!(stats.fast_path_hits, 0);
+        assert_eq!(stats.requests, 1 + admitted);
+    }
+    let attacker_stats = stats
+        .sentinel
+        .sessions
+        .iter()
+        .find(|s| s.client == attacker)
+        .unwrap();
+    assert_eq!(attacker_stats.verdict, SentinelVerdict::Quarantined);
+}
+
 /// Replays one fixed request trace through an engine and returns the
 /// final sentinel stats.
 fn replay_trace(shards: usize) -> SentinelStats {

@@ -6,16 +6,20 @@
 //! ```
 //!
 //! Trains and deploys a GNNVault on a synthetic Cora, then compares
-//! three ways of answering the same query stream:
+//! four ways of answering the same query stream:
 //!
 //! 1. sequential per-node `Vault::infer` (the paper's single-query
 //!    deployment),
 //! 2. the serving engine with batching but **no cache**,
-//! 3. the serving engine with batching **and** the LRU result cache.
+//! 3. the serving engine with batching **and** the LRU result cache,
+//! 4. the same plus the **submit-path fast cache**, which answers warm
+//!    repeat queries on the client thread without touching a shard.
 //!
-//! The interesting columns are enclave transitions per query and wall
-//! time: batching divides the per-query ECALL cost by the batch size,
-//! and the cache removes repeat queries from the enclave entirely.
+//! The interesting columns are enclave transitions per query, wall
+//! time, and the per-path latency quantiles: batching divides the
+//! per-query ECALL cost by the batch size, the LRU removes repeat
+//! queries from the enclave, and the fast cache removes them from the
+//! queue as well.
 
 use gnnvault_suite::datasets::{DatasetSpec, SyntheticPlanetoid};
 use gnnvault_suite::gnnvault::{pipeline, ModelConfig, RectifierKind, SubstituteKind};
@@ -80,11 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sequential_transitions as f64 / sample.len() as f64,
     );
 
-    // --- 2..4. the serving engine: batching, + cache, + shards ----------
-    for (label, cache_capacity, shards) in [
-        ("batching only", 0, 1),
-        ("batching + LRU cache", num_nodes, 1),
-        ("4 shards + LRU cache", num_nodes, 4),
+    // --- 2..5. the serving engine: batching, + caches, + shards ---------
+    for (label, cache_capacity, shards, fast_cache_slots) in [
+        ("batching only", 0, 1, 0),
+        ("batching + LRU cache", num_nodes, 1, 0),
+        ("batching + LRU + fast cache", num_nodes, 1, 4096),
+        ("4 shards + LRU cache", num_nodes, 4, 0),
     ] {
         let config = ServeConfig {
             policy: BatchPolicy {
@@ -95,6 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             sessions: 2,
             cache_capacity,
+            fast_cache_slots,
             shards,
             ..ServeConfig::default()
         };
@@ -125,16 +131,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (returned_vault, stats) = engine.shutdown();
         vault = returned_vault.expect("no faults injected: every shard survives");
 
+        // Fast-path hits never reach a shard, so they are counted
+        // separately from the queued `stats.requests`.
+        let answered = stats.requests + stats.fast_path_hits;
         println!(
             "\nserving engine, {} ({} queries, {} clients):",
-            label, stats.requests, CLIENTS
+            label, answered, CLIENTS
         );
         println!(
             "  {:>8.1} queries/s | {:.3} transitions/query | {:.1} nodes/enclave batch",
-            stats.requests as f64 / elapsed.as_secs_f64(),
+            answered as f64 / elapsed.as_secs_f64(),
             stats.transitions_per_node(),
             stats.mean_enclave_batch_nodes(),
         );
+        if let (Some(p50), Some(p99)) = (stats.queued_latency.p50(), stats.queued_latency.p99()) {
+            println!(
+                "  queued path: {} requests | p50 {:?} / p99 {:?}",
+                stats.queued_latency.count(),
+                p50,
+                p99,
+            );
+        }
+        if let (Some(p50), Some(p99)) =
+            (stats.fast_path_latency.p50(), stats.fast_path_latency.p99())
+        {
+            println!(
+                "  fast path:   {} hits | p50 {:?} / p99 {:?}",
+                stats.fast_path_hits, p50, p99,
+            );
+        }
         println!(
             "  batches: {} ({} full, {} deadline, {} drain) | cache hit rate {:.1}%",
             stats.batches,

@@ -8,6 +8,12 @@
 //! (the workspace root under `cargo bench`) so successive PRs have a
 //! machine-readable perf trajectory to regress against.
 //!
+//! Two measurement modes: [`Bencher::iter`]/[`Bencher::iter_batched`]
+//! average batches of calls (throughput mode — JSON percentile fields
+//! stay `null`), while [`Bencher::iter_latency`] times every call
+//! individually and emits the per-call p50/p99/p999 into the JSON row,
+//! so tail latency is tracked with the same trajectory machinery.
+//!
 //! Knobs (environment):
 //! - `BENCH_JSON`: override the output path.
 //! - `BENCH_SAMPLE_MS` (default 5): target milliseconds per sample.
@@ -36,6 +42,28 @@ pub struct BenchRecord {
     pub iters_per_sample: u64,
     /// Declared per-iteration payload, if any.
     pub throughput_bytes: Option<u64>,
+    /// Median per-call latency — present only for benches measured in
+    /// latency mode ([`Bencher::iter_latency`], which times every call
+    /// individually instead of averaging batches).
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile per-call latency (latency mode only).
+    pub p99_ns: Option<f64>,
+    /// 99.9th-percentile per-call latency (latency mode only).
+    pub p999_ns: Option<f64>,
+}
+
+/// Everything one measurement loop produces; percentile fields stay
+/// `None` for throughput-style loops that only observe batch means.
+#[derive(Debug, Clone, Copy)]
+struct RawStats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
+    p999_ns: Option<f64>,
 }
 
 /// Per-iteration payload declaration, mirroring `criterion::Throughput`.
@@ -105,7 +133,7 @@ pub enum BatchSize {
 /// Drives a single benchmark's measurement loop.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    stats: Option<(f64, f64, f64, usize, u64)>,
+    stats: Option<RawStats>,
 }
 
 impl Bencher {
@@ -147,7 +175,57 @@ impl Bencher {
         let mean = sample_means.iter().sum::<f64>() / n as f64;
         let median = sample_means[n / 2];
         let min = sample_means[0];
-        self.stats = Some((mean, median, min, n, iters_per_sample));
+        self.stats = Some(RawStats {
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: n,
+            iters_per_sample,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
+        });
+    }
+
+    /// Latency-mode measurement: times *every call* of `routine`
+    /// individually (no batch averaging) and reports p50/p99/p999 of
+    /// the per-call distribution alongside the usual mean/median/min.
+    /// Use for tail-latency benches where a batch mean would flatten
+    /// exactly the outliers being measured; the per-call timer read
+    /// bounds resolution, so routines under ~100 ns should stay on
+    /// [`iter`](Self::iter).
+    pub fn iter_latency<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let budget = Duration::from_millis(env_ms("BENCH_BUDGET_MS", 1500));
+        // Short untimed warmup so cold caches don't own the tail.
+        for _ in 0..5 {
+            black_box(routine());
+        }
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            samples_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            if run_start.elapsed() >= budget || samples_ns.len() >= 10_000 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = samples_ns.len();
+        let mean = samples_ns.iter().sum::<f64>() / n as f64;
+        // Ceil-rank percentile on the sorted per-call samples (rank 1
+        // is the minimum, rank n the maximum).
+        let pct = |q: f64| samples_ns[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        self.stats = Some(RawStats {
+            mean_ns: mean,
+            median_ns: pct(0.50),
+            min_ns: samples_ns[0],
+            samples: n,
+            iters_per_sample: 1,
+            p50_ns: Some(pct(0.50)),
+            p99_ns: Some(pct(0.99)),
+            p999_ns: Some(pct(0.999)),
+        });
     }
 
     /// Measures `routine` on fresh inputs from `setup`, excluding setup
@@ -191,13 +269,16 @@ impl Bencher {
         sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let n = sample_means.len();
         let mean = sample_means.iter().sum::<f64>() / n as f64;
-        self.stats = Some((
-            mean,
-            sample_means[n / 2],
-            sample_means[0],
-            n,
+        self.stats = Some(RawStats {
+            mean_ns: mean,
+            median_ns: sample_means[n / 2],
+            min_ns: sample_means[0],
+            samples: n,
             iters_per_sample,
-        ));
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
+        });
     }
 }
 
@@ -293,17 +374,20 @@ impl Criterion {
         };
         let mut bencher = Bencher::default();
         f(&mut bencher);
-        let (mean_ns, median_ns, min_ns, samples, iters_per_sample) = bencher
+        let stats = bencher
             .stats
             .expect("benchmark closure must call Bencher::iter");
         let record = BenchRecord {
             id: full_id,
-            mean_ns,
-            median_ns,
-            min_ns,
-            samples,
-            iters_per_sample,
+            mean_ns: stats.mean_ns,
+            median_ns: stats.median_ns,
+            min_ns: stats.min_ns,
+            samples: stats.samples,
+            iters_per_sample: stats.iters_per_sample,
             throughput_bytes: throughput.and_then(Throughput::bytes),
+            p50_ns: stats.p50_ns,
+            p99_ns: stats.p99_ns,
+            p999_ns: stats.p999_ns,
         };
         let rate = record
             .throughput_bytes
@@ -314,8 +398,12 @@ impl Criterion {
                 )
             })
             .unwrap_or_default();
+        let tail = record
+            .p99_ns
+            .map(|p99| format!("  p99 {:>12}", fmt_ns(p99)))
+            .unwrap_or_default();
         println!(
-            "{:<48} mean {:>12}  median {:>12}{rate}",
+            "{:<48} mean {:>12}  median {:>12}{tail}{rate}",
             record.id,
             fmt_ns(record.mean_ns),
             fmt_ns(record.median_ns),
@@ -372,7 +460,7 @@ impl Criterion {
                 .throughput_bytes
                 .map_or("null".to_string(), |b| b.to_string());
             out.push_str(&format!(
-                "    {{\"id\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}, \"throughput_bytes\": {}}}{}\n",
+                "    {{\"id\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}, \"throughput_bytes\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
                 json_string(&r.id),
                 r.mean_ns,
                 r.median_ns,
@@ -380,6 +468,9 @@ impl Criterion {
                 r.samples,
                 r.iters_per_sample,
                 tp,
+                opt_ns(r.p50_ns),
+                opt_ns(r.p99_ns),
+                opt_ns(r.p999_ns),
                 if i + 1 == self.records.len() { "" } else { "," },
             ));
         }
@@ -429,6 +520,12 @@ impl BenchmarkGroup<'_> {
 
 /// Re-export so `criterion::black_box` works as upstream.
 pub use std::hint::black_box as criterion_black_box;
+
+/// Nullable-nanosecond JSON field: `null` for throughput-mode benches,
+/// one-decimal nanoseconds for latency-mode ones.
+fn opt_ns(value: Option<f64>) -> String {
+    value.map_or("null".to_string(), |ns| format!("{ns:.1}"))
+}
 
 fn env_ms(key: &str, default: u64) -> u64 {
     std::env::var(key)
@@ -553,6 +650,31 @@ mod tests {
             b.iter(|| (0..64u64).sum::<u64>())
         });
         assert_eq!(c.records()[0].throughput_bytes, Some(512));
+    }
+
+    #[test]
+    fn latency_mode_records_percentiles() {
+        std::env::set_var("BENCH_SAMPLE_MS", "1");
+        std::env::set_var("BENCH_BUDGET_MS", "20");
+        let mut c = Criterion::default();
+        c.bench_function("throughput_mode", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("latency_mode", |b| {
+            b.iter_latency(|| (0..100u64).sum::<u64>())
+        });
+        let throughput = &c.records()[0];
+        assert_eq!(throughput.p50_ns, None, "batch mode has no percentiles");
+        let latency = &c.records()[1];
+        assert_eq!(latency.iters_per_sample, 1, "every call timed alone");
+        let (p50, p99, p999) = (
+            latency.p50_ns.expect("latency mode fills p50"),
+            latency.p99_ns.expect("latency mode fills p99"),
+            latency.p999_ns.expect("latency mode fills p999"),
+        );
+        assert!(p50 > 0.0);
+        assert!(p50 <= p99 && p99 <= p999, "percentiles are ordered");
+        assert_eq!(latency.p50_ns, Some(latency.median_ns));
+        assert!(opt_ns(latency.p99_ns).parse::<f64>().is_ok());
+        assert_eq!(opt_ns(None), "null");
     }
 
     #[test]
